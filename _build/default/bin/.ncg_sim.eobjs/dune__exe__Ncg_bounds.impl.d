@@ -1,0 +1,1 @@
+bin/ncg_bounds.ml: Arg Cmd Cmdliner Ncg Printf Term

@@ -1,0 +1,1 @@
+bin/ncg_certify.ml: Arg Cmd Cmdliner List Ncg Ncg_gen Ncg_graph Printf Term

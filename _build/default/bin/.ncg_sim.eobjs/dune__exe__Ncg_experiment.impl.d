@@ -1,0 +1,1 @@
+bin/ncg_experiment.ml: Arg Cmd Cmdliner List Ncg Ncg_stats Printf Term

@@ -1,0 +1,1 @@
+bin/ncg_report.ml: Arg Cmd Cmdliner Ncg Ncg_reporting Printf String Term

@@ -1,0 +1,1 @@
+bin/ncg_sim.ml: Arg Cmd Cmdliner List Ncg Ncg_gen Printf Term

@@ -1,0 +1,1 @@
+bin/ncg_sim.mli:

@@ -1,0 +1,1 @@
+bin/ncg_trace.ml: Arg Cmd Cmdliner Ncg Printf Term

@@ -1,0 +1,91 @@
+(* ncg_experiment: run a parameter grid of best-response dynamics and print
+   one CSV row per (alpha, k) cell — the raw series behind the paper's
+   Figures 5-10.
+
+   Examples:
+     # Figure 5 series (view sizes) on 50-vertex trees, 5 seeds per cell
+     dune exec bin/ncg_experiment.exe -- --class tree -n 50 --trials 5
+
+     # Figure 8/9 series on G(100, 0.1) for specific alphas
+     dune exec bin/ncg_experiment.exe -- --class gnp -n 100 -p 0.1 \
+         --alphas 0.5,1,2 --ks 2,3,1000 *)
+
+open Cmdliner
+
+let default_alphas = [ 0.5; 1.0; 2.0; 5.0 ]
+let default_ks = [ 2; 3; 4; 5; 1000 ]
+
+let header =
+  "class,n,p,alpha,k,trials,converged_frac,cycled_frac,rounds_mean,rounds_ci,\
+   quality_mean,quality_ci,unfairness_mean,unfairness_ci,diameter_mean,\
+   max_degree_mean,max_bought_mean,min_view_mean,avg_view_mean,social_cost_mean"
+
+let run graph_class n p alphas ks trials seed budget =
+  let alphas = if alphas = [] then default_alphas else alphas in
+  let ks = if ks = [] then default_ks else ks in
+  let make_initial =
+    match graph_class with
+    | "tree" -> fun ~seed -> Ncg.Experiment.initial_tree ~seed ~n
+    | "gnp" -> fun ~seed -> Ncg.Experiment.initial_gnp ~seed ~n ~p
+    | "ba" -> fun ~seed -> Ncg.Experiment.initial_ba ~seed ~n ~m:2
+    | "ws" -> fun ~seed -> Ncg.Experiment.initial_ws ~seed ~n ~k:4 ~beta:0.2
+    | other -> failwith (Printf.sprintf "unknown graph class %S" other)
+  in
+  print_endline header;
+  List.iter
+    (fun alpha ->
+      List.iter
+        (fun k ->
+          let config =
+            {
+              (Ncg.Dynamics.default_config ~alpha ~k) with
+              Ncg.Dynamics.solver = `Budgeted budget;
+              collect_features = false;
+            }
+          in
+          let runs = Ncg.Experiment.trials ~make_initial ~config ~trials ~seed in
+          let s f = Ncg.Experiment.summarize f runs in
+          let mean f = (s f).Ncg_stats.Summary.mean in
+          let quality = s (fun r -> r.Ncg.Experiment.quality) in
+          let rounds = s (fun r -> float_of_int r.Ncg.Experiment.rounds) in
+          let unfair = s (fun r -> r.Ncg.Experiment.unfairness) in
+          Printf.printf "%s,%d,%g,%g,%d,%d,%.2f,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n%!"
+            graph_class n p alpha k trials
+            (Ncg.Experiment.fraction (fun r -> r.Ncg.Experiment.converged) runs)
+            (Ncg.Experiment.fraction (fun r -> r.Ncg.Experiment.cycled) runs)
+            rounds.Ncg_stats.Summary.mean rounds.Ncg_stats.Summary.ci95
+            quality.Ncg_stats.Summary.mean quality.Ncg_stats.Summary.ci95
+            unfair.Ncg_stats.Summary.mean unfair.Ncg_stats.Summary.ci95
+            (mean (fun r -> float_of_int r.Ncg.Experiment.diameter))
+            (mean (fun r -> float_of_int r.Ncg.Experiment.max_degree))
+            (mean (fun r -> float_of_int r.Ncg.Experiment.max_bought))
+            (mean (fun r -> float_of_int r.Ncg.Experiment.min_view))
+            (mean (fun r -> r.Ncg.Experiment.avg_view))
+            (mean (fun r -> r.Ncg.Experiment.social_cost)))
+        ks)
+    alphas
+
+let graph_class =
+  Arg.(value & opt string "tree" & info [ "class" ] ~docv:"CLASS"
+         ~doc:"tree, gnp, ba (Barabasi-Albert) or ws (Watts-Strogatz).")
+
+let n = Arg.(value & opt int 50 & info [ "n" ] ~docv:"N" ~doc:"Players.")
+let p = Arg.(value & opt float 0.1 & info [ "p" ] ~docv:"P" ~doc:"Edge probability (gnp).")
+
+let alphas =
+  Arg.(value & opt (list float) [] & info [ "alphas" ] ~docv:"LIST" ~doc:"Alpha grid.")
+
+let ks = Arg.(value & opt (list int) [] & info [ "ks" ] ~docv:"LIST" ~doc:"View radius grid.")
+let trials = Arg.(value & opt int 5 & info [ "trials" ] ~docv:"T" ~doc:"Seeds per cell.")
+let seed = Arg.(value & opt int 2014 & info [ "seed" ] ~doc:"Base seed.")
+
+let budget =
+  Arg.(value & opt int 50_000 & info [ "budget" ] ~doc:"Branch-and-bound node budget per best response.")
+
+let cmd =
+  let doc = "grid experiments over (alpha, k) printing CSV series" in
+  Cmd.v
+    (Cmd.info "ncg_experiment" ~doc)
+    Term.(const run $ graph_class $ n $ p $ alphas $ ks $ trials $ seed $ budget)
+
+let () = exit (Cmd.eval cmd)

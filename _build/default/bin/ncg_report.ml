@@ -1,0 +1,69 @@
+(* ncg_report: run one dynamics and write a self-contained markdown report
+   (configuration, outcome, per-round features, social-cost chart, trace
+   summary).
+
+   Example:
+     dune exec bin/ncg_report.exe -- --class tree -n 40 --alpha 2 -k 3 \
+         --out report.md *)
+
+open Cmdliner
+
+let run graph_class n p alpha k seed variant out =
+  let strategy =
+    match graph_class with
+    | "tree" -> Ncg.Experiment.initial_tree ~seed ~n
+    | "gnp" -> Ncg.Experiment.initial_gnp ~seed ~n ~p
+    | "ba" -> Ncg.Experiment.initial_ba ~seed ~n ~m:2
+    | "ws" -> Ncg.Experiment.initial_ws ~seed ~n ~k:4 ~beta:0.2
+    | other -> failwith (Printf.sprintf "unknown graph class %S" other)
+  in
+  let variant =
+    match variant with
+    | "max" -> Ncg.Game.Max
+    | "sum" -> Ncg.Game.Sum
+    | v -> failwith ("unknown variant " ^ v)
+  in
+  let config =
+    {
+      (Ncg.Dynamics.default_config ~alpha ~k) with
+      Ncg.Dynamics.variant;
+      solver = `Budgeted 50_000;
+      sum_mode = `Branch_and_bound 34;
+    }
+  in
+  let result = Ncg.Dynamics.run config strategy in
+  let title =
+    Printf.sprintf "%sNCG dynamics on %s (n=%d, alpha=%g, k=%d, seed=%d)"
+      (Ncg.Game.variant_to_string variant)
+      graph_class n alpha k seed
+  in
+  let report = Ncg_reporting.Run_report.of_run ~title config strategy result in
+  match out with
+  | None -> print_string report
+  | Some path ->
+      let oc = open_out path in
+      output_string oc report;
+      close_out oc;
+      Printf.printf "wrote %s (%d bytes)\n" path (String.length report)
+
+let graph_class =
+  Arg.(value & opt string "tree" & info [ "class" ] ~docv:"CLASS"
+         ~doc:"tree, gnp, ba or ws.")
+
+let n = Arg.(value & opt int 40 & info [ "n" ] ~doc:"Players.")
+let p = Arg.(value & opt float 0.1 & info [ "p" ] ~doc:"Edge probability (gnp).")
+let alpha = Arg.(value & opt float 2.0 & info [ "alpha"; "a" ] ~doc:"Edge price.")
+let k = Arg.(value & opt int 3 & info [ "k" ] ~doc:"View radius.")
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+let variant = Arg.(value & opt string "max" & info [ "variant" ] ~doc:"max or sum.")
+
+let out =
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+         ~doc:"Write the report here instead of stdout.")
+
+let cmd =
+  let doc = "write a markdown report of one dynamics run" in
+  Cmd.v (Cmd.info "ncg_report" ~doc)
+    Term.(const run $ graph_class $ n $ p $ alpha $ k $ seed $ variant $ out)
+
+let () = exit (Cmd.eval cmd)

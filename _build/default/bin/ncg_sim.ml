@@ -1,0 +1,86 @@
+(* ncg_sim: run one round-robin best-response dynamics and print per-round
+   features as CSV.
+
+   Example:
+     dune exec bin/ncg_sim.exe -- --class tree -n 50 --alpha 2 -k 3 --seed 7
+     dune exec bin/ncg_sim.exe -- --class gnp -n 100 -p 0.1 --alpha 0.5 -k 5 *)
+
+open Cmdliner
+
+let run graph_class n p alpha k seed variant solver max_rounds quiet =
+  let strategy =
+    match graph_class with
+    | "tree" -> Ncg.Experiment.initial_tree ~seed ~n
+    | "gnp" -> Ncg.Experiment.initial_gnp ~seed ~n ~p
+    | "cycle" -> Ncg.Strategy.of_buys ~n (Ncg_gen.Classic.cycle_buys n)
+    | "star" -> Ncg.Strategy.of_buys ~n (Ncg_gen.Classic.star_buys n)
+    | other -> failwith (Printf.sprintf "unknown graph class %S" other)
+  in
+  let variant = match variant with "max" -> Ncg.Game.Max | "sum" -> Ncg.Game.Sum | v -> failwith ("unknown variant " ^ v) in
+  let solver =
+    match solver with
+    | "exact" -> `Exact
+    | "greedy" -> `Greedy
+    | s -> begin
+        match int_of_string_opt s with
+        | Some budget -> `Budgeted budget
+        | None -> failwith "solver must be exact, greedy, or a node budget"
+      end
+  in
+  let config =
+    {
+      (Ncg.Dynamics.default_config ~alpha ~k) with
+      Ncg.Dynamics.variant;
+      solver;
+      max_rounds;
+    }
+  in
+  let result = Ncg.Dynamics.run config strategy in
+  if not quiet then begin
+    print_endline Ncg.Features.csv_header;
+    List.iter
+      (fun f -> print_endline (Ncg.Features.to_csv_row f))
+      result.Ncg.Dynamics.features
+  end;
+  let outcome =
+    match result.Ncg.Dynamics.outcome with
+    | Ncg.Dynamics.Converged r -> Printf.sprintf "converged after %d changing round(s)" (r - 1)
+    | Ncg.Dynamics.Cycle_detected r -> Printf.sprintf "best-response cycle detected at round %d" r
+    | Ncg.Dynamics.Max_rounds_exceeded -> "max rounds exceeded"
+  in
+  Printf.printf "# outcome: %s; total moves: %d\n" outcome result.Ncg.Dynamics.total_moves;
+  (match Ncg.Game.quality variant ~alpha result.Ncg.Dynamics.final with
+  | Some q -> Printf.printf "# quality of final configuration: %.4f\n" q
+  | None -> Printf.printf "# final configuration disconnected\n");
+  let lke =
+    match variant with
+    | Ncg.Game.Max -> Ncg.Lke.is_lke_max ~solver ~alpha ~k result.Ncg.Dynamics.final
+    | Ncg.Game.Sum -> Ncg.Lke.is_single_move_stable_sum ~alpha ~k result.Ncg.Dynamics.final
+  in
+  Printf.printf "# certified stable: %b\n" lke
+
+let graph_class =
+  Arg.(value & opt string "tree" & info [ "class" ] ~docv:"CLASS"
+         ~doc:"Initial graph class: tree, gnp, cycle or star.")
+
+let n = Arg.(value & opt int 50 & info [ "n" ] ~docv:"N" ~doc:"Number of players.")
+let p = Arg.(value & opt float 0.1 & info [ "p" ] ~docv:"P" ~doc:"Edge probability for gnp.")
+let alpha = Arg.(value & opt float 2.0 & info [ "alpha"; "a" ] ~docv:"ALPHA" ~doc:"Edge price.")
+let k = Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"View radius (1000 = full knowledge).")
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+let variant = Arg.(value & opt string "max" & info [ "variant" ] ~docv:"V" ~doc:"Game variant: max or sum.")
+
+let solver =
+  Arg.(value & opt string "exact" & info [ "solver" ] ~docv:"S"
+         ~doc:"Best-response solver: exact, greedy, or an integer node budget.")
+
+let max_rounds = Arg.(value & opt int 200 & info [ "max-rounds" ] ~doc:"Round cap.")
+let quiet = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the per-round CSV.")
+
+let cmd =
+  let doc = "simulate locality-based network creation dynamics" in
+  Cmd.v
+    (Cmd.info "ncg_sim" ~doc)
+    Term.(const run $ graph_class $ n $ p $ alpha $ k $ seed $ variant $ solver $ max_rounds $ quiet)
+
+let () = exit (Cmd.eval cmd)

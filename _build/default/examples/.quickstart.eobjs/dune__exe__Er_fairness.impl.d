@@ -1,0 +1,1 @@
+examples/er_fairness.ml: List Ncg Ncg_stats Printf

@@ -1,0 +1,1 @@
+examples/er_fairness.mli:

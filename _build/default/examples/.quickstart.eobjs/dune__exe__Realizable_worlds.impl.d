@@ -1,0 +1,1 @@
+examples/realizable_worlds.ml: Array List Ncg Ncg_graph Ncg_prng Printf String

@@ -1,0 +1,1 @@
+examples/realizable_worlds.mli:

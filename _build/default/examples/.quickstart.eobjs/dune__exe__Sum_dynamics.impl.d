@@ -1,0 +1,1 @@
+examples/sum_dynamics.ml: List Ncg Printf

@@ -1,0 +1,1 @@
+examples/sum_dynamics.mli:

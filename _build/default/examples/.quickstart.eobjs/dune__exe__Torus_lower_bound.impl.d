@@ -1,0 +1,1 @@
+examples/torus_lower_bound.ml: List Ncg Ncg_gen Ncg_graph Printf

@@ -1,0 +1,1 @@
+examples/tree_dynamics.ml: List Ncg Ncg_stats Printf

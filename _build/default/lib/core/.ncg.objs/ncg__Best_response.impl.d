@@ -1,0 +1,1 @@
+lib/core/best_response.ml: Array Fun List Ncg_graph Ncg_solver Ncg_util Option View

@@ -1,0 +1,1 @@
+lib/core/best_response.mli: View

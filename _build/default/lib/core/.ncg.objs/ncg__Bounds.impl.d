@@ -1,0 +1,1 @@
+lib/core/bounds.ml: Array Buffer Float List Ncg_graph Ncg_util Printf

@@ -1,0 +1,1 @@
+lib/core/dynamics.ml: Array Best_response Features Fun Game Hashtbl List Ncg_graph Ncg_prng Option Strategy Sum_best_response Trace View

@@ -1,0 +1,1 @@
+lib/core/dynamics.mli: Features Game Ncg_graph Strategy Trace

@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Array Fun Game List Lke Ncg_graph Option Strategy View

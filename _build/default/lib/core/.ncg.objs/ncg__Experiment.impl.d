@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Dynamics Features Game List Ncg_gen Ncg_graph Ncg_prng Ncg_stats Ncg_util Strategy

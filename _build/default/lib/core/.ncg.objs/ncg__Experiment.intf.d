@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Dynamics Ncg_stats Strategy

@@ -1,0 +1,1 @@
+lib/core/features.ml: Array Game List Ncg_graph Ncg_util Printf Strategy

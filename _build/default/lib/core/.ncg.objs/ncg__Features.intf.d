@@ -1,0 +1,1 @@
+lib/core/features.mli: Game Ncg_graph Strategy

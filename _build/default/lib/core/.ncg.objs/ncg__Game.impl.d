@@ -1,0 +1,1 @@
+lib/core/game.ml: Array Ncg_graph Option Strategy

@@ -1,0 +1,1 @@
+lib/core/lke.ml: Best_response Fun List Ncg_graph Option Strategy Sum_best_response View

@@ -1,0 +1,1 @@
+lib/core/lke.mli: Best_response Strategy View

@@ -1,0 +1,1 @@
+lib/core/realizable.ml: Array Fun List Ncg_graph Ncg_prng View

@@ -1,0 +1,1 @@
+lib/core/realizable.mli: Ncg_graph Ncg_prng View

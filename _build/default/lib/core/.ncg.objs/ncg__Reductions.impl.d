@@ -1,0 +1,1 @@
+lib/core/reductions.ml: Best_response List Ncg_graph Ncg_solver Strategy View

@@ -1,0 +1,1 @@
+lib/core/reductions.mli: Ncg_graph

@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Array Buffer Format List Ncg_graph Ncg_prng String

@@ -1,0 +1,1 @@
+lib/core/strategy.mli: Format Ncg_graph Ncg_prng

@@ -1,0 +1,1 @@
+lib/core/sum_best_response.ml: Array Float Fun List Ncg_graph Ncg_util Option View

@@ -1,0 +1,1 @@
+lib/core/sum_best_response.mli: View

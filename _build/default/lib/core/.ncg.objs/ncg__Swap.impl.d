@@ -1,0 +1,1 @@
+lib/core/swap.ml: Best_response Fun List Ncg_graph Ncg_util Option Strategy Sum_best_response View

@@ -1,0 +1,1 @@
+lib/core/swap.mli: Strategy View

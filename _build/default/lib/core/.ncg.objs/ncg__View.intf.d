@@ -1,0 +1,1 @@
+lib/core/view.mli: Ncg_graph Strategy

@@ -1,0 +1,153 @@
+module Graph = Ncg_graph.Graph
+module Subgraph = Ncg_graph.Subgraph
+module Dominating_set = Ncg_solver.Dominating_set
+
+type outcome = { targets : int list; usage : int; cost : float }
+
+let current_usage (v : View.t) = Ncg_util.Arrayx.max_elt v.View.dist
+
+let current_cost ~alpha (v : View.t) =
+  (alpha *. float_of_int (List.length v.View.owned))
+  +. float_of_int (current_usage v)
+
+let compute ?(solver = `Exact) ?max_edges ?allowed ~alpha (v : View.t) =
+  let h_graph = v.View.graph in
+  let nv = Graph.order h_graph in
+  (match max_edges with
+  | Some cap when List.length v.View.owned > cap ->
+      invalid_arg "Best_response.compute: current strategy exceeds max_edges"
+  | _ -> ());
+  (match allowed with
+  | Some whitelist
+    when not (List.for_all (fun t -> List.mem t whitelist) v.View.owned) ->
+      invalid_arg "Best_response.compute: current strategy outside allowed targets"
+  | _ -> ());
+  let current =
+    {
+      targets = v.View.owned;
+      usage = current_usage v;
+      cost = current_cost ~alpha v;
+    }
+  in
+  if nv <= 1 then current
+  else begin
+    (* H0 = H minus the player; everything below lives in H0 coordinates
+       and is translated back through the mapping at the end. *)
+    let others =
+      List.filter (fun x -> x <> v.View.player) (List.init nv Fun.id)
+    in
+    let h0, mapping = Subgraph.induced h_graph others in
+    let to_h0 x = mapping.Subgraph.to_sub.(x) in
+    let of_h0 x = mapping.Subgraph.to_host.(x) in
+    let free_dominators = List.map to_h0 v.View.in_buyers in
+    let forbidden =
+      match allowed with
+      | None -> []
+      | Some whitelist ->
+          let ok = List.map to_h0 whitelist in
+          List.filter
+            (fun x -> not (List.mem x ok))
+            (List.init (Graph.order h0) Fun.id)
+    in
+    let best = ref current in
+    let h = ref 1 in
+    let continue_ = ref true in
+    while !continue_ && float_of_int !h < !best.cost -. 1e-9 do
+      (* Cardinality cap: a solution only helps if α·|S| + h < best. *)
+      let max_size =
+        if alpha <= 0.0 then nv
+        else begin
+          let cap = (!best.cost -. float_of_int !h) /. alpha in
+          if cap >= float_of_int nv then nv
+          else int_of_float (ceil (cap -. 1e-9)) (* |S| <= cap *)
+        end
+      in
+      let max_size =
+        match max_edges with Some cap -> min max_size cap | None -> max_size
+      in
+      let problem =
+        { Dominating_set.graph = h0; radius = !h - 1; free_dominators; forbidden }
+      in
+      let solution =
+        match solver with
+        | `Exact -> Dominating_set.solve ~max_size problem
+        | `Budgeted node_budget -> Dominating_set.solve ~max_size ~node_budget problem
+        | `Greedy -> begin
+            match Dominating_set.greedy problem with
+            | Some s when List.length s <= max_size -> Some s
+            | Some _ | None -> None
+          end
+      in
+      (match solution with
+      | Some chosen ->
+          let cost =
+            (alpha *. float_of_int (List.length chosen)) +. float_of_int !h
+          in
+          if cost < !best.cost -. 1e-12 then
+            best :=
+              {
+                targets = List.map of_h0 chosen;
+                usage = !h;
+                cost;
+              }
+      | None -> ());
+      incr h;
+      if !h > nv then continue_ := false
+    done;
+    !best
+  end
+
+let evaluate_targets ~alpha (v : View.t) targets =
+  let h' = View.with_strategy v targets in
+  Option.map
+    (fun ecc ->
+      {
+        targets;
+        usage = ecc;
+        cost = (alpha *. float_of_int (List.length targets)) +. float_of_int ecc;
+      })
+    (Ncg_graph.Bfs.eccentricity h' v.View.player)
+
+let local_search ~alpha (v : View.t) =
+  let nv = Graph.order v.View.graph in
+  let all = List.filter (fun x -> x <> v.View.player) (List.init nv Fun.id) in
+  let current =
+    {
+      targets = v.View.owned;
+      usage = current_usage v;
+      cost = current_cost ~alpha v;
+    }
+  in
+  let rec descend best =
+    let adds =
+      List.filter_map
+        (fun t -> if List.mem t best.targets then None else Some (t :: best.targets))
+        all
+    in
+    let drops = List.map (fun t -> List.filter (( <> ) t) best.targets) best.targets in
+    let swaps =
+      List.concat_map
+        (fun out ->
+          let without = List.filter (( <> ) out) best.targets in
+          List.filter_map
+            (fun inn ->
+              if List.mem inn best.targets then None else Some (inn :: without))
+            all)
+        best.targets
+    in
+    let improved =
+      List.fold_left
+        (fun acc targets ->
+          match evaluate_targets ~alpha v targets with
+          | Some o when o.cost < acc.cost -. 1e-12 -> o
+          | Some _ | None -> acc)
+        best
+        (List.concat [ adds; drops; swaps ])
+    in
+    if improved.cost < best.cost -. 1e-12 then descend improved else best
+  in
+  descend current
+
+let improving ?solver ?(epsilon = 1e-9) ~alpha v =
+  let best = compute ?solver ~alpha v in
+  if best.cost < current_cost ~alpha v -. epsilon then Some best else None

@@ -1,0 +1,65 @@
+(** Exact best response for MaxNCG under local knowledge.
+
+    By Proposition 2.1 the worst realizable network for any deviation is
+    the view itself, so the best response minimizes
+    α·|σ′| + ecc_{H′}(player) over the view H. Following Section 5.3 of
+    the paper, for each target eccentricity h the cheapest strategy is a
+    minimum dominating set of the (h−1)-th power of H∖{player} in which
+    the players that bought an edge towards the player dominate for free;
+    we minimize α·|S| + h over h, pruning with h ≥ best-cost-so-far and
+    passing the incumbent to the solver as a cardinality cap.
+
+    The [`Exact] solver gives true best responses (what the paper computed
+    with Gurobi); [`Budgeted b] caps the branch-and-bound at [b] nodes per
+    dominating-set call — exact whenever the search completes, otherwise
+    the incumbent (at least greedy quality) is used; [`Greedy] trades
+    optimality for speed on very large views. *)
+
+type outcome = {
+  targets : int list;  (** the new σ′ in view coordinates *)
+  usage : int;  (** eccentricity of the player in H′ *)
+  cost : float;  (** α·|targets| + usage *)
+}
+
+(** Cost of the player's current strategy evaluated on her view:
+    α·|σ_u| + ecc_H(u). Always finite (the view is a ball, hence
+    connected). *)
+val current_cost : alpha:float -> View.t -> float
+
+(** Eccentricity of the player within her view. *)
+val current_usage : View.t -> int
+
+(** [compute ?solver ?max_edges ?allowed ~alpha view] is an optimal
+    outcome; its cost is at most [current_cost]. If no strict improvement
+    exists, the current strategy is returned unchanged.
+
+    [max_edges] caps the number of bought edges — the bounded-budget
+    variant of Ehsani et al. / Bilò et al. (both cited in Section 1).
+    [allowed] restricts purchasable targets (view coordinates) — the
+    host-graph variant of Bilò et al. 2012b / Demaine et al. 2009.
+    @raise Invalid_argument when the player's *current* strategy already
+    violates a restriction (the caller owns that invariant). *)
+val compute :
+  ?solver:[ `Exact | `Budgeted of int | `Greedy ] ->
+  ?max_edges:int ->
+  ?allowed:int list ->
+  alpha:float ->
+  View.t ->
+  outcome
+
+(** [local_search ~alpha view] is a *better-response* engine: steepest
+    descent over single-edge additions, deletions and swaps starting from
+    the current strategy. Cheap (no dominating-set solves) and a model of
+    boundedly rational play, but only a local optimum — the dynamics it
+    induces can stop at profiles that are not LKEs. *)
+val local_search : alpha:float -> View.t -> outcome
+
+(** [improving ?solver ?epsilon ~alpha view] is [Some outcome] iff the
+    best response is strictly better than the current strategy by more
+    than [epsilon] (default 1e-9). *)
+val improving :
+  ?solver:[ `Exact | `Budgeted of int | `Greedy ] ->
+  ?epsilon:float ->
+  alpha:float ->
+  View.t ->
+  outcome option

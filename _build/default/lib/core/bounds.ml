@@ -1,0 +1,234 @@
+(* All Θ/O/Ω constants are 1; log is base 2. Validity cutoffs that the
+   paper states asymptotically (k = o(log n), "for a suitable constant c")
+   are realized as: o(log n) ↦ k ≤ (log₂ n)/2, and c ↦ 1. *)
+
+let log2 x = log x /. log 2.0
+
+type max_region = Max_full_knowledge | Max_region of int
+
+let lb_cycle ~n ~alpha = float_of_int n /. (1.0 +. alpha)
+
+let lb_girth ~n ~k =
+  if k < 2 then invalid_arg "Bounds.lb_girth: need k >= 2";
+  float_of_int n ** (1.0 /. float_of_int ((2 * k) - 2))
+
+let lb_torus ~n ~alpha ~k =
+  (* Theorem 3.12 with ℓ = α: n / (α · 2^{(log(k/α)+3)·log(k/α)}). *)
+  let q = log2 (float_of_int k /. alpha) in
+  let q = max q 0.0 in
+  float_of_int n /. (alpha *. (2.0 ** ((q +. 3.0) *. q)))
+
+(* Validity predicates. *)
+let cycle_valid ~alpha ~k = alpha >= float_of_int (k - 1)
+let girth_valid ~n ~k = k >= 2 && float_of_int k <= log2 (float_of_int n) /. 2.0
+
+let torus_valid ~n ~alpha ~k =
+  alpha > 1.0
+  && alpha <= float_of_int k
+  && float_of_int k <= 2.0 ** (sqrt (log2 (float_of_int n)) -. 3.0)
+
+(* Corollary 3.14: for α ≤ k−1 and k above the smallest of the three
+   thresholds, every player sees the whole equilibrium graph. *)
+let max_full_knowledge ~n ~alpha ~k =
+  k >= n
+  || alpha <= float_of_int (k - 1)
+     &&
+     let nf = float_of_int n in
+     let kf = float_of_int k in
+     let threshold =
+       min nf
+         (min ((nf *. alpha *. alpha) ** (1.0 /. 3.0))
+            (alpha *. (4.0 ** sqrt (log2 nf))))
+     in
+     kf > threshold
+
+let max_region ~n ~alpha ~k =
+  if max_full_knowledge ~n ~alpha ~k then Max_full_knowledge
+  else begin
+    let nf = float_of_int n in
+    let kf = float_of_int k in
+    let logn = log2 nf in
+    if alpha >= kf -. 1.0 then
+      (* Below the k = α+1 line: regions ⑥, ②, ③. *)
+      if alpha <= logn then Max_region 6
+      else if girth_valid ~n ~k && 1.0 +. alpha >= nf ** (1.0 -. (1.0 /. float_of_int (max 1 ((2 * k) - 2)))) then
+        Max_region 3
+      else Max_region 2
+    else if kf > 2.0 ** sqrt logn then
+      (* Too local for any of our lower bounds: ⑦ (small α) or ⑧. *)
+      if alpha <= logn then Max_region 7 else Max_region 8
+    else if alpha <= logn then
+      if girth_valid ~n ~k then Max_region 1 else Max_region 4
+    else Max_region 5
+  end
+
+let max_lower_bound ~n ~alpha ~k =
+  let candidates =
+    List.concat
+      [
+        (if cycle_valid ~alpha ~k then [ ("cycle (Lemma 3.1)", lb_cycle ~n ~alpha) ]
+         else []);
+        (if girth_valid ~n ~k then [ ("girth (Lemma 3.2)", lb_girth ~n ~k) ] else []);
+        (if torus_valid ~n ~alpha ~k then
+           [ ("torus (Theorem 3.12)", lb_torus ~n ~alpha ~k) ]
+         else []);
+      ]
+  in
+  List.fold_left
+    (fun acc (name, v) ->
+      match acc with
+      | Some (_, best) when best >= v -> acc
+      | _ -> Some (name, v))
+    None candidates
+
+let max_upper_bound ~n ~alpha ~k =
+  let nf = float_of_int n in
+  let kf = float_of_int k in
+  let density_term = nf ** (2.0 /. min alpha (2.0 *. kf)) in
+  if alpha >= kf -. 1.0 then
+    (* Theorem 3.18, first branch: diameter can reach Θ(n). *)
+    density_term +. (nf /. (1.0 +. alpha))
+  else begin
+    let q = max (log2 (kf /. alpha)) 0.0 in
+    let diameter_term =
+      min (nf *. alpha /. (kf *. kf)) (nf *. kf /. (alpha *. (2.0 ** (q *. q))))
+    in
+    (nf ** (2.0 /. alpha)) +. diameter_term
+  end
+
+type sum_region = Sum_full_knowledge | Sum_strong_lb | Sum_girth_lb | Sum_open
+
+let sum_full_knowledge ~alpha ~k = float_of_int k > 1.0 +. (2.0 *. sqrt alpha)
+
+let sum_region ~n ~alpha ~k =
+  if sum_full_knowledge ~alpha ~k then Sum_full_knowledge
+  else if alpha >= float_of_int (k * n) && k >= 2 then Sum_girth_lb
+  else if float_of_int k <= (alpha /. 4.0) ** (1.0 /. 3.0) then Sum_strong_lb
+  else Sum_open
+
+let lb_sum_torus ~n ~alpha ~k =
+  let nf = float_of_int n and kf = float_of_int k in
+  if alpha <= nf then nf /. kf else 1.0 +. (nf *. nf /. (kf *. alpha))
+
+let lb_sum_girth ~n ~k = lb_girth ~n ~k
+
+let sum_lower_bound ~n ~alpha ~k =
+  let nf = float_of_int n and kf = float_of_int k in
+  let torus_ok =
+    alpha >= 4.0 *. (kf ** 3.0) && kf <= sqrt (2.0 *. nf /. 3.0) -. 4.0
+  in
+  let girth_ok = alpha >= kf *. nf && k >= 2 in
+  let candidates =
+    List.concat
+      [
+        (if torus_ok then [ ("torus (Theorem 4.2)", lb_sum_torus ~n ~alpha ~k) ]
+         else []);
+        (if girth_ok then [ ("girth (Theorem 4.3)", lb_sum_girth ~n ~k) ] else []);
+      ]
+  in
+  List.fold_left
+    (fun acc (name, v) ->
+      match acc with
+      | Some (_, best) when best >= v -> acc
+      | _ -> Some (name, v))
+    None candidates
+
+let equilibrium_girth_bound ~alpha ~k = 2.0 +. Float.min alpha (2.0 *. float_of_int k)
+
+let check_equilibrium_girth g ~alpha ~k =
+  let bound = equilibrium_girth_bound ~alpha ~k in
+  match Ncg_graph.Girth.girth g with
+  | None -> true
+  | Some girth -> float_of_int girth >= bound
+
+let equilibrium_edge_bound ~n ~alpha ~k =
+  let nf = float_of_int n in
+  nf ** (1.0 +. (2.0 /. Float.min alpha (2.0 *. float_of_int k)))
+
+let ball_growth_diagnostics g ~alpha ~k =
+  let n = Ncg_graph.Graph.order g in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    let dist = Ncg_graph.Bfs.distances_within g u ~radius:k in
+    let view_ecc = Array.fold_left max 0 dist in
+    if view_ecc = k then
+      for i = 1 to k / 2 do
+        let layer =
+          Ncg_util.Arrayx.count (fun d -> d = i) dist
+        in
+        acc := (u, i, layer, float_of_int (i - 1) /. alpha) :: !acc
+      done
+  done;
+  List.rev !acc
+
+let check_ball_growth g ~alpha ~k =
+  List.for_all
+    (fun (_, _, layer, required) -> float_of_int layer >= required -. 1e-9)
+    (ball_growth_diagnostics g ~alpha ~k)
+
+let fig7_trend ~n ~alpha ~anchor_k ~anchor_value k =
+  (* Once alpha >= 2 and n are fixed, the paper reduces its upper bound to
+     f(k) = k / 2^{log^2 k} (Section 5.4) — the red benchmark curve of
+     Figure 7. n and alpha only matter through the anchor. *)
+  ignore n;
+  ignore alpha;
+  let f k =
+    let kf = float_of_int k in
+    kf /. (2.0 ** (log2 kf ** 2.0))
+  in
+  let base = f anchor_k in
+  if base = 0.0 then nan else anchor_value *. f k /. base
+
+let region_to_string = function
+  | Max_full_knowledge -> "NE==LKE"
+  | Max_region i -> Printf.sprintf "region %d" i
+
+let sum_region_to_string = function
+  | Sum_full_knowledge -> "NE==LKE"
+  | Sum_strong_lb -> "strong-LB"
+  | Sum_girth_lb -> "girth-LB"
+  | Sum_open -> "open"
+
+let max_table ~n ~alphas ~ks =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "MaxNCG PoA bounds, n = %d (constants set to 1)\n" n);
+  Buffer.add_string buf
+    "alpha      k        region      lower-bound              upper-bound\n";
+  List.iter
+    (fun alpha ->
+      List.iter
+        (fun k ->
+          let region = region_to_string (max_region ~n ~alpha ~k) in
+          let lb =
+            match max_lower_bound ~n ~alpha ~k with
+            | Some (name, v) -> Printf.sprintf "%.3g  [%s]" v name
+            | None -> "-"
+          in
+          let ub = max_upper_bound ~n ~alpha ~k in
+          Buffer.add_string buf
+            (Printf.sprintf "%-10.3g %-8d %-11s %-25s %.3g\n" alpha k region lb ub))
+        ks)
+    alphas;
+  Buffer.contents buf
+
+let sum_table ~n ~alphas ~ks =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "SumNCG PoA bounds, n = %d (constants set to 1)\n" n);
+  Buffer.add_string buf "alpha      k        region      lower-bound\n";
+  List.iter
+    (fun alpha ->
+      List.iter
+        (fun k ->
+          let region = sum_region_to_string (sum_region ~n ~alpha ~k) in
+          let lb =
+            match sum_lower_bound ~n ~alpha ~k with
+            | Some (name, v) -> Printf.sprintf "%.3g  [%s]" v name
+            | None -> "-"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%-10.3g %-8d %-11s %s\n" alpha k region lb))
+        ks)
+    alphas;
+  Buffer.contents buf

@@ -1,0 +1,100 @@
+(** The paper's theoretical PoA bounds, as executable formulas.
+
+    Every asymptotic bound of Sections 3 and 4 is implemented with its
+    hidden constants set to 1, so the values are trend references (the red
+    curve of Figure 7, the per-region entries of Figures 3 and 4), not
+    certified inequalities. Region classification follows the geometry of
+    Figure 3 (MaxNCG) and Figure 4 (SumNCG); the o(·)/Θ(·) boundaries are
+    realized with explicit, documented cutoffs. *)
+
+(** {1 MaxNCG (Figure 3)} *)
+
+type max_region =
+  | Max_full_knowledge  (** gray region: LKE ≡ NE (Corollary 3.14) *)
+  | Max_region of int  (** numbered region ① … ⑧ of Figure 3 *)
+
+val max_region : n:int -> alpha:float -> k:int -> max_region
+
+(** Lemma 3.1: Ω(n / (1+α)), valid for α ≥ k−1. *)
+val lb_cycle : n:int -> alpha:float -> float
+
+(** Lemma 3.2: Ω(n^{1/(2k−2)}), valid for 2 ≤ k = o(log n). *)
+val lb_girth : n:int -> k:int -> float
+
+(** Theorem 3.12: Ω(n / (α·2^{(log(k/α)+3)·log(k/α)})), valid for
+    1 < α ≤ k ≤ 2^{√(log n) − 3}. *)
+val lb_torus : n:int -> alpha:float -> k:int -> float
+
+(** The best applicable lower bound at (n, α, k) with its name, honouring
+    each bound's validity range; [None] when none applies (regions ⑦⑧ and
+    the full-knowledge region, where the trivial bound is meant). *)
+val max_lower_bound : n:int -> alpha:float -> k:int -> (string * float) option
+
+(** Theorem 3.18 upper bound (both branches, α ≥ k−1 and α ≤ k−1). *)
+val max_upper_bound : n:int -> alpha:float -> k:int -> float
+
+(** {1 SumNCG (Figure 4)} *)
+
+type sum_region =
+  | Sum_full_knowledge  (** k > 1 + 2√α: LKE ≡ NE (Theorem 4.4) *)
+  | Sum_strong_lb  (** k ≤ (α/4)^{1/3}: Theorem 4.2 applies *)
+  | Sum_girth_lb  (** α ≥ kn, k ≥ 2: Theorem 4.3 applies *)
+  | Sum_open  (** between Θ(∛α) and Θ(√α): open in the paper *)
+
+val sum_region : n:int -> alpha:float -> k:int -> sum_region
+
+(** Theorem 4.2: Ω(n/k) for α ≤ n, Ω(1 + n²/(kα)) for α > n;
+    valid for α ≥ 4k³ and k ≤ √(2n/3) − 4. *)
+val lb_sum_torus : n:int -> alpha:float -> k:int -> float
+
+(** Theorem 4.3: Ω(n^{1/(2k−2)}), valid for α ≥ kn, k ≥ 2. *)
+val lb_sum_girth : n:int -> k:int -> float
+
+val sum_lower_bound : n:int -> alpha:float -> k:int -> (string * float) option
+
+(** {1 Structural invariants of equilibrium graphs} *)
+
+(** Lemma 3.17's girth threshold: every MaxNCG LKE graph has girth at
+    least [2 + min(α, 2k)] (a shorter cycle lets its seeing owner drop an
+    edge and save α at a distance penalty below α). *)
+val equilibrium_girth_bound : alpha:float -> k:int -> float
+
+(** [check_equilibrium_girth g ~alpha ~k] — does [g] satisfy the Lemma
+    3.17 girth invariant? Must hold for every LKE the engine certifies or
+    the dynamics produce. *)
+val check_equilibrium_girth : Ncg_graph.Graph.t -> alpha:float -> k:int -> bool
+
+(** Lemma 3.17's edge-count consequence: O(n^{1 + 2/min(α,2k)}) edges
+    (constant = 1). *)
+val equilibrium_edge_bound : n:int -> alpha:float -> k:int -> float
+
+(** Lemma 3.13's layer-growth machinery, in its safe constant-exact form:
+    in a MaxNCG LKE, a player u whose view-eccentricity equals k could,
+    by buying edges to her entire i-th layer L_i (i ≤ k/2, all visible),
+    cut her view-eccentricity to at most 1 + k − i; stability therefore
+    forces α·|L_i| ≥ i − 1. [check_ball_growth g ~alpha ~k] verifies
+    |L_i| ≥ (i−1)/α for every such player and layer — a falsifiable
+    invariant of every equilibrium this library produces. *)
+val check_ball_growth : Ncg_graph.Graph.t -> alpha:float -> k:int -> bool
+
+(** The raw diagnostic behind {!check_ball_growth}: for each player with
+    view-eccentricity k, the list of (layer index, measured |L_i|,
+    required lower bound). *)
+val ball_growth_diagnostics :
+  Ncg_graph.Graph.t -> alpha:float -> k:int -> (int * int * int * float) list
+
+(** {1 Trend curves and tables} *)
+
+(** The Figure 7 benchmark: the α ≤ k−1 upper-bound expression evaluated
+    at fixed n and α as a function of k, scaled so that its value at
+    [anchor_k] equals [anchor_value] (the paper overlays the trend on the
+    measured series). *)
+val fig7_trend :
+  n:int -> alpha:float -> anchor_k:int -> anchor_value:float -> int -> float
+
+(** Human-readable bound table for a grid of (α, k) pairs at given n:
+    region, lower bound, upper bound per row (Figure 3 as text). *)
+val max_table : n:int -> alphas:float list -> ks:int list -> string
+
+(** Figure 4 as text. *)
+val sum_table : n:int -> alphas:float list -> ks:int list -> string

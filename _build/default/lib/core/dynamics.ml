@@ -1,0 +1,140 @@
+module Graph = Ncg_graph.Graph
+module Bfs = Ncg_graph.Bfs
+
+type config = {
+  variant : Game.variant;
+  alpha : float;
+  k : int;
+  solver : [ `Exact | `Budgeted of int | `Greedy ];
+  response : [ `Best | `Local_moves ];
+  sum_mode : [ `Exact of int | `Branch_and_bound of int | `Local_search ];
+  order : [ `Round_robin | `Random_sweep of int ];
+  max_rounds : int;
+  epsilon : float;
+  collect_features : bool;
+}
+
+let default_config ~alpha ~k =
+  {
+    variant = Game.Max;
+    alpha;
+    k;
+    solver = `Exact;
+    response = `Best;
+    sum_mode = `Local_search;
+    order = `Round_robin;
+    max_rounds = 200;
+    epsilon = 1e-9;
+    collect_features = true;
+  }
+
+type outcome = Converged of int | Cycle_detected of int | Max_rounds_exceeded
+
+type result = {
+  outcome : outcome;
+  final : Strategy.t;
+  rounds : int;
+  total_moves : int;
+  features : Features.t list;
+  trace : Trace.t;
+}
+
+let best_response_step config strategy g u =
+  let view = View.extract strategy g ~k:config.k u in
+  let new_targets =
+    match config.variant with
+    | Game.Max -> begin
+        match config.response with
+        | `Best ->
+            Option.map
+              (fun (o : Best_response.outcome) -> o.Best_response.targets)
+              (Best_response.improving ~solver:config.solver
+                 ~epsilon:config.epsilon ~alpha:config.alpha view)
+        | `Local_moves ->
+            let o = Best_response.local_search ~alpha:config.alpha view in
+            if
+              o.Best_response.cost
+              < Best_response.current_cost ~alpha:config.alpha view
+                -. config.epsilon
+            then Some o.Best_response.targets
+            else None
+      end
+    | Game.Sum ->
+        Option.map
+          (fun (o : Sum_best_response.outcome) -> o.Sum_best_response.targets)
+          (Sum_best_response.improving ~epsilon:config.epsilon
+             ~alpha:config.alpha ~mode:config.sum_mode view)
+  in
+  Option.map
+    (fun targets -> Strategy.with_owned strategy u (View.to_host view targets))
+    new_targets
+
+let run config strategy0 =
+  let n = Strategy.n_players strategy0 in
+  let g0 = Strategy.graph strategy0 in
+  if not (Bfs.is_connected g0) then
+    invalid_arg "Dynamics.run: initial network must be connected";
+  let detect_cycles = config.order = `Round_robin in
+  let sweep_rng =
+    match config.order with
+    | `Round_robin -> None
+    | `Random_sweep seed -> Some (Ncg_prng.Rng.create seed)
+  in
+  let player_order = Array.init n Fun.id in
+  let seen : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace seen (Strategy.to_key strategy0) 0;
+  let strategy = ref strategy0 in
+  let g = ref g0 in
+  let features = ref [] in
+  let total_moves = ref 0 in
+  let moves = ref [] in
+  let outcome = ref None in
+  let round = ref 0 in
+  while !outcome = None && !round < config.max_rounds do
+    incr round;
+    (match sweep_rng with
+    | Some rng -> Ncg_prng.Rng.shuffle rng player_order
+    | None -> ());
+    let changes = ref 0 in
+    Array.iter
+      (fun u ->
+        match best_response_step config !strategy !g u with
+        | Some strategy' ->
+            moves :=
+              {
+                Trace.round = !round;
+                player = u;
+                before = Strategy.owned !strategy u;
+                after = Strategy.owned strategy' u;
+              }
+              :: !moves;
+            strategy := strategy';
+            g := Strategy.graph strategy';
+            incr changes;
+            incr total_moves
+        | None -> ())
+      player_order;
+    if config.collect_features then
+      features :=
+        Features.collect config.variant ~alpha:config.alpha ~k:config.k
+          ~round:!round ~changes:!changes !strategy !g
+        :: !features;
+    if !changes = 0 then outcome := Some (Converged !round)
+    else if detect_cycles then begin
+      let key = Strategy.to_key !strategy in
+      match Hashtbl.find_opt seen key with
+      | Some _ ->
+          (* Same end-of-round profile as before: under round-robin the
+             continuation is deterministic, so the dynamics cycles. *)
+          outcome := Some (Cycle_detected !round)
+      | None -> Hashtbl.replace seen key !round
+    end
+  done;
+  {
+    outcome = (match !outcome with Some o -> o | None -> Max_rounds_exceeded);
+    final = !strategy;
+    rounds = !round;
+    total_moves = !total_moves;
+    features = List.rev !features;
+    trace = { Trace.n; moves = List.rev !moves };
+  }

@@ -1,0 +1,62 @@
+(** Round-robin best-response dynamics (Section 5.1 of the paper).
+
+    Players move in turns; a round considers every player once; a player
+    moves only when her engine finds a strictly improving deviation
+    (worst-case, view-evaluated). The process stops at the first round
+    with no change, or — under the deterministic round-robin order — when
+    the profile at the end of a round repeats an earlier end-of-round
+    profile, which certifies a best-response cycle (the paper's
+    divergence criterion), or after [max_rounds]. *)
+
+type config = {
+  variant : Game.variant;
+  alpha : float;
+  k : int;  (** use a huge k (e.g. 1000) for the full-knowledge game *)
+  solver : [ `Exact | `Budgeted of int | `Greedy ];
+      (** MaxNCG best-response engine (used when [response = `Best]) *)
+  response : [ `Best | `Local_moves ];
+      (** [`Best] = exact best response (the paper's setting);
+          [`Local_moves] = steepest single-edge add/drop/swap — a
+          better-response / bounded-rationality variant. Max only;
+          SumNCG always follows [sum_mode]. *)
+  sum_mode : [ `Exact of int | `Branch_and_bound of int | `Local_search ];
+      (** SumNCG best-response engine (ignored under Max) *)
+  order : [ `Round_robin | `Random_sweep of int ];
+      (** player order within a round; [`Random_sweep seed] reshuffles
+          every round (cycle detection is disabled — a repeated profile
+          proves nothing under a random order) *)
+  max_rounds : int;
+  epsilon : float;  (** strict-improvement threshold *)
+  collect_features : bool;  (** record {!Features.t} after every round *)
+}
+
+(** Sensible defaults: Max variant, exact best responses, round-robin,
+    200 rounds, features on. *)
+val default_config : alpha:float -> k:int -> config
+
+type outcome =
+  | Converged of int  (** equilibrium reached after this many rounds *)
+  | Cycle_detected of int  (** end-of-round profile repeated this round *)
+  | Max_rounds_exceeded
+
+type result = {
+  outcome : outcome;
+  final : Strategy.t;
+  rounds : int;  (** rounds fully executed *)
+  total_moves : int;  (** strategy changes over the whole run *)
+  features : Features.t list;  (** chronological, one per executed round *)
+  trace : Trace.t;
+      (** every accepted move; [Trace.replay] on the initial profile
+          reproduces [final] *)
+}
+
+(** [run config strategy] executes the dynamics from the initial profile.
+    @raise Invalid_argument if the initial network is disconnected (the
+    paper assumes players start on a connected network). *)
+val run : config -> Strategy.t -> result
+
+(** [best_response_step config strategy g u] is [Some] updated profile if
+    player [u] has an improving deviation, [None] otherwise. Exposed for
+    step-by-step inspection in examples. *)
+val best_response_step :
+  config -> Strategy.t -> Ncg_graph.Graph.t -> int -> Strategy.t option

@@ -1,0 +1,45 @@
+(** Exhaustive equilibrium analysis of tiny games.
+
+    For very small player counts the entire profile space — each player
+    independently picks any subset of the other players — can be walked,
+    every Nash Equilibrium and every Local Knowledge Equilibrium
+    identified, and the *exact* Price of Anarchy computed. This gives
+    machine-checked instances of the paper's structural claims:
+
+    - every NE is an LKE (the LKE deviation test is weaker), hence
+      PoA_LKE ≥ PoA_NE (Section 1, "the PoA in our model can only be
+      worse");
+    - for k large enough the two equilibrium sets coincide
+      (Corollary 3.14 / Theorem 4.4 in miniature).
+
+    The profile space has 2^{n(n-1)} points, so this is for n ≤ 4 (and a
+    patient n = 5); the [guard] parameter refuses anything larger. *)
+
+type analysis = {
+  n : int;
+  alpha : float;
+  k : int;
+  profiles : int;  (** number of profiles examined *)
+  nash : Strategy.t list;  (** all pure Nash equilibria *)
+  lke : Strategy.t list;  (** all Local Knowledge Equilibria *)
+  optimum : float;  (** minimum social cost over all profiles *)
+  worst_nash : float option;  (** max social cost over NE, if any *)
+  worst_lke : float option;
+}
+
+(** [analyze ?guard variant ~alpha ~k ~n] walks all profiles.
+    Disconnected profiles are skipped as equilibrium candidates (their
+    cost is infinite) but still count towards [profiles]. [guard]
+    defaults to 4; pass 5 explicitly if you mean it.
+    @raise Invalid_argument if [n > guard] or [n < 2]. *)
+val analyze :
+  ?guard:int -> Game.variant -> alpha:float -> k:int -> n:int -> analysis
+
+(** Exact PoA over LKEs: worst_lke / optimum ([None] without equilibria). *)
+val poa_lke : analysis -> float option
+
+(** Exact PoA over NEs. *)
+val poa_nash : analysis -> float option
+
+(** Is every NE also an LKE? (Should always hold; exposed for tests.) *)
+val nash_subset_of_lke : analysis -> bool

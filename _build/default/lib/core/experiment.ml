@@ -1,0 +1,128 @@
+module Graph = Ncg_graph.Graph
+module Metrics = Ncg_graph.Metrics
+module Rng = Ncg_prng.Rng
+module Summary = Ncg_stats.Summary
+
+let paper_alphas =
+  [ 0.025; 0.05; 0.1; 0.2; 0.3; 0.4; 0.5; 0.7; 1.0; 1.5; 2.0; 3.0; 5.0; 7.0; 10.0 ]
+
+let paper_ks = [ 2; 3; 4; 5; 6; 7; 10; 15; 20; 25; 30; 1000 ]
+
+let initial_tree ~seed ~n =
+  let rng = Rng.create seed in
+  let g = Ncg_gen.Random_tree.generate rng n in
+  Strategy.random_orientation rng g
+
+let initial_gnp ~seed ~n ~p =
+  let rng = Rng.create seed in
+  let g = Ncg_gen.Erdos_renyi.connected rng ~n ~p ~max_attempts:10_000 in
+  Strategy.random_orientation rng g
+
+let initial_ba ~seed ~n ~m =
+  let rng = Rng.create seed in
+  let g = Ncg_gen.Barabasi_albert.generate rng ~n ~m in
+  Strategy.random_orientation rng g
+
+let initial_ws ~seed ~n ~k ~beta =
+  let rng = Rng.create seed in
+  let rec attempt tries =
+    if tries = 0 then failwith "Experiment.initial_ws: cannot get connected sample"
+    else begin
+      let g = Ncg_gen.Watts_strogatz.generate rng ~n ~k ~beta in
+      if Ncg_graph.Bfs.is_connected g then g else attempt (tries - 1)
+    end
+  in
+  Strategy.random_orientation rng (attempt 1000)
+
+type graph_stats = {
+  edges : int;
+  diameter : int;
+  max_degree : int;
+  max_bought : int;
+}
+
+let initial_stats strategy =
+  let g = Strategy.graph strategy in
+  let n = Strategy.n_players strategy in
+  let bought = Array.init n (Strategy.bought_count strategy) in
+  {
+    edges = Graph.size g;
+    diameter = (match Metrics.diameter g with Some d -> d | None -> -1);
+    max_degree = Metrics.max_degree g;
+    max_bought = Ncg_util.Arrayx.max_elt bought;
+  }
+
+type run_stats = {
+  converged : bool;
+  cycled : bool;
+  rounds : int;
+  total_moves : int;
+  quality : float;
+  unfairness : float;
+  diameter : int;
+  max_degree : int;
+  max_bought : int;
+  min_view : int;
+  avg_view : float;
+  social_cost : float;
+}
+
+let run_one (config : Dynamics.config) strategy0 =
+  let result = Dynamics.run config strategy0 in
+  let final = result.Dynamics.final in
+  let g = Strategy.graph final in
+  let n = Strategy.n_players final in
+  let bought = Array.init n (Strategy.bought_count final) in
+  let views = Features.view_sizes ~k:config.Dynamics.k g in
+  let social_cost =
+    match Game.social_cost config.Dynamics.variant ~alpha:config.Dynamics.alpha final with
+    | Some c -> c
+    | None -> nan
+  in
+  let quality =
+    social_cost
+    /. Game.social_optimum config.Dynamics.variant ~alpha:config.Dynamics.alpha ~n
+  in
+  let unfairness =
+    match
+      Game.unfairness config.Dynamics.variant ~alpha:config.Dynamics.alpha final g
+    with
+    | Some u -> u
+    | None -> nan
+  in
+  let converged, cycled, rounds =
+    match result.Dynamics.outcome with
+    | Dynamics.Converged r -> (true, false, r - 1)
+    | Dynamics.Cycle_detected r -> (false, true, r)
+    | Dynamics.Max_rounds_exceeded -> (false, false, result.Dynamics.rounds)
+  in
+  {
+    converged;
+    cycled;
+    rounds;
+    total_moves = result.Dynamics.total_moves;
+    quality;
+    unfairness;
+    diameter = (match Metrics.diameter g with Some d -> d | None -> -1);
+    max_degree = Metrics.max_degree g;
+    max_bought = Ncg_util.Arrayx.max_elt bought;
+    min_view = Ncg_util.Arrayx.min_elt views;
+    avg_view =
+      float_of_int (Ncg_util.Arrayx.sum views) /. float_of_int (Array.length views);
+    social_cost;
+  }
+
+let trials_parallel ~domains ~make_initial ~config ~trials:count ~seed =
+  Ncg_util.Parallel.init ~domains count (fun i ->
+      run_one config (make_initial ~seed:(seed + (7919 * (i + 1)))))
+
+let trials ~make_initial ~config ~trials:count ~seed =
+  trials_parallel ~domains:1 ~make_initial ~config ~trials:count ~seed
+
+let summarize f runs = Summary.of_floats (Array.of_list (List.map f runs))
+
+let fraction p runs =
+  let total = List.length runs in
+  if total = 0 then nan
+  else
+    float_of_int (List.length (List.filter p runs)) /. float_of_int total

@@ -1,0 +1,84 @@
+(** Reusable experiment harness behind Tables I–II and Figures 5–10.
+
+    Builds seeded initial configurations (uniform random trees or
+    connected G(n,p) with fair-coin edge ownership — the paper's setup),
+    runs the round-robin dynamics, and aggregates per-trial statistics
+    into mean ± 95% CI summaries. Every entry point takes a [seed];
+    trial [i] uses an independent stream split from it, so any data point
+    is reproducible in isolation. *)
+
+(** The α grid of Section 5.1. *)
+val paper_alphas : float list
+
+(** The k grid of Section 5.1; 1000 plays the full-knowledge game. *)
+val paper_ks : int list
+
+(** [initial_tree ~seed ~n] is a uniform random tree with random edge
+    ownership. *)
+val initial_tree : seed:int -> n:int -> Strategy.t
+
+(** [initial_gnp ~seed ~n ~p] resamples G(n,p) until connected, then
+    assigns random ownership. *)
+val initial_gnp : seed:int -> n:int -> p:float -> Strategy.t
+
+(** Barabási–Albert initial configuration (scale-free; always connected),
+    random ownership. Not used by the paper — an extra robustness class. *)
+val initial_ba : seed:int -> n:int -> m:int -> Strategy.t
+
+(** Watts–Strogatz initial configuration, resampled until connected. *)
+val initial_ws : seed:int -> n:int -> k:int -> beta:float -> Strategy.t
+
+(** Statistics of an initial configuration (Tables I and II). *)
+type graph_stats = {
+  edges : int;
+  diameter : int;
+  max_degree : int;
+  max_bought : int;
+}
+
+val initial_stats : Strategy.t -> graph_stats
+
+(** Per-run statistics extracted from a finished dynamics. *)
+type run_stats = {
+  converged : bool;
+  cycled : bool;
+  rounds : int;  (** rounds that performed at least one change *)
+  total_moves : int;
+  quality : float;  (** social cost / social optimum at the end *)
+  unfairness : float;
+  diameter : int;
+  max_degree : int;
+  max_bought : int;
+  min_view : int;
+  avg_view : float;
+  social_cost : float;
+}
+
+(** [run_one config strategy] runs the dynamics and summarizes. *)
+val run_one : Dynamics.config -> Strategy.t -> run_stats
+
+(** [trials ~make_initial ~config ~trials ~seed] runs several seeds
+    sequentially. *)
+val trials :
+  make_initial:(seed:int -> Strategy.t) ->
+  config:Dynamics.config ->
+  trials:int ->
+  seed:int ->
+  run_stats list
+
+(** [trials_parallel ~domains …] fans the trials out over OCaml domains.
+    Trials are independent and individually seeded, so the result list is
+    identical to {!trials} regardless of [domains]. *)
+val trials_parallel :
+  domains:int ->
+  make_initial:(seed:int -> Strategy.t) ->
+  config:Dynamics.config ->
+  trials:int ->
+  seed:int ->
+  run_stats list
+
+(** [summarize f runs] is the mean ± CI of [f] over the runs. *)
+val summarize : (run_stats -> float) -> run_stats list -> Ncg_stats.Summary.t
+
+(** Fraction of runs satisfying a predicate. *)
+val fraction : (run_stats -> bool) -> run_stats list -> float

@@ -1,0 +1,37 @@
+(** Network features collected after every round of dynamics — the raw
+    series behind Tables I–II and Figures 5–10. *)
+
+type t = {
+  round : int;
+  changes : int;  (** strategy changes performed during the round *)
+  diameter : int;  (** -1 if disconnected *)
+  social_cost : float;  (** [nan] if disconnected *)
+  max_degree : int;
+  avg_degree : float;
+  min_bought : int;
+  max_bought : int;
+  avg_bought : float;
+  min_view : int;  (** smallest |β_{G,k}(u)| over players *)
+  max_view : int;
+  avg_view : float;
+}
+
+(** [collect variant ~alpha ~k ~round ~changes strategy g] — [g] must be
+    [Strategy.graph strategy]. *)
+val collect :
+  Game.variant ->
+  alpha:float ->
+  k:int ->
+  round:int ->
+  changes:int ->
+  Strategy.t ->
+  Ncg_graph.Graph.t ->
+  t
+
+(** [view_sizes ~k g] is |β_{G,k}(u)| for every u. *)
+val view_sizes : k:int -> Ncg_graph.Graph.t -> int array
+
+(** Header and row for CSV output of a feature record. *)
+val csv_header : string
+
+val to_csv_row : t -> string

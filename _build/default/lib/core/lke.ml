@@ -1,0 +1,56 @@
+module Graph = Ncg_graph.Graph
+module Bfs = Ncg_graph.Bfs
+
+let delta_max ~alpha (v : View.t) targets =
+  let h' = View.with_strategy v targets in
+  match Bfs.eccentricity h' v.View.player with
+  | None -> infinity
+  | Some ecc' ->
+      let ecc = Best_response.current_usage v in
+      let d_edges = List.length targets - List.length v.View.owned in
+      (alpha *. float_of_int d_edges) +. float_of_int (ecc' - ecc)
+
+let delta_sum ~alpha (v : View.t) targets =
+  match Sum_best_response.cost_on_view ~alpha v targets with
+  | None -> infinity
+  | Some cost' ->
+      if not (Sum_best_response.admissible v targets) then infinity
+      else cost' -. Sum_best_response.current_cost ~alpha v
+
+let default_players strategy = List.init (Strategy.n_players strategy) Fun.id
+
+let violations_max ?solver ?epsilon ?players ~alpha ~k strategy =
+  let g = Strategy.graph strategy in
+  let players = match players with Some p -> p | None -> default_players strategy in
+  List.filter_map
+    (fun u ->
+      let view = View.extract strategy g ~k u in
+      Option.map
+        (fun outcome -> (u, outcome))
+        (Best_response.improving ?solver ?epsilon ~alpha view))
+    players
+
+let is_lke_max ?solver ?epsilon ?players ~alpha ~k strategy =
+  violations_max ?solver ?epsilon ?players ~alpha ~k strategy = []
+
+let is_lke_sum_exact ?max_view ?(epsilon = 1e-9) ?players ~alpha ~k strategy =
+  let g = Strategy.graph strategy in
+  let players = match players with Some p -> p | None -> default_players strategy in
+  List.for_all
+    (fun u ->
+      let view = View.extract strategy g ~k u in
+      let best = Sum_best_response.exact ?max_view ~alpha view in
+      best.Sum_best_response.cost
+      >= Sum_best_response.current_cost ~alpha view -. epsilon)
+    players
+
+let is_single_move_stable_sum ?(epsilon = 1e-9) ?players ~alpha ~k strategy =
+  let g = Strategy.graph strategy in
+  let players = match players with Some p -> p | None -> default_players strategy in
+  List.for_all
+    (fun u ->
+      let view = View.extract strategy g ~k u in
+      let best = Sum_best_response.local_search ~alpha view in
+      best.Sum_best_response.cost
+      >= Sum_best_response.current_cost ~alpha view -. epsilon)
+    players

@@ -1,0 +1,68 @@
+(** Local Knowledge Equilibrium (LKE) — the paper's solution concept.
+
+    A profile σ̄ is an LKE when for every player u and every alternative
+    strategy σ_u, the worst-case cost difference Δ(σ̄_u, σ_u) over all
+    networks realizable given u's view is non-negative (Eq. (3)).
+    Propositions 2.1 and 2.2 turn the quantification over infinitely many
+    realizable networks into finite checks on the view, which is what this
+    module implements. *)
+
+(** [delta_max ~alpha view targets] is Δ(σ_u, σ′_u) for MaxNCG: by
+    Proposition 2.1 it equals
+    α(|σ′|−|σ|) + ecc_{H′}(u) − ecc_H(u),
+    with [infinity] when the deviation disconnects the view. *)
+val delta_max : alpha:float -> View.t -> int list -> float
+
+(** [delta_sum ~alpha view targets] is Δ(σ_u, σ′_u) for SumNCG: by
+    Proposition 2.2, [infinity] when the deviation pushes a frontier
+    vertex beyond distance k (unboundedly many invisible vertices could
+    sit behind it) or disconnects the view; otherwise the cost difference
+    on the view. *)
+val delta_sum : alpha:float -> View.t -> int list -> float
+
+(** [is_lke_max ?solver ?epsilon ~alpha ~k strategy] — no player has a
+    deviation with negative Δ. Exact when [solver = `Exact] (default). *)
+val is_lke_max :
+  ?solver:[ `Exact | `Budgeted of int | `Greedy ] ->
+  ?epsilon:float ->
+  ?players:int list ->
+  alpha:float ->
+  k:int ->
+  Strategy.t ->
+  bool
+
+(** The players with an improving MaxNCG deviation, with their best
+    responses. Empty iff LKE. [players] restricts the check (useful on
+    vertex-transitive constructions where one orbit representative
+    suffices). *)
+val violations_max :
+  ?solver:[ `Exact | `Budgeted of int | `Greedy ] ->
+  ?epsilon:float ->
+  ?players:int list ->
+  alpha:float ->
+  k:int ->
+  Strategy.t ->
+  (int * Best_response.outcome) list
+
+(** Exact SumNCG LKE check by exhaustive search over every player's view.
+    @raise Invalid_argument when some view exceeds [max_view] vertices
+    (default 16 non-player vertices). *)
+val is_lke_sum_exact :
+  ?max_view:int ->
+  ?epsilon:float ->
+  ?players:int list ->
+  alpha:float ->
+  k:int ->
+  Strategy.t ->
+  bool
+
+(** Necessary condition for a SumNCG LKE that scales to large views: no
+    admissible single-edge addition, deletion or swap improves any player.
+    (A profile failing this is certainly not an LKE.) *)
+val is_single_move_stable_sum :
+  ?epsilon:float ->
+  ?players:int list ->
+  alpha:float ->
+  k:int ->
+  Strategy.t ->
+  bool

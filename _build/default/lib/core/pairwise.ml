@@ -1,0 +1,80 @@
+module Graph = Ncg_graph.Graph
+module Bfs = Ncg_graph.Bfs
+
+type costs = { activation : int -> int -> float }
+
+let uniform_costs ~alpha = { activation = (fun _ _ -> alpha) }
+
+let player_cost costs g i =
+  Option.map
+    (fun dist ->
+      let building =
+        Array.fold_left ( +. ) 0.0
+          (Array.map (fun j -> costs.activation i j) (Graph.neighbors g i))
+      in
+      building +. float_of_int dist)
+    (Bfs.sum_distances g i)
+
+let social_cost costs g =
+  let n = Graph.order g in
+  let rec go i acc =
+    if i >= n then Some acc
+    else begin
+      match player_cost costs g i with
+      | Some c -> go (i + 1) (acc +. c)
+      | None -> None
+    end
+  in
+  go 0 0.0
+
+type instability = Wants_to_cut of int * int | Wants_to_link of int * int
+
+let cost_or_inf costs g i =
+  match player_cost costs g i with Some c -> c | None -> infinity
+
+let instabilities costs g =
+  let n = Graph.order g in
+  let acc = ref [] in
+  (* Unilateral cuts. *)
+  Graph.iter_edges
+    (fun i j ->
+      let cut = Graph.of_edges ~n (List.filter (fun e -> e <> (i, j)) (Graph.edges g)) in
+      let test a =
+        if cost_or_inf costs cut a < cost_or_inf costs g a -. 1e-9 then
+          acc := Wants_to_cut (a, (if a = i then j else i)) :: !acc
+      in
+      test i;
+      test j)
+    g;
+  (* Bilateral additions. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (Graph.mem_edge g i j) then begin
+        let linked = Graph.add_edges g [ (i, j) ] in
+        let ci = cost_or_inf costs g i and cj = cost_or_inf costs g j in
+        let ci' = cost_or_inf costs linked i and cj' = cost_or_inf costs linked j in
+        let strict a b = a < b -. 1e-9 in
+        let weak a b = a <= b +. 1e-9 in
+        if (strict ci' ci && weak cj' cj) || (strict cj' cj && weak ci' ci) then
+          acc := Wants_to_link (i, j) :: !acc
+      end
+    done
+  done;
+  List.rev !acc
+
+let is_pairwise_stable costs g = instabilities costs g = []
+
+let improve ?(max_steps = 1000) costs g =
+  let rec go g steps =
+    if steps >= max_steps then (g, steps)
+    else begin
+      match instabilities costs g with
+      | [] -> (g, steps)
+      | Wants_to_cut (a, b) :: _ ->
+          let n = Graph.order g in
+          let e = (min a b, max a b) in
+          go (Graph.of_edges ~n (List.filter (( <> ) e) (Graph.edges g))) (steps + 1)
+      | Wants_to_link (i, j) :: _ -> go (Graph.add_edges g [ (i, j) ]) (steps + 1)
+    end
+  in
+  go g 0

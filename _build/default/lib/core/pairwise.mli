@@ -1,0 +1,50 @@
+(** The original network creation model of Jackson & Wolinsky (1996), as
+    described in the paper's introduction: forming an edge (i, j) needs
+    the {e consent of both} endpoints (each paying her own activation
+    cost c_ij resp. c_ji), while severance is unilateral; the routing
+    cost is the sum of distances. The matching solution concept is
+    {e pairwise stability}:
+
+    - no player strictly gains by deleting one of her incident edges, and
+    - no pair of non-adjacent players can add their edge so that one
+      strictly gains and the other does not lose.
+
+    This module provides the cost model and the stability check as a
+    full-knowledge baseline next to the paper's LKE machinery; it also
+    generalizes the α-uniform SumNCG cost ({!uniform_costs}). The network
+    here is undirected with symmetric consent, so a configuration is just
+    a {!Ncg_graph.Graph.t} plus the cost matrix. *)
+
+type costs = {
+  activation : int -> int -> float;
+      (** [activation i j] — what player [i] pays for edge (i, j). Needs
+          only be defined for [i <> j]; not necessarily symmetric. *)
+}
+
+(** The uniform cost matrix c_ij = α (Fabrikant et al.'s simplification). *)
+val uniform_costs : alpha:float -> costs
+
+(** [player_cost costs g i] = Σ_{j adjacent} activation i j + Σ_j d(i,j);
+    [None] when [i] cannot reach everyone. *)
+val player_cost : costs -> Ncg_graph.Graph.t -> int -> float option
+
+(** [social_cost costs g] — sum over players; [None] if disconnected. *)
+val social_cost : costs -> Ncg_graph.Graph.t -> float option
+
+type instability =
+  | Wants_to_cut of int * int  (** player (fst) strictly gains by cutting *)
+  | Wants_to_link of int * int
+      (** adding the edge strictly helps one endpoint and does not hurt
+          the other *)
+
+(** [instabilities costs g] — all violations of pairwise stability.
+    Deviations that disconnect the network count as infinitely bad for
+    the cutter, hence never chosen. *)
+val instabilities : costs -> Ncg_graph.Graph.t -> instability list
+
+val is_pairwise_stable : costs -> Ncg_graph.Graph.t -> bool
+
+(** Greedy improving dynamics: repeatedly apply the first instability
+    (cut or link) until stable or [max_steps]. Returns the final network
+    and the number of steps taken. *)
+val improve : ?max_steps:int -> costs -> Ncg_graph.Graph.t -> Ncg_graph.Graph.t * int

@@ -1,0 +1,57 @@
+module Graph = Ncg_graph.Graph
+module Subgraph = Ncg_graph.Subgraph
+module Rng = Ncg_prng.Rng
+
+type t = { graph : Graph.t; view_size : int }
+
+let extend rng (v : View.t) ~extra =
+  let base = View.size v in
+  if extra = 0 then { graph = v.View.graph; view_size = base }
+  else begin
+    let frontier = Array.of_list (View.frontier v) in
+    if Array.length frontier = 0 then
+      invalid_arg "Realizable.extend: view has no frontier";
+    let edges = ref (Graph.edges v.View.graph) in
+    (* Each invisible vertex attaches to a random frontier vertex or to an
+       earlier invisible vertex: distance from the player stays > k. *)
+    for w = base to base + extra - 1 do
+      let anchor =
+        if w > base && Rng.bool rng then Rng.int_in_range rng ~lo:base ~hi:(w - 1)
+        else frontier.(Rng.int rng (Array.length frontier))
+      in
+      edges := (w, anchor) :: !edges;
+      (* Occasional extra edge for denser invisible regions. *)
+      if Rng.bernoulli rng 0.3 then begin
+        let other =
+          if w > base && Rng.bool rng then Rng.int_in_range rng ~lo:base ~hi:(w - 1)
+          else frontier.(Rng.int rng (Array.length frontier))
+        in
+        if other <> w then edges := (w, other) :: !edges
+      end
+    done;
+    { graph = Graph.of_edges ~n:(base + extra) !edges; view_size = base }
+  end
+
+let attach_chain (v : View.t) ~anchor ~length =
+  if not (List.mem anchor (View.frontier v)) then
+    invalid_arg "Realizable.attach_chain: anchor must be a frontier vertex";
+  let base = View.size v in
+  let edges = ref (Graph.edges v.View.graph) in
+  let prev = ref anchor in
+  for w = base to base + length - 1 do
+    edges := (!prev, w) :: !edges;
+    prev := w
+  done;
+  { graph = Graph.of_edges ~n:(base + length) !edges; view_size = base }
+
+let is_realizable (v : View.t) g =
+  let base = View.size v in
+  Graph.order g >= base
+  &&
+  let ball, mapping = Subgraph.ball_induced g v.View.player ~radius:v.View.k in
+  (* The ball must be exactly the view's vertex set (identity renaming,
+     since view vertices come first and keep their indices). *)
+  Array.length mapping.Subgraph.to_host = base
+  && Array.for_all (fun i -> mapping.Subgraph.to_host.(i) = i)
+       (Array.init (Array.length mapping.Subgraph.to_host) Fun.id)
+  && Graph.equal ball v.View.graph

@@ -1,0 +1,46 @@
+(** Networks realizable with respect to a player's view — the set Σ|σ_u
+    that the LKE definition (Eq. (3) of the paper) quantifies over.
+
+    A network G is realizable w.r.t. the view H of player u at radius k
+    iff the ball β_{G,k}(u) induces exactly H (with the same ownership of
+    u's and her in-neighbours' edges). Equivalently: G extends H with new
+    vertices whose only connections into the ball are edges to *frontier*
+    vertices (distance exactly k from u) — anything closer would have
+    been visible, and extra edges inside the ball would change the
+    induced subgraph.
+
+    This module generates random such extensions. It exists to test the
+    model (Propositions 2.1 and 2.2 bound the player's worst case over
+    all realizable networks, and {!attach_chain} realizes the
+    unboundedness argument of Prop. 2.2), and to let library users build
+    intuition for what a player can and cannot rule out. *)
+
+(** A realizable extension of a view. Vertices [0 .. View.size - 1] are
+    the view's vertices under the view's own numbering; the extension's
+    extra vertices follow. *)
+type t = {
+  graph : Ncg_graph.Graph.t;
+  view_size : int;  (** vertices below this index are the view's *)
+}
+
+(** [extend rng view ~extra] adds [extra] invisible vertices, each
+    attached to at least one random frontier vertex or previously added
+    invisible vertex (keeping the network connected), with a sprinkling
+    of additional random edges among the invisible part. Returns the view
+    graph itself when [extra = 0].
+    @raise Invalid_argument if [extra > 0] but the view has no frontier
+    (the player provably sees the whole network — no strict extension is
+    realizable). *)
+val extend : Ncg_prng.Rng.t -> View.t -> extra:int -> t
+
+(** [attach_chain view ~anchor ~length] appends a path of [length] new
+    vertices behind the frontier vertex [anchor] (view coordinates) — the
+    paper's device for making a deviation that pushes [anchor] beyond
+    distance k arbitrarily bad. @raise Invalid_argument if [anchor] is
+    not a frontier vertex. *)
+val attach_chain : View.t -> anchor:int -> length:int -> t
+
+(** [is_realizable view g] checks the defining property: the ball of the
+    view's radius around the player in [g] induces the view graph again.
+    [g]'s first [View.size view] vertices must be the view's. *)
+val is_realizable : View.t -> Ncg_graph.Graph.t -> bool

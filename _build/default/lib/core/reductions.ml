@@ -1,0 +1,50 @@
+module Graph = Ncg_graph.Graph
+
+let entrant_best_targets ?solver g ~alpha =
+  let n = Graph.order g in
+  if n = 0 then invalid_arg "Reductions.entrant_best_targets: empty graph";
+  (* Join the entrant as player n, initially buying every edge (the best
+     response is independent of her current strategy; starting from
+     buy-everything also keeps the network connected, as Section 2 of the
+     paper assumes). Ownership of the existing edges is irrelevant to the
+     entrant's optimization; assign to the smaller endpoint. *)
+  let existing = Graph.edges g in
+  let entrant = n in
+  let buys = List.init n (fun v -> (entrant, v)) @ existing in
+  let s = Strategy.of_buys ~n:(n + 1) buys in
+  let host = Strategy.graph s in
+  let view = View.extract s host ~k:(n + 1) entrant in
+  let br = Best_response.compute ?solver ~alpha view in
+  List.sort compare (View.to_host view br.Best_response.targets)
+
+let dominating_set_via_game g =
+  let n = Graph.order g in
+  if n = 0 then invalid_arg "Reductions.dominating_set_via_game: empty graph";
+  if n = 1 then [ 0 ]
+  else begin
+    (* alpha = 2/n is the paper's hard regime for MaxNCG: buying a minimum
+       dominating set (eccentricity 2) strictly beats buying everyone
+       (eccentricity 1) whenever the domination number is below n/2, and
+       beats any sparser strategy of eccentricity >= 3. *)
+    let alpha = 2.0 /. float_of_int n in
+    let targets = entrant_best_targets g ~alpha in
+    (* Buying everyone (eccentricity 1) means the dominating-set route was
+       not strictly cheaper — exactly the gamma >= n/2 boundary. *)
+    if List.length targets = n then
+      invalid_arg
+        "Reductions.dominating_set_via_game: graph outside the reduction's \
+         regime (domination number >= n/2)";
+    let problem =
+      {
+        Ncg_solver.Dominating_set.graph = g;
+        radius = 1;
+        free_dominators = [];
+        forbidden = [];
+      }
+    in
+    if not (Ncg_solver.Dominating_set.dominates problem targets) then
+      invalid_arg
+        "Reductions.dominating_set_via_game: graph outside the reduction's \
+         regime (domination number >= n/2)";
+    targets
+  end

@@ -1,0 +1,59 @@
+module Graph = Ncg_graph.Graph
+module Bfs = Ncg_graph.Bfs
+
+let swap_deviations (v : View.t) =
+  let nv = Graph.order v.View.graph in
+  let all = List.filter (fun x -> x <> v.View.player) (List.init nv Fun.id) in
+  List.concat_map
+    (fun out ->
+      let kept = List.filter (( <> ) out) v.View.owned in
+      List.filter_map
+        (fun inn -> if List.mem inn v.View.owned then None else Some (inn :: kept))
+        all)
+    v.View.owned
+
+let improving_swap_max (v : View.t) =
+  let current = Best_response.current_usage v in
+  List.find_opt
+    (fun targets ->
+      match Bfs.eccentricity (View.with_strategy v targets) v.View.player with
+      | Some ecc -> ecc < current
+      | None -> false)
+    (swap_deviations v)
+
+let improving_swap_sum (v : View.t) =
+  let current = float_of_int (Ncg_util.Arrayx.sum v.View.dist) in
+  List.find_opt
+    (fun targets ->
+      (* alpha = 0: the building cost cancels in swaps, only distance
+         matters; admissibility (Prop. 2.2) still applies. *)
+      match Sum_best_response.cost_on_view ~alpha:0.0 v targets with
+      | Some cost ->
+          cost < current -. 1e-9 && Sum_best_response.admissible v targets
+      | None -> false)
+    (swap_deviations v)
+
+let each_player_stable strategy ~k has_improvement =
+  let g = Strategy.graph strategy in
+  let n = Strategy.n_players strategy in
+  let rec go u =
+    u >= n
+    ||
+    let view = View.extract strategy g ~k u in
+    has_improvement view = None && go (u + 1)
+  in
+  go 0
+
+let is_swap_stable_max ~k strategy = each_player_stable strategy ~k improving_swap_max
+let is_swap_stable_sum ~k strategy = each_player_stable strategy ~k improving_swap_sum
+
+let max_swap_violations ~k strategy =
+  let g = Strategy.graph strategy in
+  let n = Strategy.n_players strategy in
+  List.filter_map
+    (fun u ->
+      let view = View.extract strategy g ~k u in
+      Option.map
+        (fun targets -> (u, View.to_host view targets))
+        (improving_swap_max view))
+    (List.init n Fun.id)

@@ -1,0 +1,63 @@
+module Graph = Ncg_graph.Graph
+module Bfs = Ncg_graph.Bfs
+module Subgraph = Ncg_graph.Subgraph
+
+type t = {
+  player : int;
+  k : int;
+  graph : Graph.t;
+  mapping : Subgraph.mapping;
+  owned : int list;
+  in_buyers : int list;
+  dist : int array;
+}
+
+let extract strategy g ~k u =
+  if k < 1 then invalid_arg "View.extract: need k >= 1";
+  let graph, mapping = Subgraph.ball_induced g u ~radius:k in
+  let player = mapping.Subgraph.to_sub.(u) in
+  let map_host v = mapping.Subgraph.to_sub.(v) in
+  (* Neighbours of u are at distance 1, hence always inside the ball. *)
+  let owned = List.map map_host (Strategy.owned strategy u) in
+  let in_buyers = List.map map_host (Strategy.in_buyers strategy u) in
+  let dist = Bfs.distances graph player in
+  { player; k; graph; mapping; owned; in_buyers; dist }
+
+let size v = Graph.order v.graph
+
+let frontier v =
+  let acc = ref [] in
+  for x = Array.length v.dist - 1 downto 0 do
+    if v.dist.(x) = v.k then acc := x :: !acc
+  done;
+  !acc
+
+let with_strategy v targets =
+  let n = Graph.order v.graph in
+  List.iter
+    (fun t ->
+      if t < 0 || t >= n then invalid_arg "View.with_strategy: target out of range";
+      if t = v.player then invalid_arg "View.with_strategy: self target")
+    targets;
+  let u = v.player in
+  let keep (a, b) =
+    (* Drop u's currently bought edges; edges bought towards u stay. *)
+    let other = if a = u then Some b else if b = u then Some a else None in
+    match other with
+    | None -> true
+    | Some w -> List.mem w v.in_buyers
+  in
+  let base = List.filter keep (Graph.edges v.graph) in
+  let extra = List.map (fun t -> (u, t)) targets in
+  Graph.of_edges ~n (List.rev_append extra base)
+
+let to_host v ids =
+  List.map (fun i -> v.mapping.Subgraph.to_host.(i)) ids
+
+let of_host v ids =
+  List.map
+    (fun h ->
+      let i = v.mapping.Subgraph.to_sub.(h) in
+      if i < 0 then invalid_arg "View.of_host: vertex not visible";
+      i)
+    ids

@@ -1,0 +1,1 @@
+lib/gen/barabasi_albert.ml: Array Hashtbl Ncg_graph Ncg_prng

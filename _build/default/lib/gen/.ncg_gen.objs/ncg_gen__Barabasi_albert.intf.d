@@ -1,0 +1,1 @@
+lib/gen/barabasi_albert.mli: Ncg_graph Ncg_prng

@@ -1,0 +1,1 @@
+lib/gen/classic.ml: List Ncg_graph

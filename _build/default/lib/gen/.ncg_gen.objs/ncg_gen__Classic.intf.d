@@ -1,0 +1,1 @@
+lib/gen/classic.mli: Ncg_graph

@@ -1,0 +1,1 @@
+lib/gen/erdos_renyi.mli: Ncg_graph Ncg_prng

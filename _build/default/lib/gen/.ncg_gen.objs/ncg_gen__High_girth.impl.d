@@ -1,0 +1,1 @@
+lib/gen/high_girth.ml: Array Fun Ncg_graph Ncg_prng Ncg_util

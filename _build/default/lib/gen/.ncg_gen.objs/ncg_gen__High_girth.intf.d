@@ -1,0 +1,1 @@
+lib/gen/high_girth.mli: Ncg_graph Ncg_prng

@@ -1,0 +1,1 @@
+lib/gen/projective_plane.ml: Array Gf List Ncg_graph

@@ -1,0 +1,1 @@
+lib/gen/projective_plane.mli: Ncg_graph

@@ -1,0 +1,1 @@
+lib/gen/random_tree.ml: Array Ncg_graph Ncg_prng

@@ -1,0 +1,1 @@
+lib/gen/random_tree.mli: Ncg_graph Ncg_prng

@@ -1,0 +1,1 @@
+lib/gen/torus_grid.ml: Array Fun Hashtbl List Ncg_graph

@@ -1,0 +1,1 @@
+lib/gen/torus_grid.mli: Ncg_graph

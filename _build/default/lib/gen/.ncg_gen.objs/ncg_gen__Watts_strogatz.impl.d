@@ -1,0 +1,1 @@
+lib/gen/watts_strogatz.ml: Ncg_graph Ncg_prng

@@ -1,0 +1,1 @@
+lib/gen/watts_strogatz.mli: Ncg_graph Ncg_prng

@@ -1,0 +1,31 @@
+module Graph = Ncg_graph.Graph
+module Rng = Ncg_prng.Rng
+
+let generate rng ~n ~m =
+  if m < 1 || m >= n then invalid_arg "Barabasi_albert.generate: need 1 <= m < n";
+  (* [endpoints] holds every edge endpoint once; sampling uniformly from it
+     is degree-proportional sampling. *)
+  let endpoints = ref [] in
+  let edges = ref [] in
+  let add_edge u v =
+    edges := (u, v) :: !edges;
+    endpoints := u :: v :: !endpoints
+  in
+  (* Seed: star on m+1 vertices — connected, every vertex has degree >= 1. *)
+  for leaf = 1 to m do
+    add_edge 0 leaf
+  done;
+  let endpoint_array = ref (Array.of_list !endpoints) in
+  let refresh () = endpoint_array := Array.of_list !endpoints in
+  for v = m + 1 to n - 1 do
+    refresh ();
+    let chosen = Hashtbl.create m in
+    (* Rejection loop: m distinct degree-proportional picks among existing
+       vertices. Terminates because at least m distinct vertices exist. *)
+    while Hashtbl.length chosen < m do
+      let t = (!endpoint_array).(Rng.int rng (Array.length !endpoint_array)) in
+      if not (Hashtbl.mem chosen t) then Hashtbl.replace chosen t ()
+    done;
+    Hashtbl.iter (fun t () -> add_edge v t) chosen
+  done;
+  Graph.of_edges ~n !edges

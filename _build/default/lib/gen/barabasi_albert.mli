@@ -1,0 +1,11 @@
+(** Barabási–Albert preferential attachment graphs.
+
+    Scale-free networks are the paper's motivating setting (decentralized
+    Internet-like network formation); they serve as an additional initial
+    class for the dynamics beyond the trees and G(n,p) of Section 5. *)
+
+(** [generate rng ~n ~m] — start from a star on [m + 1] vertices, then
+    attach each new vertex to [m] distinct existing vertices chosen with
+    probability proportional to their degree. Always connected; [n·m −
+    m(m+1)/2]-ish edges. @raise Invalid_argument unless [1 <= m < n]. *)
+val generate : Ncg_prng.Rng.t -> n:int -> m:int -> Ncg_graph.Graph.t

@@ -1,0 +1,53 @@
+module Graph = Ncg_graph.Graph
+
+let path n =
+  Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Classic.cycle: need n >= 3";
+  Graph.of_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let cycle_buys n =
+  if n < 3 then invalid_arg "Classic.cycle_buys: need n >= 3";
+  List.init n (fun i -> (i, (i + 1) mod n))
+
+let star n =
+  if n < 1 then invalid_arg "Classic.star: need n >= 1";
+  Graph.of_edges ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let star_buys n =
+  if n < 1 then invalid_arg "Classic.star_buys: need n >= 1";
+  List.init (n - 1) (fun i -> (0, i + 1))
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Classic.grid: need positive dims";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !edges
+
+let hypercube d =
+  if d < 0 then invalid_arg "Classic.hypercube: negative dimension";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let v = u lxor (1 lsl b) in
+      if u < v then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges

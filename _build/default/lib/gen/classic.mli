@@ -1,0 +1,28 @@
+(** Deterministic graph families.
+
+    Where a family comes with a natural edge ownership in the paper (the
+    cycle of Lemma 3.1, the star social optimum), a [..._buys] companion
+    returns the list of [(buyer, target)] pairs. *)
+
+val path : int -> Ncg_graph.Graph.t
+val cycle : int -> Ncg_graph.Graph.t
+
+(** Ownership of {!cycle}: player [i] buys the edge to [(i+1) mod n], so
+    every player owns exactly one edge (Lemma 3.1's profile).
+    @raise Invalid_argument if [n < 3]. *)
+val cycle_buys : int -> (int * int) list
+
+(** [star n] has center [0] and leaves [1 .. n-1]. *)
+val star : int -> Ncg_graph.Graph.t
+
+(** Ownership of {!star}: the center buys every edge (the social optimum
+    profile for α > 1). *)
+val star_buys : int -> (int * int) list
+
+val complete : int -> Ncg_graph.Graph.t
+
+(** [grid rows cols] is the rows×cols king-less (4-neighbour) grid. *)
+val grid : int -> int -> Ncg_graph.Graph.t
+
+(** [hypercube d] is the d-dimensional hypercube on 2^d vertices. *)
+val hypercube : int -> Ncg_graph.Graph.t

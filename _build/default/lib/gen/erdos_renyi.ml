@@ -1,0 +1,25 @@
+module Graph = Ncg_graph.Graph
+module Bfs = Ncg_graph.Bfs
+module Rng = Ncg_prng.Rng
+
+let generate rng ~n ~p =
+  if n < 0 then invalid_arg "Erdos_renyi.generate: negative n";
+  if p < 0.0 || p > 1.0 then invalid_arg "Erdos_renyi.generate: p outside [0,1]";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.bernoulli rng p then edges := (u, v) :: !edges
+    done
+  done;
+  Graph.of_edges ~n !edges
+
+let connected rng ~n ~p ~max_attempts =
+  let rec attempt remaining =
+    if remaining = 0 then
+      failwith "Erdos_renyi.connected: exceeded max_attempts"
+    else begin
+      let g = generate rng ~n ~p in
+      if Bfs.is_connected g then g else attempt (remaining - 1)
+    end
+  in
+  attempt max_attempts

@@ -1,0 +1,16 @@
+(** Erdős–Rényi G(n, p) random graphs.
+
+    Used by Table II and Figures 7–9: the paper samples G(n,p), discards
+    disconnected graphs and regenerates from scratch — {!connected}
+    reproduces that protocol. *)
+
+(** [generate rng ~n ~p] includes each of the n(n−1)/2 possible edges
+    independently with probability [p].
+    @raise Invalid_argument if [p] outside [0,1] or [n < 0]. *)
+val generate : Ncg_prng.Rng.t -> n:int -> p:float -> Ncg_graph.Graph.t
+
+(** [connected rng ~n ~p ~max_attempts] resamples until the graph is
+    connected. @raise Failure after [max_attempts] rejections (p far below
+    the connectivity threshold). *)
+val connected :
+  Ncg_prng.Rng.t -> n:int -> p:float -> max_attempts:int -> Ncg_graph.Graph.t

@@ -1,0 +1,34 @@
+let is_prime p =
+  if p < 2 then false
+  else begin
+    let rec go i = i * i > p || (p mod i <> 0 && go (i + 1)) in
+    go 2
+  end
+
+type t = { p : int }
+
+let create p =
+  if not (is_prime p) then invalid_arg "Gf.create: modulus must be prime";
+  { p }
+
+let order f = f.p
+let norm f x = ((x mod f.p) + f.p) mod f.p
+let add f a b = norm f (a + b)
+let sub f a b = norm f (a - b)
+let mul f a b = norm f (a * b)
+
+let pow f x e =
+  if e < 0 then invalid_arg "Gf.pow: negative exponent";
+  let rec go acc base e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul f acc base else acc in
+      go acc (mul f base base) (e lsr 1)
+    end
+  in
+  go 1 (norm f x) e
+
+let inv f x =
+  let x = norm f x in
+  if x = 0 then raise Division_by_zero;
+  pow f x (f.p - 2)

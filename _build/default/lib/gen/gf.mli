@@ -1,0 +1,27 @@
+(** Arithmetic in prime fields GF(p).
+
+    Just enough finite-field machinery to build projective-plane incidence
+    graphs (the certified high-girth inputs of Lemma 3.2). Prime fields
+    only: the experiments never need proper prime powers, and Z/p keeps the
+    module tiny and obviously correct. *)
+
+(** [is_prime p] by trial division; intended for small moduli. *)
+val is_prime : int -> bool
+
+type t
+(** The field GF(p). *)
+
+(** @raise Invalid_argument if [p] is not prime. *)
+val create : int -> t
+
+val order : t -> int
+val add : t -> int -> int -> int
+val sub : t -> int -> int -> int
+val mul : t -> int -> int -> int
+
+(** Multiplicative inverse by Fermat's little theorem.
+    @raise Division_by_zero on 0. *)
+val inv : t -> int -> int
+
+(** [pow f x e] is x^e mod p, fast exponentiation, [e >= 0]. *)
+val pow : t -> int -> int -> int

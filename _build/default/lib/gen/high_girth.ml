@@ -1,0 +1,64 @@
+module Graph = Ncg_graph.Graph
+module Builder = Ncg_graph.Builder
+module Rng = Ncg_prng.Rng
+
+(* Adding an edge (u, v) creates a cycle of length d(u,v) + 1, so the edge
+   is safe for girth g iff the current distance between u and v is at
+   least g - 1. The distance check is a depth-capped BFS on the builder. *)
+
+let distance_at_least b u v ~bound =
+  let n = Builder.order b in
+  let dist = Array.make n (-1) in
+  let q = Ncg_util.Int_queue.create ~initial_capacity:n () in
+  dist.(u) <- 0;
+  Ncg_util.Int_queue.push q u;
+  let reached = ref false in
+  while not (Ncg_util.Int_queue.is_empty q || !reached) do
+    let x = Ncg_util.Int_queue.pop q in
+    if dist.(x) < bound - 1 then
+      Builder.iter_neighbors
+        (fun y ->
+          if dist.(y) = -1 then begin
+            dist.(y) <- dist.(x) + 1;
+            if y = v then reached := true;
+            Ncg_util.Int_queue.push q y
+          end)
+        b x
+  done;
+  not !reached
+
+let generate rng ~n ~max_degree ~girth =
+  if girth < 4 then invalid_arg "High_girth.generate: need girth >= 4";
+  if n < girth then invalid_arg "High_girth.generate: need n >= girth";
+  if max_degree < 2 then invalid_arg "High_girth.generate: need max_degree >= 2";
+  let b = Builder.create n in
+  (* Seed cycle keeps the graph connected; its length n >= girth. *)
+  for i = 0 to n - 1 do
+    Builder.add_edge b i ((i + 1) mod n)
+  done;
+  (* Randomized augmentation: sweep vertices in random order, a few random
+     partner attempts each, until a full sweep adds nothing. *)
+  let progress = ref true in
+  let order = Array.init n Fun.id in
+  while !progress do
+    progress := false;
+    Rng.shuffle rng order;
+    Array.iter
+      (fun u ->
+        if Builder.degree b u < max_degree then
+          for _ = 1 to 8 do
+            let v = Rng.int rng n in
+            if
+              v <> u
+              && Builder.degree b u < max_degree
+              && Builder.degree b v < max_degree
+              && (not (Builder.mem_edge b u v))
+              && distance_at_least b u v ~bound:(girth - 1)
+            then begin
+              Builder.add_edge b u v;
+              progress := true
+            end
+          done)
+      order
+  done;
+  Builder.to_graph b

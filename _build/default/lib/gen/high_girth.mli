@@ -1,0 +1,18 @@
+(** High-girth graph generation for Lemma 3.2 beyond the girth-6 case.
+
+    {!Projective_plane.incidence} gives exact extremal graphs for girth 6.
+    For larger (even) girth — k > 2 in the lemma — no simple exact
+    construction exists at small sizes, so we provide a randomized
+    generator: starting from a Hamiltonian cycle (which guarantees
+    connectivity), it repeatedly adds random edges that (a) keep both
+    endpoint degrees below the cap and (b) keep the girth at least the
+    target, until a full pass finds no addable edge. The result is not
+    extremal but is connected, has certified girth ≥ the target, and is as
+    locally tree-like as the lemma's construction — which is all the
+    equilibrium argument of Lemma 3.2 / Theorem 4.3 uses. *)
+
+(** [generate rng ~n ~max_degree ~girth] — girth must be ≥ 4 and n ≥ girth
+    (otherwise even the initial cycle violates it); [max_degree ≥ 2].
+    @raise Invalid_argument on parameter violations. *)
+val generate :
+  Ncg_prng.Rng.t -> n:int -> max_degree:int -> girth:int -> Ncg_graph.Graph.t

@@ -1,0 +1,38 @@
+module Graph = Ncg_graph.Graph
+
+let plane_size q = (q * q) + q + 1
+
+(* Canonical representatives of the projective points of GF(q)³: the first
+   non-zero coordinate is 1. Lines use the same representatives (PG(2,q)
+   is self-dual); point (x:y:z) lies on line [a:b:c] iff ax+by+cz = 0. *)
+let representatives q =
+  let reps = ref [] in
+  (* (0 : 0 : 1) *)
+  reps := [| 0; 0; 1 |] :: !reps;
+  (* (0 : 1 : z) *)
+  for z = 0 to q - 1 do
+    reps := [| 0; 1; z |] :: !reps
+  done;
+  (* (1 : y : z) *)
+  for y = 0 to q - 1 do
+    for z = 0 to q - 1 do
+      reps := [| 1; y; z |] :: !reps
+    done
+  done;
+  Array.of_list (List.rev !reps)
+
+let incidence q =
+  let f = Gf.create q in
+  let reps = representatives q in
+  let np = plane_size q in
+  assert (Array.length reps = np);
+  let dot a b =
+    Gf.add f (Gf.mul f a.(0) b.(0)) (Gf.add f (Gf.mul f a.(1) b.(1)) (Gf.mul f a.(2) b.(2)))
+  in
+  let edges = ref [] in
+  for p = 0 to np - 1 do
+    for l = 0 to np - 1 do
+      if dot reps.(p) reps.(l) = 0 then edges := (p, np + l) :: !edges
+    done
+  done;
+  Graph.of_edges ~n:(2 * np) !edges

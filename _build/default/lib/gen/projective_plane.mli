@@ -1,0 +1,16 @@
+(** Incidence graphs of projective planes PG(2, q).
+
+    For a prime q, the point–line incidence graph of PG(2, q) is bipartite,
+    (q+1)-regular, has 2(q² + q + 1) vertices and girth exactly 6. This is
+    our certified stand-in for the Lazebnik–Ustimenko–Woldar dense
+    high-girth graphs of Lemma 3.2 in its strongest case (g = 6, i.e.
+    k = 2): every player's view is a tree of height 2, and the edge count
+    Θ(n^{3/2}) matches the lemma's Ω(n^{1 + 1/(g-4)}) bound. *)
+
+(** [incidence q] for a prime [q]: vertices [0 .. q²+q] are the points,
+    [q²+q+1 .. 2(q²+q+1)-1] the lines; edges join incident point–line
+    pairs. @raise Invalid_argument if [q] is not prime. *)
+val incidence : int -> Ncg_graph.Graph.t
+
+(** Number of points (= number of lines) of PG(2, q). *)
+val plane_size : int -> int

@@ -1,0 +1,50 @@
+module Graph = Ncg_graph.Graph
+module Rng = Ncg_prng.Rng
+
+let decode_pruefer ~n seq =
+  if n < 1 then invalid_arg "Random_tree.decode_pruefer: need n >= 1";
+  if Array.length seq <> max 0 (n - 2) then
+    invalid_arg "Random_tree.decode_pruefer: sequence must have length n-2";
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= n then
+        invalid_arg "Random_tree.decode_pruefer: entry out of range")
+    seq;
+  if n = 1 then Graph.empty 1
+  else if n = 2 then Graph.of_edges ~n [ (0, 1) ]
+  else begin
+    (* Standard linear-time decoding: [degree] starts at 1 + multiplicity
+       in the sequence; repeatedly match the smallest leaf with the next
+       sequence element. *)
+    let degree = Array.make n 1 in
+    Array.iter (fun x -> degree.(x) <- degree.(x) + 1) seq;
+    let edges = ref [] in
+    (* [ptr] scans for leaves in increasing order; [leaf] is the current
+       smallest unused leaf. *)
+    let ptr = ref 0 in
+    while degree.(!ptr) <> 1 do
+      incr ptr
+    done;
+    let leaf = ref !ptr in
+    Array.iter
+      (fun v ->
+        edges := (!leaf, v) :: !edges;
+        degree.(v) <- degree.(v) - 1;
+        if degree.(v) = 1 && v < !ptr then leaf := v
+        else begin
+          incr ptr;
+          while degree.(!ptr) <> 1 do
+            incr ptr
+          done;
+          leaf := !ptr
+        end)
+      seq;
+    (* The last two vertices with degree 1 are the leaf and vertex n-1. *)
+    edges := (!leaf, n - 1) :: !edges;
+    Graph.of_edges ~n !edges
+  end
+
+let generate rng n =
+  if n < 1 then invalid_arg "Random_tree.generate: need n >= 1";
+  let seq = Array.init (max 0 (n - 2)) (fun _ -> Rng.int rng n) in
+  decode_pruefer ~n seq

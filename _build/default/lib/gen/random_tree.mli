@@ -1,0 +1,15 @@
+(** Uniform random labelled trees via Prüfer sequences.
+
+    The paper's Table I / Figures 5–10 experiments start best-response
+    dynamics from trees "picked uniformly at random from the set of all
+    possible trees on n vertices" — exactly the distribution a uniform
+    Prüfer sequence decodes to (Cayley's bijection). *)
+
+(** [generate rng n] is a uniform random tree on [n] labelled vertices.
+    @raise Invalid_argument if [n < 1]. *)
+val generate : Ncg_prng.Rng.t -> int -> Ncg_graph.Graph.t
+
+(** [decode_pruefer ~n seq] decodes a Prüfer sequence of length [n-2] with
+    entries in [0, n); exposed for testing the bijection.
+    @raise Invalid_argument on wrong length or out-of-range entries. *)
+val decode_pruefer : n:int -> int array -> Ncg_graph.Graph.t

@@ -1,0 +1,210 @@
+module Graph = Ncg_graph.Graph
+
+type t = {
+  graph : Graph.t;
+  buys : (int * int) list;
+  coords : int array array;
+  is_intersection : bool array;
+  d : int;
+  ell : int;
+  deltas : int array;
+}
+
+let validate ~d ~ell ~deltas =
+  if d < 1 then invalid_arg "Torus_grid: need d >= 1";
+  if ell < 1 then invalid_arg "Torus_grid: need ell >= 1";
+  if Array.length deltas <> d then
+    invalid_arg "Torus_grid: deltas must have length d";
+  Array.iter
+    (fun delta -> if delta < 2 then invalid_arg "Torus_grid: need every delta >= 2")
+    deltas
+
+(* Enumerate all tuples (a_1, ..., a_d) with a_i drawn from
+   [values_of_dim i] and call [f] on each. *)
+let enumerate_tuples ~d ~values_of_dim f =
+  let tuple = Array.make d 0 in
+  let rec go i =
+    if i = d then f (Array.copy tuple)
+    else
+      List.iter
+        (fun v ->
+          tuple.(i) <- v;
+          go (i + 1))
+        (values_of_dim i)
+  in
+  go 0
+
+(* Sign vectors as arrays of ±1, indexed by the bits of 0 .. 2^d - 1. *)
+let sign_vectors d =
+  List.init (1 lsl d) (fun mask ->
+      Array.init d (fun i -> if mask land (1 lsl i) <> 0 then 1 else -1))
+
+let positive_mod x m = ((x mod m) + m) mod m
+
+type variant = Closed | Open
+
+let build variant ~d ~ell ~deltas =
+  validate ~d ~ell ~deltas;
+  (* Moduli per dimension (closed) / coordinate maxima (open). *)
+  let modulus = Array.map (fun delta -> 2 * delta * ell) deltas in
+  (* 1. Intersection vertices. *)
+  let table : (int array, int) Hashtbl.t = Hashtbl.create 1024 in
+  let coords_rev = ref [] in
+  let count = ref 0 in
+  let register c =
+    Hashtbl.replace table c !count;
+    coords_rev := c :: !coords_rev;
+    incr count
+  in
+  (match variant with
+  | Closed ->
+      (* a_i in [0, 2*delta_i), all of the same parity. *)
+      List.iter
+        (fun parity ->
+          let values_of_dim i =
+            List.init deltas.(i) (fun j -> ell * (parity + (2 * j)))
+          in
+          enumerate_tuples ~d ~values_of_dim register)
+        [ 0; 1 ]
+  | Open ->
+      (* a_i in [0, delta_i], all of the same parity. *)
+      List.iter
+        (fun parity ->
+          let values_of_dim i =
+            let upper = deltas.(i) in
+            List.filter_map
+              (fun a -> if a mod 2 = parity then Some (ell * a) else None)
+              (List.init (upper + 1) Fun.id)
+          in
+          enumerate_tuples ~d ~values_of_dim register)
+        [ 0; 1 ]);
+  let n_intersection = !count in
+  (* 2. Paths. Determine each unordered adjacent pair once (smaller id is
+     the canonical path origin), then materialize interior vertices. *)
+  let neighbor_of c s =
+    match variant with
+    | Closed ->
+        Some (Array.init d (fun i -> positive_mod (c.(i) + (ell * s.(i))) modulus.(i)))
+    | Open ->
+        let w = Array.init d (fun i -> c.(i) + (ell * s.(i))) in
+        let ok = ref true in
+        Array.iteri (fun i x -> if x < 0 || x > deltas.(i) * ell then ok := false) w;
+        if !ok then Some w else None
+  in
+  let signs = sign_vectors d in
+  let pairs = ref [] in
+  Hashtbl.iter
+    (fun c id ->
+      List.iter
+        (fun s ->
+          match neighbor_of c s with
+          | None -> ()
+          | Some w -> begin
+              match Hashtbl.find_opt table w with
+              | Some id' when id < id' -> pairs := (id, id', s) :: !pairs
+              | Some _ | None -> ()
+            end)
+        signs)
+    table;
+  (* Deterministic ordering regardless of hash iteration order. *)
+  let pairs = List.sort compare !pairs in
+  let n_total = n_intersection + (List.length pairs * (ell - 1)) in
+  let coords = Array.make n_total [||] in
+  List.iteri (fun i c -> coords.(n_intersection - 1 - i) <- c) !coords_rev;
+  let is_intersection = Array.make n_total false in
+  Array.fill is_intersection 0 n_intersection true;
+  let next_id = ref n_intersection in
+  let edges = ref [] in
+  let buys = ref [] in
+  List.iter
+    (fun (v, w, s) ->
+      if ell = 1 then begin
+        edges := (v, w) :: !edges;
+        buys := (v, w) :: !buys
+      end
+      else begin
+        let cv = coords.(v) in
+        let prev = ref v in
+        for j = 1 to ell - 1 do
+          let id = !next_id in
+          incr next_id;
+          coords.(id) <-
+            Array.init d (fun i ->
+                match variant with
+                | Closed -> positive_mod (cv.(i) + (j * s.(i))) modulus.(i)
+                | Open -> cv.(i) + (j * s.(i)));
+          edges := (!prev, id) :: !edges;
+          (* Interior vertex x_j buys the edge towards x_{j-1}. *)
+          buys := (id, !prev) :: !buys;
+          prev := id
+        done;
+        (* x_{ell-1} also buys the closing edge towards the far endpoint. *)
+        edges := (!prev, w) :: !edges;
+        buys := (!prev, w) :: !buys
+      end)
+    pairs;
+  {
+    graph = Graph.of_edges ~n:n_total !edges;
+    buys = List.rev !buys;
+    coords;
+    is_intersection;
+    d;
+    ell;
+    deltas = Array.copy deltas;
+  }
+
+let closed ~d ~ell ~deltas = build Closed ~d ~ell ~deltas
+let open_grid ~d ~ell ~deltas = build Open ~d ~ell ~deltas
+
+let intersection_at t target =
+  if Array.length target <> t.d then
+    invalid_arg "Torus_grid.intersection_at: wrong arity";
+  let reduced =
+    Array.mapi (fun i x -> positive_mod x (2 * t.deltas.(i) * t.ell)) target
+  in
+  let n = Array.length t.coords in
+  let rec find i =
+    if i >= n then None
+    else if t.is_intersection.(i) && t.coords.(i) = reduced then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let coordinate_distance_lower_bound t x y =
+  let cx = t.coords.(x) and cy = t.coords.(y) in
+  let best = ref 0 in
+  for i = 0 to t.d - 1 do
+    let m = 2 * t.deltas.(i) * t.ell in
+    let diff = abs (cx.(i) - cy.(i)) in
+    let wrapped = min diff (m - diff) in
+    if wrapped > !best then best := wrapped
+  done;
+  !best
+
+let vertices_per_delta_d ~d ~ell ~deltas_prefix =
+  (* n = 2 * (prod deltas) * (2^{d-1}(ell-1) + 1); return the factor
+     multiplying delta_d. *)
+  let prefix = Array.fold_left ( * ) 1 deltas_prefix in
+  2 * prefix * (((1 lsl (d - 1)) * (ell - 1)) + 1)
+
+let params_for_theorem_3_12 ~alpha ~k ~n_budget =
+  if alpha <= 1.0 then invalid_arg "params_for_theorem_3_12: need alpha > 1";
+  let ell = int_of_float (ceil alpha) in
+  if k < ell then None
+  else begin
+    (* Smallest d with 2^d >= k/ell + 2, at least 2. *)
+    let rec find_d d = if (1 lsl d) * ell >= k + (2 * ell) then d else find_d (d + 1) in
+    let d = max 2 (find_d 1) in
+    let side = ((k + ell - 1) / ell) + 1 in
+    let deltas_prefix = Array.make (d - 1) side in
+    let per = vertices_per_delta_d ~d ~ell ~deltas_prefix in
+    let delta_d = n_budget / per in
+    if delta_d < side then None
+    else Some (d, ell, Array.append deltas_prefix [| delta_d |])
+  end
+
+let params_for_theorem_4_2 ~k ~n_budget =
+  if k < 1 then invalid_arg "params_for_theorem_4_2: need k >= 1";
+  let delta1 = ((k + 1) / 2) + 1 in
+  let delta2 = n_budget / (6 * delta1) in
+  if delta2 < delta1 then None else Some (2, 2, [| delta1; delta2 |])

@@ -1,0 +1,64 @@
+(** The stretched d-dimensional toroidal grid of Section 3.1 — the paper's
+    main lower-bound construction (Lemmas 3.3–3.11, Theorem 3.12 for
+    MaxNCG; reused with d = 2, ℓ = 2 in Lemma 4.1 / Theorem 4.2 for
+    SumNCG).
+
+    The construction starts from "intersection vertices": d-tuples
+    (ℓ·a₁, …, ℓ·a_d) with all aᵢ of the same parity, the i-th coordinate
+    taken modulo 2δᵢℓ. Each intersection vertex is joined to the 2^d
+    vertices (x₁±ℓ, …, x_d±ℓ) by a fresh path of length ℓ, whose ℓ−1
+    interior vertices are the "non-intersection vertices". Interior
+    vertices of two distinct paths may carry the same interpolated
+    coordinates (the grid is a 45°-rotated torus whose paths cross without
+    intersecting), so vertices are identified by (path, step), with
+    coordinates kept as metadata.
+
+    Edge ownership follows the paper: walking a path
+    ⟨u = x₀, x₁, …, x_ℓ = u′⟩, vertex xᵢ buys the edge towards xᵢ₋₁ for
+    i = 1..ℓ−1 and x_{ℓ−1} additionally buys the edge towards u′;
+    intersection vertices buy nothing. For ℓ = 1 there are no interior
+    vertices and each edge is bought by its smaller-id endpoint (a
+    convention; the paper only uses ℓ ≥ 2 when ownership matters). *)
+
+type t = {
+  graph : Ncg_graph.Graph.t;
+  buys : (int * int) list;  (** [(buyer, target)] pairs covering every edge *)
+  coords : int array array;  (** metadata; may repeat on interior vertices *)
+  is_intersection : bool array;
+  d : int;
+  ell : int;
+  deltas : int array;
+}
+
+(** [closed ~d ~ell ~deltas] builds the toroidal version.
+    Number of vertices: 2·Πδᵢ·(2^{d-1}(ℓ−1) + 1).
+    @raise Invalid_argument unless [d >= 1], [ell >= 1], [Array.length
+    deltas = d] and every [δᵢ >= 2] (δᵢ = 1 would create parallel paths). *)
+val closed : d:int -> ell:int -> deltas:int array -> t
+
+(** [open_grid ~d ~ell ~deltas] is the non-modular variant used in Lemma
+    3.5: intersection vertices have aᵢ ∈ [0, δᵢ], and two are joined iff
+    every coordinate differs by exactly ℓ. *)
+val open_grid : d:int -> ell:int -> deltas:int array -> t
+
+(** [intersection_at t coords] finds the intersection vertex with the given
+    coordinates (each reduced modulo 2δᵢℓ for the closed variant), if any. *)
+val intersection_at : t -> int array -> int option
+
+(** Right-hand side of Lemma 3.3: the coordinate lower bound
+    maxᵢ min(|xᵢ−yᵢ|, 2δᵢℓ−|xᵢ−yᵢ|) on the distance between two vertices
+    of the closed grid. *)
+val coordinate_distance_lower_bound : t -> int -> int -> int
+
+(** Parameters used by Theorem 3.12 for given α > 1 and k ≥ α:
+    ℓ = ⌈α⌉, d = max 2 ⌈log₂(k/ℓ + 2)⌉, δ₁..δ_{d−1} = ⌈k/ℓ⌉ + 1, and δ_d
+    the largest value fitting a graph of at most [n_budget] vertices
+    (clamped to δ₁ or more so that the last dimension is the longest).
+    Returns [None] when the budget cannot accommodate δ_d ≥ δ₁. *)
+val params_for_theorem_3_12 :
+  alpha:float -> k:int -> n_budget:int -> (int * int * int array) option
+
+(** Parameters used by Theorem 4.2 (SumNCG): d = 2, ℓ = 2,
+    δ₁ = ⌈k/2⌉ + 1, δ_d as large as the budget allows. [None] when
+    δ₂ ≥ δ₁ does not fit. *)
+val params_for_theorem_4_2 : k:int -> n_budget:int -> (int * int * int array) option

@@ -1,0 +1,36 @@
+module Builder = Ncg_graph.Builder
+module Rng = Ncg_prng.Rng
+
+let generate rng ~n ~k ~beta =
+  if k < 2 || k mod 2 <> 0 then
+    invalid_arg "Watts_strogatz.generate: k must be even and >= 2";
+  if k >= n then invalid_arg "Watts_strogatz.generate: need k < n";
+  if beta < 0.0 || beta > 1.0 then
+    invalid_arg "Watts_strogatz.generate: beta outside [0,1]";
+  let b = Builder.create n in
+  for u = 0 to n - 1 do
+    for j = 1 to k / 2 do
+      Builder.add_edge b u ((u + j) mod n)
+    done
+  done;
+  (* Rewire clockwise lattice edges (u, u+j): replace the far endpoint by
+     a uniform vertex, skipping self loops and existing edges. *)
+  for u = 0 to n - 1 do
+    for j = 1 to k / 2 do
+      let v = (u + j) mod n in
+      if Rng.bernoulli rng beta && Builder.mem_edge b u v then begin
+        let attempts = ref 0 in
+        let placed = ref false in
+        while (not !placed) && !attempts < 32 do
+          incr attempts;
+          let w = Rng.int rng n in
+          if w <> u && not (Builder.mem_edge b u w) then begin
+            Builder.remove_edge b u v;
+            Builder.add_edge b u w;
+            placed := true
+          end
+        done
+      end
+    done
+  done;
+  Builder.to_graph b

@@ -1,0 +1,14 @@
+(** Watts–Strogatz small-world graphs.
+
+    Another realistic initial class for the dynamics: high clustering with
+    short paths, interpolating between the ring lattice (β = 0) and an
+    Erdős–Rényi-like graph (β = 1). *)
+
+(** [generate rng ~n ~k ~beta] — ring lattice where each vertex connects
+    to its [k] nearest neighbours ([k] even, [k < n]), then each edge is
+    rewired with probability [beta] to a uniform non-duplicate endpoint.
+    Connectivity is typical but not guaranteed for large [beta]; pair with
+    a resampling loop if you need it. @raise Invalid_argument on odd [k],
+    [k >= n], [k < 2], or [beta] outside [0, 1]. *)
+val generate :
+  Ncg_prng.Rng.t -> n:int -> k:int -> beta:float -> Ncg_graph.Graph.t

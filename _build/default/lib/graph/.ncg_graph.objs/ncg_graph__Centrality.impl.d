@@ -1,0 +1,1 @@
+lib/graph/centrality.ml: Array Bfs Graph List Ncg_util

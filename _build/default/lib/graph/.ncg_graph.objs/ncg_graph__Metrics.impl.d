@@ -1,0 +1,1 @@
+lib/graph/metrics.ml: Array Bfs Graph Option

@@ -1,0 +1,1 @@
+lib/graph/power.ml: Array Bfs Graph Ncg_util

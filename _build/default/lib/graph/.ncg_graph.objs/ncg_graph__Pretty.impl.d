@@ -1,0 +1,1 @@
+lib/graph/pretty.ml: Array Buffer Graph List Printf String

@@ -1,0 +1,71 @@
+let unreachable = -1
+
+let distances_within g src ~radius =
+  let n = Graph.order g in
+  let dist = Array.make n unreachable in
+  let q = Ncg_util.Int_queue.create ~initial_capacity:n () in
+  dist.(src) <- 0;
+  Ncg_util.Int_queue.push q src;
+  while not (Ncg_util.Int_queue.is_empty q) do
+    let u = Ncg_util.Int_queue.pop q in
+    let du = dist.(u) in
+    if du < radius then
+      Array.iter
+        (fun v ->
+          if dist.(v) = unreachable then begin
+            dist.(v) <- du + 1;
+            Ncg_util.Int_queue.push q v
+          end)
+        (Graph.neighbors g u)
+  done;
+  dist
+
+let distances g src = distances_within g src ~radius:max_int
+
+let ball g src ~radius =
+  let dist = distances_within g src ~radius in
+  let acc = ref [] in
+  for v = Graph.order g - 1 downto 0 do
+    if dist.(v) <> unreachable then acc := v :: !acc
+  done;
+  !acc
+
+let eccentricity g src =
+  let dist = distances g src in
+  let ecc = ref 0 in
+  let connected = ref true in
+  Array.iter
+    (fun d -> if d = unreachable then connected := false else if d > !ecc then ecc := d)
+    dist;
+  if !connected then Some !ecc else None
+
+let sum_distances g src =
+  let dist = distances g src in
+  let sum = ref 0 in
+  let connected = ref true in
+  Array.iter (fun d -> if d = unreachable then connected := false else sum := !sum + d) dist;
+  if !connected then Some !sum else None
+
+let is_connected g =
+  let n = Graph.order g in
+  n = 0
+  ||
+  let dist = distances g 0 in
+  Array.for_all (fun d -> d <> unreachable) dist
+
+let shortest_path g u v =
+  let dist = distances g u in
+  if dist.(v) = unreachable then None
+  else begin
+    (* Walk back from [v] following any neighbour one step closer to [u]. *)
+    let rec back w acc =
+      if w = u then w :: acc
+      else begin
+        let nbrs = Graph.neighbors g w in
+        let pred = ref (-1) in
+        Array.iter (fun x -> if !pred < 0 && dist.(x) = dist.(w) - 1 then pred := x) nbrs;
+        back !pred (w :: acc)
+      end
+    in
+    Some (back v [])
+  end

@@ -1,0 +1,34 @@
+(** Breadth-first search primitives.
+
+    Distances are returned as [int array]s indexed by vertex, with
+    {!unreachable} marking vertices in other components. *)
+
+(** Distance value for vertices not reached by the search. *)
+val unreachable : int
+
+(** [distances g u] is the array of hop distances from [u];
+    [unreachable] where [u] cannot reach. O(n + m). *)
+val distances : Graph.t -> int -> int array
+
+(** [distances_within g u ~radius] stops expanding at depth [radius]:
+    vertices farther than [radius] get [unreachable]. *)
+val distances_within : Graph.t -> int -> radius:int -> int array
+
+(** [ball g u ~radius] is the sorted list of vertices at distance
+    ≤ [radius] from [u] ([u] included). *)
+val ball : Graph.t -> int -> radius:int -> int list
+
+(** [eccentricity g u] is [Some] of the largest distance from [u], or
+    [None] if some vertex is unreachable (infinite eccentricity). *)
+val eccentricity : Graph.t -> int -> int option
+
+(** [sum_distances g u] is [Some] of the sum of distances from [u] to every
+    other vertex, or [None] if the graph is disconnected from [u]. *)
+val sum_distances : Graph.t -> int -> int option
+
+(** [is_connected g] for [order g = 0] is [true]. *)
+val is_connected : Graph.t -> bool
+
+(** [shortest_path g u v] is a path [u; ...; v] of minimum length, or
+    [None] if unreachable. *)
+val shortest_path : Graph.t -> int -> int -> int list option

@@ -1,0 +1,59 @@
+type t = { n : int; adj : (int, unit) Hashtbl.t array; mutable m : int }
+
+let create n =
+  if n < 0 then invalid_arg "Builder.create: negative order";
+  { n; adj = Array.init n (fun _ -> Hashtbl.create 4); m = 0 }
+
+let order b = b.n
+let size b = b.m
+
+let check b v =
+  if v < 0 || v >= b.n then invalid_arg "Builder: vertex out of range"
+
+let mem_edge b u v =
+  check b u;
+  check b v;
+  Hashtbl.mem b.adj.(u) v
+
+let add_edge b u v =
+  check b u;
+  check b v;
+  if u = v then invalid_arg "Builder.add_edge: self loop";
+  if not (Hashtbl.mem b.adj.(u) v) then begin
+    Hashtbl.replace b.adj.(u) v ();
+    Hashtbl.replace b.adj.(v) u ();
+    b.m <- b.m + 1
+  end
+
+let remove_edge b u v =
+  check b u;
+  check b v;
+  if Hashtbl.mem b.adj.(u) v then begin
+    Hashtbl.remove b.adj.(u) v;
+    Hashtbl.remove b.adj.(v) u;
+    b.m <- b.m - 1
+  end
+
+let degree b u =
+  check b u;
+  Hashtbl.length b.adj.(u)
+
+let neighbors b u =
+  check b u;
+  Hashtbl.fold (fun v () acc -> v :: acc) b.adj.(u) []
+
+let iter_neighbors f b u =
+  check b u;
+  Hashtbl.iter (fun v () -> f v) b.adj.(u)
+
+let to_graph b =
+  let edges = ref [] in
+  for u = 0 to b.n - 1 do
+    Hashtbl.iter (fun v () -> if u < v then edges := (u, v) :: !edges) b.adj.(u)
+  done;
+  Graph.of_edges ~n:b.n !edges
+
+let of_graph g =
+  let b = create (Graph.order g) in
+  Graph.iter_edges (fun u v -> add_edge b u v) g;
+  b

@@ -1,0 +1,39 @@
+(** Mutable graph builder for generators.
+
+    Generators that add edges incrementally under constraints (degree
+    caps, girth checks) need O(1) membership and degree queries before
+    committing an edge; building throwaway immutable graphs per step
+    would be quadratic. The builder offers exactly that and converts to
+    an immutable {!Graph.t} at the end. *)
+
+type t
+
+(** [create n] — an empty builder on vertices [0, n). *)
+val create : int -> t
+
+val order : t -> int
+
+(** Number of edges currently added. *)
+val size : t -> int
+
+(** [add_edge b u v] — no-op if the edge already exists.
+    @raise Invalid_argument on self loops or out-of-range endpoints. *)
+val add_edge : t -> int -> int -> unit
+
+(** [remove_edge b u v] — no-op if absent. *)
+val remove_edge : t -> int -> int -> unit
+
+val mem_edge : t -> int -> int -> bool
+val degree : t -> int -> int
+
+(** Current neighbours (unsorted, fresh list). *)
+val neighbors : t -> int -> int list
+
+(** [iter_neighbors f b u] avoids the list allocation of {!neighbors}. *)
+val iter_neighbors : (int -> unit) -> t -> int -> unit
+
+(** Freeze into an immutable graph. The builder remains usable. *)
+val to_graph : t -> Graph.t
+
+(** Seed a builder from an existing graph. *)
+val of_graph : Graph.t -> t

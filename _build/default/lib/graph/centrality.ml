@@ -1,0 +1,60 @@
+let closeness g u =
+  let n = Graph.order g in
+  if n <= 1 then 0.0
+  else begin
+    match Bfs.sum_distances g u with
+    | Some total when total > 0 -> float_of_int (n - 1) /. float_of_int total
+    | Some _ -> 0.0 (* n > 1 and total = 0 cannot happen in simple graphs *)
+    | None -> 0.0
+  end
+
+let closeness_all g = Array.init (Graph.order g) (closeness g)
+
+(* Brandes (2001). One BFS per source; back-propagation of pair
+   dependencies along the shortest-path DAG. *)
+let betweenness g =
+  let n = Graph.order g in
+  let cb = Array.make n 0.0 in
+  let dist = Array.make n (-1) in
+  let sigma = Array.make n 0.0 in
+  let delta = Array.make n 0.0 in
+  let preds = Array.make n [] in
+  let order = Array.make n 0 in
+  let queue = Ncg_util.Int_queue.create ~initial_capacity:n () in
+  for s = 0 to n - 1 do
+    Array.fill dist 0 n (-1);
+    Array.fill sigma 0 n 0.0;
+    Array.fill delta 0 n 0.0;
+    Array.fill preds 0 n [];
+    let visited = ref 0 in
+    dist.(s) <- 0;
+    sigma.(s) <- 1.0;
+    Ncg_util.Int_queue.clear queue;
+    Ncg_util.Int_queue.push queue s;
+    while not (Ncg_util.Int_queue.is_empty queue) do
+      let v = Ncg_util.Int_queue.pop queue in
+      order.(!visited) <- v;
+      incr visited;
+      Array.iter
+        (fun w ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- dist.(v) + 1;
+            Ncg_util.Int_queue.push queue w
+          end;
+          if dist.(w) = dist.(v) + 1 then begin
+            sigma.(w) <- sigma.(w) +. sigma.(v);
+            preds.(w) <- v :: preds.(w)
+          end)
+        (Graph.neighbors g v)
+    done;
+    (* Reverse BFS order: accumulate dependencies. *)
+    for i = !visited - 1 downto 0 do
+      let w = order.(i) in
+      List.iter
+        (fun v -> delta.(v) <- delta.(v) +. (sigma.(v) /. sigma.(w) *. (1.0 +. delta.(w))))
+        preds.(w);
+      if w <> s then cb.(w) <- cb.(w) +. delta.(w)
+    done
+  done;
+  (* Each unordered pair was counted from both endpoints. *)
+  Array.map (fun x -> x /. 2.0) cb

@@ -1,0 +1,20 @@
+(** Vertex centralities.
+
+    Closeness is the inverse of a player's SumNCG usage cost, and
+    betweenness identifies the brokers that emerge in equilibrium networks
+    (the near-universal hubs of Figure 8 have extreme values of both) —
+    worth having first-class when analyzing the dynamics' outputs. *)
+
+(** [closeness g u] is (n−1) / Σ_v d(u,v), or 0.0 when [u] cannot reach
+    everyone (the standard convention) or n = 1. In [0, 1]; 1 iff [u] is
+    adjacent to everyone. *)
+val closeness : Graph.t -> int -> float
+
+(** All closeness values, one BFS per vertex. *)
+val closeness_all : Graph.t -> float array
+
+(** Betweenness centrality of every vertex (Brandes' algorithm,
+    O(n·m) for unweighted graphs). Each unordered pair {s, t} with
+    s ≠ v ≠ t contributes σ_st(v)/σ_st, where σ_st counts shortest
+    s–t paths and σ_st(v) those through [v]. Unnormalized. *)
+val betweenness : Graph.t -> float array

@@ -1,0 +1,42 @@
+let labels g =
+  let n = Graph.order g in
+  let label = Array.make n (-1) in
+  let next = ref 0 in
+  let q = Ncg_util.Int_queue.create ~initial_capacity:n () in
+  for s = 0 to n - 1 do
+    if label.(s) < 0 then begin
+      let id = !next in
+      incr next;
+      label.(s) <- id;
+      Ncg_util.Int_queue.push q s;
+      while not (Ncg_util.Int_queue.is_empty q) do
+        let u = Ncg_util.Int_queue.pop q in
+        Array.iter
+          (fun v ->
+            if label.(v) < 0 then begin
+              label.(v) <- id;
+              Ncg_util.Int_queue.push q v
+            end)
+          (Graph.neighbors g u)
+      done
+    end
+  done;
+  label
+
+let count g =
+  let label = labels g in
+  Array.fold_left max (-1) label + 1
+
+let components g =
+  let label = labels g in
+  let n = Graph.order g in
+  let k = Array.fold_left max (-1) label + 1 in
+  let buckets = Array.make k [] in
+  for v = n - 1 downto 0 do
+    buckets.(label.(v)) <- v :: buckets.(label.(v))
+  done;
+  Array.to_list buckets
+
+let same_component g u v =
+  let label = labels g in
+  label.(u) = label.(v)

@@ -1,0 +1,14 @@
+(** Connected components. *)
+
+(** [labels g] maps each vertex to a component id in [0, count); ids are
+    assigned in order of smallest member. *)
+val labels : Graph.t -> int array
+
+(** Number of connected components (0 for the empty graph). *)
+val count : Graph.t -> int
+
+(** The components as sorted vertex lists, ordered by smallest member. *)
+val components : Graph.t -> int list list
+
+(** [same_component g u v]. *)
+val same_component : Graph.t -> int -> int -> bool

@@ -1,0 +1,46 @@
+(* Classic BFS-based girth: a BFS from [s] finds, at the first non-tree
+   edge joining two vertices u, v already reached, a cycle of length
+   dist(u) + dist(v) + 1 through s. Taking the minimum over all roots is
+   exact for unweighted graphs. We cap the BFS depth at the best bound
+   found so far for speed. *)
+
+let cycle_through g s ~cap =
+  let n = Graph.order g in
+  let dist = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let q = Ncg_util.Int_queue.create ~initial_capacity:n () in
+  dist.(s) <- 0;
+  Ncg_util.Int_queue.push q s;
+  let best = ref cap in
+  (try
+     while not (Ncg_util.Int_queue.is_empty q) do
+       let u = Ncg_util.Int_queue.pop q in
+       if 2 * dist.(u) >= !best then raise Exit;
+       Array.iter
+         (fun v ->
+           if v <> parent.(u) then
+             if dist.(v) = -1 then begin
+               dist.(v) <- dist.(u) + 1;
+               parent.(v) <- u;
+               Ncg_util.Int_queue.push q v
+             end
+             else begin
+               (* Non-tree edge: cycle through s of this length. *)
+               let len = dist.(u) + dist.(v) + 1 in
+               if len < !best then best := len
+             end)
+         (Graph.neighbors g u)
+     done
+   with Exit -> ());
+  !best
+
+let girth g =
+  let n = Graph.order g in
+  let best = ref max_int in
+  for s = 0 to n - 1 do
+    best := cycle_through g s ~cap:!best
+  done;
+  if !best = max_int then None else Some !best
+
+let girth_at_least g l =
+  match girth g with None -> true | Some gg -> gg >= l

@@ -1,0 +1,14 @@
+(** Girth (length of a shortest cycle).
+
+    Needed twice by the paper: Lemma 3.17 bounds the density of equilibrium
+    graphs through their girth, and Lemma 3.2's construction requires
+    certified high-girth inputs. *)
+
+(** [girth g] is the length of a shortest cycle, or [None] for a forest.
+    One truncated BFS per vertex: O(n·(n+m)) worst case. *)
+val girth : Graph.t -> int option
+
+(** [girth_at_least g l] is [true] iff [g] has no cycle shorter than [l]
+    (forests qualify for every [l]). Early-exits, so much faster than
+    computing the exact girth when only a certificate is needed. *)
+val girth_at_least : Graph.t -> int -> bool

@@ -1,0 +1,107 @@
+type t = { n : int; adj : int array array; m : int }
+
+let check_endpoint n v =
+  if v < 0 || v >= n then invalid_arg "Graph: vertex out of range"
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative order";
+  (* Normalize, validate and dedupe through per-vertex sorted lists. *)
+  let deg = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      check_endpoint n u;
+      check_endpoint n v;
+      if u = v then invalid_arg "Graph.of_edges: self loop";
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let adj = Array.init n (fun u -> Array.make deg.(u) 0) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  (* Sort and remove duplicates per vertex. *)
+  let m = ref 0 in
+  let adj =
+    Array.map
+      (fun nbrs ->
+        Array.sort compare nbrs;
+        let len = Array.length nbrs in
+        if len = 0 then nbrs
+        else begin
+          let uniq = ref 1 in
+          for i = 1 to len - 1 do
+            if nbrs.(i) <> nbrs.(i - 1) then begin
+              nbrs.(!uniq) <- nbrs.(i);
+              incr uniq
+            end
+          done;
+          Array.sub nbrs 0 !uniq
+        end)
+      adj
+  in
+  Array.iter (fun nbrs -> m := !m + Array.length nbrs) adj;
+  { n; adj; m = !m / 2 }
+
+let empty n = of_edges ~n []
+let order g = g.n
+let size g = g.m
+
+let neighbors g u =
+  check_endpoint g.n u;
+  g.adj.(u)
+
+let degree g u = Array.length (neighbors g u)
+
+let mem_edge g u v =
+  check_endpoint g.n u;
+  check_endpoint g.n v;
+  let nbrs = g.adj.(u) in
+  let rec bsearch lo hi =
+    if lo >= hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if nbrs.(mid) = v then true
+      else if nbrs.(mid) < v then bsearch (mid + 1) hi
+      else bsearch lo mid
+    end
+  in
+  bsearch 0 (Array.length nbrs)
+
+let iter_edges f g =
+  for u = 0 to g.n - 1 do
+    Array.iter (fun v -> if u < v then f u v) g.adj.(u)
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges (fun u v -> acc := (u, v) :: !acc) g;
+  List.rev !acc
+
+let fold_vertices f g init =
+  let acc = ref init in
+  for u = 0 to g.n - 1 do
+    acc := f u !acc
+  done;
+  !acc
+
+let add_edges g extra = of_edges ~n:g.n (List.rev_append (edges g) extra)
+
+let remove_vertex_edges g u =
+  check_endpoint g.n u;
+  let keep = List.filter (fun (a, b) -> a <> u && b <> u) (edges g) in
+  of_edges ~n:g.n keep
+
+let equal a b =
+  a.n = b.n
+  && a.m = b.m
+  && begin
+       let rec all u = u >= a.n || (a.adj.(u) = b.adj.(u) && all (u + 1)) in
+       all 0
+     end
+
+let pp ppf g = Format.fprintf ppf "graph(n=%d, m=%d)" g.n g.m

@@ -1,0 +1,64 @@
+(** Immutable, simple, undirected graphs on vertices [0 .. n-1].
+
+    The representation is an adjacency array ([int array array]) with sorted
+    neighbour lists, built once from an edge list — the sparse-graph shape
+    all algorithms in this project (BFS-heavy) want. Self loops are rejected
+    and parallel edges collapse.
+
+    Mutation is not supported on purpose: in the network creation game the
+    source of truth is the strategy profile and the graph is re-derived from
+    it after a move (see {!Ncg.Strategy}). *)
+
+type t
+
+(** {1 Construction} *)
+
+(** [of_edges ~n edges] builds a graph on [n] vertices. Duplicate edges
+    (in either orientation) are collapsed.
+    @raise Invalid_argument on a self loop or an endpoint outside [0, n). *)
+val of_edges : n:int -> (int * int) list -> t
+
+(** [empty n] has [n] vertices and no edges. *)
+val empty : int -> t
+
+(** {1 Observation} *)
+
+(** Number of vertices. *)
+val order : t -> int
+
+(** Number of edges. *)
+val size : t -> int
+
+(** [neighbors g u] is the sorted array of neighbours of [u]. The returned
+    array is owned by the graph: do not mutate it. *)
+val neighbors : t -> int -> int array
+
+(** [degree g u] is the number of neighbours of [u]. *)
+val degree : t -> int -> int
+
+(** [mem_edge g u v] tests adjacency in O(log degree). *)
+val mem_edge : t -> int -> int -> bool
+
+(** Every edge [(u, v)] with [u < v], in lexicographic order. *)
+val edges : t -> (int * int) list
+
+(** [iter_edges f g] applies [f u v] to every edge with [u < v]. *)
+val iter_edges : (int -> int -> unit) -> t -> unit
+
+(** [fold_vertices f g init] folds over [0 .. n-1] in order. *)
+val fold_vertices : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** {1 Derivation} *)
+
+(** [add_edges g extra] is a fresh graph with the additional edges. *)
+val add_edges : t -> (int * int) list -> t
+
+(** [remove_vertex_edges g u] removes every edge incident to [u] (the vertex
+    itself remains, isolated). *)
+val remove_vertex_edges : t -> int -> t
+
+(** Structural equality (same order, same edge set). *)
+val equal : t -> t -> bool
+
+(** Pretty-printer: ["graph(n=5, m=4)"]. *)
+val pp : Format.formatter -> t -> unit

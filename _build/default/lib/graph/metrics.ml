@@ -1,0 +1,78 @@
+let eccentricities g =
+  let n = Graph.order g in
+  let ecc = Array.make n 0 in
+  let ok = ref true in
+  let u = ref 0 in
+  while !ok && !u < n do
+    (match Bfs.eccentricity g !u with
+    | Some e -> ecc.(!u) <- e
+    | None -> ok := false);
+    incr u
+  done;
+  if !ok then Some ecc else None
+
+let diameter g =
+  if Graph.order g = 0 then None
+  else Option.map (fun ecc -> Array.fold_left max 0 ecc) (eccentricities g)
+
+let radius g =
+  if Graph.order g = 0 then None
+  else Option.map (fun ecc -> Array.fold_left min max_int ecc) (eccentricities g)
+
+let max_degree g =
+  Graph.fold_vertices (fun u acc -> max acc (Graph.degree g u)) g 0
+
+let avg_degree g =
+  let n = Graph.order g in
+  if n = 0 then 0.0 else 2.0 *. float_of_int (Graph.size g) /. float_of_int n
+
+let total_distance g =
+  let n = Graph.order g in
+  let total = ref 0 in
+  let ok = ref true in
+  let u = ref 0 in
+  while !ok && !u < n do
+    (match Bfs.sum_distances g !u with
+    | Some s -> total := !total + s
+    | None -> ok := false);
+    incr u
+  done;
+  if !ok then Some !total else None
+
+let distance_matrix g =
+  Array.init (Graph.order g) (fun u -> Bfs.distances g u)
+
+let density g =
+  let n = Graph.order g in
+  if n < 2 then 0.0
+  else 2.0 *. float_of_int (Graph.size g) /. float_of_int (n * (n - 1))
+
+let degree_histogram g =
+  let hist = Array.make (max_degree g + 1) 0 in
+  Graph.fold_vertices
+    (fun u () ->
+      let d = Graph.degree g u in
+      hist.(d) <- hist.(d) + 1)
+    g ();
+  hist
+
+let local_clustering g u =
+  let nbrs = Graph.neighbors g u in
+  let d = Array.length nbrs in
+  if d < 2 then 0.0
+  else begin
+    let links = ref 0 in
+    for i = 0 to d - 1 do
+      for j = i + 1 to d - 1 do
+        if Graph.mem_edge g nbrs.(i) nbrs.(j) then incr links
+      done
+    done;
+    2.0 *. float_of_int !links /. float_of_int (d * (d - 1))
+  end
+
+let avg_clustering g =
+  let n = Graph.order g in
+  if n = 0 then 0.0
+  else
+    Graph.fold_vertices (fun u acc -> acc +. local_clustering g u) g 0.0
+    /. float_of_int n

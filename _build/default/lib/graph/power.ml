@@ -1,0 +1,24 @@
+let power g h =
+  if h < 0 then invalid_arg "Power.power: negative exponent";
+  let n = Graph.order g in
+  if h = 0 then Graph.empty n
+  else begin
+    let edges = ref [] in
+    for u = 0 to n - 1 do
+      let dist = Bfs.distances_within g u ~radius:h in
+      for v = u + 1 to n - 1 do
+        if dist.(v) <> Bfs.unreachable then edges := (u, v) :: !edges
+      done
+    done;
+    Graph.of_edges ~n !edges
+  end
+
+let ball_sets g h =
+  let n = Graph.order g in
+  Array.init n (fun u ->
+      let s = Ncg_util.Bitset.create n in
+      let dist = Bfs.distances_within g u ~radius:(max h 0) in
+      for v = 0 to n - 1 do
+        if dist.(v) <> Bfs.unreachable then Ncg_util.Bitset.add s v
+      done;
+      s)

@@ -1,0 +1,15 @@
+(** Graph powers.
+
+    The paper's exact best-response algorithm (Section 5.3) reduces
+    MaxNCG best response to minimum dominating set on the (h−1)-th power
+    of the view minus the player. *)
+
+(** [power g h] has an edge (u, v) iff [0 < d_g(u, v) <= h].
+    [power g 1] equals [g]. @raise Invalid_argument if [h < 0].
+    [power g 0] is the empty graph on the same vertices. *)
+val power : Graph.t -> int -> Graph.t
+
+(** [ball_sets g h] is, for each vertex [u], the closed ball
+    {v : d(u,v) ≤ h} as a bitset — the covering sets of the dominating-set
+    instance, computed without materializing the power graph. *)
+val ball_sets : Graph.t -> int -> Ncg_util.Bitset.t array

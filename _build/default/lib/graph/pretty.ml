@@ -1,0 +1,46 @@
+let to_dot ?(name = "g") g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  for u = 0 to Graph.order g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d;\n" u)
+  done;
+  Graph.iter_edges (fun u v -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v)) g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_edge_list_string g =
+  let buf = Buffer.create 256 in
+  Graph.iter_edges (fun u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v)) g;
+  Buffer.contents buf
+
+let of_edge_list_string ~n s =
+  let edges =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun line ->
+           let line = String.trim line in
+           if line = "" then None
+           else begin
+             match String.split_on_char ' ' line with
+             | [a; b] -> begin
+                 match (int_of_string_opt a, int_of_string_opt b) with
+                 | Some u, Some v -> Some (u, v)
+                 | _ -> invalid_arg "Pretty.of_edge_list_string: bad integers"
+               end
+             | _ -> invalid_arg "Pretty.of_edge_list_string: bad line"
+           end)
+  in
+  Graph.of_edges ~n edges
+
+let to_adjacency_string g =
+  let buf = Buffer.create 256 in
+  for u = 0 to Graph.order g - 1 do
+    Buffer.add_string buf (string_of_int u);
+    Buffer.add_char buf ':';
+    Array.iter
+      (fun v ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int v))
+      (Graph.neighbors g u);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** Textual renderings of graphs (debugging, examples, DOT export). *)
+
+(** Graphviz DOT source for an undirected graph. *)
+val to_dot : ?name:string -> Graph.t -> string
+
+(** One edge per line: ["u v"]. Parsable by {!of_edge_list_string}. *)
+val to_edge_list_string : Graph.t -> string
+
+(** Parse the format produced by {!to_edge_list_string}.
+    @raise Invalid_argument on malformed input. *)
+val of_edge_list_string : n:int -> string -> Graph.t
+
+(** Compact adjacency dump for small graphs: ["0: 1 2\n1: 0\n..."]. *)
+val to_adjacency_string : Graph.t -> string

@@ -1,0 +1,24 @@
+type mapping = { to_sub : int array; to_host : int array }
+
+let induced g vertices =
+  let n = Graph.order g in
+  let to_sub = Array.make n (-1) in
+  let sorted = List.sort_uniq compare vertices in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Subgraph.induced: vertex out of range")
+    sorted;
+  let to_host = Array.of_list sorted in
+  Array.iteri (fun i v -> to_sub.(v) <- i) to_host;
+  let edges = ref [] in
+  Array.iteri
+    (fun i v ->
+      Array.iter
+        (fun w ->
+          let j = to_sub.(w) in
+          if j >= 0 && i < j then edges := (i, j) :: !edges)
+        (Graph.neighbors g v))
+    to_host;
+  (Graph.of_edges ~n:(Array.length to_host) !edges, { to_sub; to_host })
+
+let ball_induced g u ~radius = induced g (Bfs.ball g u ~radius)

@@ -1,0 +1,20 @@
+(** Induced subgraphs with vertex renaming.
+
+    Extracting a player's k-neighbourhood view is the central operation of
+    the locality model, and it needs a bidirectional map between the names
+    of vertices in the host graph and in the extracted subgraph. *)
+
+type mapping = {
+  to_sub : int array;
+      (** host vertex → subgraph vertex, or [-1] if not included *)
+  to_host : int array;  (** subgraph vertex → host vertex *)
+}
+
+(** [induced g vertices] is the subgraph induced by [vertices] (need not be
+    sorted; duplicates collapse) together with the renaming. Vertices are
+    renamed in increasing host order. *)
+val induced : Graph.t -> int list -> Graph.t * mapping
+
+(** [ball_induced g u ~radius] is [induced] on the ball of radius [radius]
+    around [u] — a player's view, graph-side. *)
+val ball_induced : Graph.t -> int -> radius:int -> Graph.t * mapping

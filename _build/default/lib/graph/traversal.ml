@@ -1,0 +1,112 @@
+let dfs_preorder g root =
+  let n = Graph.order g in
+  if root < 0 || root >= n then invalid_arg "Traversal.dfs_preorder: bad root";
+  let seen = Array.make n false in
+  let order = ref [] in
+  (* Explicit stack; neighbours are pushed in reverse so that the
+     smallest is visited first. *)
+  let stack = ref [ root ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | u :: rest ->
+        stack := rest;
+        if not seen.(u) then begin
+          seen.(u) <- true;
+          order := u :: !order;
+          let nbrs = Graph.neighbors g u in
+          for i = Array.length nbrs - 1 downto 0 do
+            if not seen.(nbrs.(i)) then stack := nbrs.(i) :: !stack
+          done
+        end
+  done;
+  List.rev !order
+
+let bipartition g =
+  let n = Graph.order g in
+  let color = Array.make n (-1) in
+  let ok = ref true in
+  let q = Ncg_util.Int_queue.create ~initial_capacity:n () in
+  for s = 0 to n - 1 do
+    if !ok && color.(s) < 0 then begin
+      color.(s) <- 0;
+      Ncg_util.Int_queue.push q s;
+      while not (Ncg_util.Int_queue.is_empty q) do
+        let u = Ncg_util.Int_queue.pop q in
+        Array.iter
+          (fun v ->
+            if color.(v) < 0 then begin
+              color.(v) <- 1 - color.(u);
+              Ncg_util.Int_queue.push q v
+            end
+            else if color.(v) = color.(u) then ok := false)
+          (Graph.neighbors g u)
+      done
+    end
+  done;
+  if !ok then Some color else None
+
+let is_bipartite g = bipartition g <> None
+
+(* Hopcroft–Tarjan low-link computation, iterative to survive deep
+   graphs. Returns (articulation point flags, bridge list). *)
+let lowlink_scan g =
+  let n = Graph.order g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let parent = Array.make n (-1) in
+  let is_cut = Array.make n false in
+  let bridges = ref [] in
+  let timer = ref 0 in
+  for root = 0 to n - 1 do
+    if disc.(root) = -1 then begin
+      let root_children = ref 0 in
+      (* Frame: (vertex, index of next neighbour to process). *)
+      let stack = ref [ (root, ref 0) ] in
+      disc.(root) <- !timer;
+      low.(root) <- !timer;
+      incr timer;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (u, next) :: rest ->
+            let nbrs = Graph.neighbors g u in
+            if !next < Array.length nbrs then begin
+              let v = nbrs.(!next) in
+              incr next;
+              if disc.(v) = -1 then begin
+                parent.(v) <- u;
+                if u = root then incr root_children;
+                disc.(v) <- !timer;
+                low.(v) <- !timer;
+                incr timer;
+                stack := (v, ref 0) :: !stack
+              end
+              else if v <> parent.(u) then low.(u) <- min low.(u) disc.(v)
+            end
+            else begin
+              (* Post-order: propagate low-link to the parent. *)
+              stack := rest;
+              let p = parent.(u) in
+              if p >= 0 then begin
+                low.(p) <- min low.(p) low.(u);
+                if low.(u) > disc.(p) then
+                  bridges := ((min p u, max p u)) :: !bridges;
+                if p <> root && low.(u) >= disc.(p) then is_cut.(p) <- true
+              end
+            end
+      done;
+      if !root_children >= 2 then is_cut.(root) <- true
+    end
+  done;
+  (is_cut, List.sort compare !bridges)
+
+let articulation_points g =
+  let is_cut, _ = lowlink_scan g in
+  let acc = ref [] in
+  for v = Graph.order g - 1 downto 0 do
+    if is_cut.(v) then acc := v :: !acc
+  done;
+  !acc
+
+let bridges g = snd (lowlink_scan g)

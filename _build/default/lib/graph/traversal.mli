@@ -1,0 +1,22 @@
+(** Depth-first traversal and structural predicates built on it. *)
+
+(** [dfs_preorder g root] — vertices reachable from [root] in preorder;
+    neighbour ties broken in increasing vertex order (deterministic). *)
+val dfs_preorder : Graph.t -> int -> int list
+
+(** [bipartition g] is [Some colors] (0/1 per vertex; vertices of
+    different components coloured independently, each component's
+    smallest vertex coloured 0) iff the graph has no odd cycle. *)
+val bipartition : Graph.t -> int array option
+
+val is_bipartite : Graph.t -> bool
+
+(** Cut vertices (articulation points), sorted. A vertex is a cut vertex
+    iff removing it increases the number of connected components —
+    exactly the players whose edge set is load-bearing for connectivity
+    in a network creation game. Hopcroft–Tarjan, O(n + m). *)
+val articulation_points : Graph.t -> int list
+
+(** [bridges g] — edges (u, v) with [u < v], sorted, whose removal
+    disconnects their component. *)
+val bridges : Graph.t -> (int * int) list

@@ -1,0 +1,66 @@
+type t = Splitmix64.t
+
+(* Mix the user-facing int seed through one SplitMix64 step so that small
+   consecutive seeds (0, 1, 2, ...) still produce well-separated streams. *)
+let create seed =
+  let boot = Splitmix64.create (Int64.of_int seed) in
+  Splitmix64.create (Splitmix64.next boot)
+
+let copy = Splitmix64.copy
+let split = Splitmix64.split
+
+(* 62 uniformly distributed non-negative bits. *)
+let bits62 t = Int64.to_int (Int64.shift_right_logical (Splitmix64.next t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top multiple of [bound] to avoid modulo
+     bias. The loop almost never iterates more than once. *)
+  let limit = 0x3FFFFFFFFFFFFFFF / bound * bound in
+  let rec draw () =
+    let r = bits62 t in
+    if r < limit then r mod bound else draw ()
+  in
+  draw ()
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let mantissa = Int64.to_int (Int64.shift_right_logical (Splitmix64.next t) 11) in
+  float_of_int mantissa *. 0x1.0p-53
+
+let bool t = Int64.logand (Splitmix64.next t) 1L = 1L
+let bernoulli t p = float t < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample t ~n ~k =
+  if k < 0 || k > n then invalid_arg "Rng.sample: need 0 <= k <= n";
+  (* Floyd's algorithm: k iterations, O(k) expected hash operations. *)
+  let chosen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    if Hashtbl.mem chosen r then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen r ()
+  done;
+  let out = Array.make k 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun x () ->
+      out.(!i) <- x;
+      incr i)
+    chosen;
+  Array.sort compare out;
+  out
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,44 @@
+(** High-level deterministic random source used by every randomized
+    component of the project.
+
+    Wraps {!Splitmix64} with the distributions the generators and the
+    experiment harness need. All functions advance the generator state. *)
+
+type t
+
+(** [create seed] is a fresh source. The same seed always yields the same
+    stream of values. *)
+val create : int -> t
+
+(** [copy t] is an independent source with the same state. *)
+val copy : t -> t
+
+(** [split t] derives an independent child source, advancing [t]. Used to
+    give each trial of an experiment its own stream. *)
+val split : t -> t
+
+(** [int t bound] is uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. Unbiased (rejection sampling). *)
+val int : t -> int -> int
+
+(** [int_in_range t ~lo ~hi] is uniform in [lo, hi] inclusive. *)
+val int_in_range : t -> lo:int -> hi:int -> int
+
+(** [float t] is uniform in [0, 1). 53-bit resolution. *)
+val float : t -> float
+
+(** [bool t] is a fair coin toss. *)
+val bool : t -> bool
+
+(** [bernoulli t p] is [true] with probability [p]. *)
+val bernoulli : t -> float -> bool
+
+(** [shuffle t a] permutes [a] in place, uniformly (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [sample t ~n ~k] is a sorted array of [k] distinct ints drawn uniformly
+    from [0, n). @raise Invalid_argument if [k > n] or [k < 0]. *)
+val sample : t -> n:int -> k:int -> int array
+
+(** [choose t a] is a uniformly random element of a non-empty array. *)
+val choose : t -> 'a array -> 'a

@@ -1,0 +1,23 @@
+(** SplitMix64 pseudo-random number generator (Steele, Lea & Flood, 2014).
+
+    A tiny, fast, well-distributed 64-bit generator with a single [int64]
+    state word. We use it instead of [Stdlib.Random] so that every
+    experiment in this repository is reproducible bit-for-bit across OCaml
+    versions: the stdlib generator changed algorithms between releases,
+    SplitMix64 is frozen by definition. *)
+
+type t
+
+(** [create seed] is a fresh generator. Distinct seeds give independent
+    streams for practical purposes. *)
+val create : int64 -> t
+
+(** [copy t] is an independent generator with the same state. *)
+val copy : t -> t
+
+(** Next raw 64-bit output. *)
+val next : t -> int64
+
+(** [split t] is a new generator seeded from [t]'s stream, advancing [t].
+    Streams of parent and child are independent for practical purposes. *)
+val split : t -> t

@@ -1,0 +1,34 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let create seed =
+  let boot = Splitmix64.create seed in
+  let s0 = Splitmix64.next boot in
+  let s1 = Splitmix64.next boot in
+  let s2 = Splitmix64.next boot in
+  let s3 = Splitmix64.next boot in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let uniform_int t bound =
+  if bound <= 0 then invalid_arg "Xoshiro256pp.uniform_int: bound must be positive";
+  let limit = 0x3FFFFFFFFFFFFFFF / bound * bound in
+  let rec draw () =
+    let r = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+    if r < limit then r mod bound else draw ()
+  in
+  draw ()

@@ -1,0 +1,23 @@
+(** xoshiro256++ pseudo-random generator (Blackman & Vigna, 2019).
+
+    A second, structurally unrelated generator family next to
+    {!Splitmix64}. Its purpose here is methodological: re-running an
+    experiment with a different generator family and getting the same
+    qualitative result rules out PRNG artifacts (the test suite does this
+    for the uniform-tree distribution). Seeded through SplitMix64, as the
+    authors recommend. *)
+
+type t
+
+(** [create seed] initializes the 256-bit state from [seed] via four
+    SplitMix64 outputs. *)
+val create : int64 -> t
+
+val copy : t -> t
+
+(** Next raw 64-bit output. *)
+val next : t -> int64
+
+(** [uniform_int t bound] is unbiased uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+val uniform_int : t -> int -> int

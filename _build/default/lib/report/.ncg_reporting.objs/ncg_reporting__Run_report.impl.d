@@ -1,0 +1,1 @@
+lib/report/run_report.ml: List Markdown Ncg Ncg_graph Ncg_stats Printf

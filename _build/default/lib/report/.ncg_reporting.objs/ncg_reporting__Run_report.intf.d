@@ -1,0 +1,1 @@
+lib/report/run_report.mli: Ncg

@@ -1,0 +1,101 @@
+module Dynamics = Ncg.Dynamics
+module Strategy = Ncg.Strategy
+module Features = Ncg.Features
+module Game = Ncg.Game
+module Graph = Ncg_graph.Graph
+module Metrics = Ncg_graph.Metrics
+
+let outcome_to_string = function
+  | Dynamics.Converged r ->
+      Printf.sprintf "converged (equilibrium) after %d changing round(s)" (r - 1)
+  | Dynamics.Cycle_detected r -> Printf.sprintf "best-response cycle detected at round %d" r
+  | Dynamics.Max_rounds_exceeded -> "round budget exhausted without convergence"
+
+let solver_to_string = function
+  | `Exact -> "exact branch & bound"
+  | `Budgeted b -> Printf.sprintf "branch & bound, %d-node budget" b
+  | `Greedy -> "greedy"
+
+let of_run ~title (config : Dynamics.config) initial (result : Dynamics.result) =
+  let md = Markdown.create () in
+  Markdown.heading md 1 title;
+  let n = Strategy.n_players initial in
+  Markdown.heading md 2 "Configuration";
+  Markdown.bullet_list md
+    [
+      Printf.sprintf "game: %sNCG" (Game.variant_to_string config.Dynamics.variant);
+      Printf.sprintf "players: %d" n;
+      Printf.sprintf "alpha = %g, k = %d" config.Dynamics.alpha config.Dynamics.k;
+      Printf.sprintf "solver: %s" (solver_to_string config.Dynamics.solver);
+      Printf.sprintf "order: %s"
+        (match config.Dynamics.order with
+        | `Round_robin -> "round robin"
+        | `Random_sweep seed -> Printf.sprintf "random sweeps (seed %d)" seed);
+    ];
+  Markdown.heading md 2 "Outcome";
+  let final = result.Dynamics.final in
+  let g = Strategy.graph final in
+  Markdown.bullet_list md
+    [
+      outcome_to_string result.Dynamics.outcome;
+      Printf.sprintf "total moves: %d" result.Dynamics.total_moves;
+      Printf.sprintf "final diameter: %s"
+        (match Metrics.diameter g with Some d -> string_of_int d | None -> "inf");
+      Printf.sprintf "final edges: %d" (Graph.size g);
+      (match Game.quality config.Dynamics.variant ~alpha:config.Dynamics.alpha final with
+      | Some q -> Printf.sprintf "quality (social cost / optimum): %.4f" q
+      | None -> "final network disconnected");
+    ];
+  if result.Dynamics.features <> [] then begin
+    Markdown.heading md 2 "Per-round features";
+    Markdown.table md
+      ~header:
+        [ "round"; "changes"; "diameter"; "social cost"; "max deg"; "max bought"; "min view" ]
+      (List.map
+         (fun f ->
+           [
+             string_of_int f.Features.round;
+             string_of_int f.Features.changes;
+             string_of_int f.Features.diameter;
+             Printf.sprintf "%.2f" f.Features.social_cost;
+             string_of_int f.Features.max_degree;
+             string_of_int f.Features.max_bought;
+             string_of_int f.Features.min_view;
+           ])
+         result.Dynamics.features);
+    let points =
+      List.map
+        (fun f -> (float_of_int f.Features.round, f.Features.social_cost))
+        result.Dynamics.features
+    in
+    if List.length points >= 2 then begin
+      Markdown.heading md 2 "Social cost per round";
+      Markdown.code_block md
+        (Ncg_stats.Ascii_chart.render ~width:50 ~height:10
+           [ { Ncg_stats.Ascii_chart.label = "social cost"; points } ])
+    end
+  end;
+  Markdown.heading md 2 "Trace";
+  let trace = result.Dynamics.trace in
+  Markdown.paragraph md
+    (Printf.sprintf
+       "%d move(s); replaying them on the initial profile reproduces the final \
+        profile. Most active players:"
+       (Ncg.Trace.length trace));
+  let activity =
+    List.init n (fun u -> (u, List.length (Ncg.Trace.by_player trace u)))
+    |> List.filter (fun (_, c) -> c > 0)
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let top = List.filteri (fun i _ -> i < 5) activity in
+  if top = [] then Markdown.paragraph md "(no moves — already stable)"
+  else
+    Markdown.table md ~header:[ "player"; "moves" ]
+      (List.map (fun (u, c) -> [ string_of_int u; string_of_int c ]) top);
+  Markdown.to_string md
+
+let of_grid ~title ~header ~rows =
+  let md = Markdown.create () in
+  Markdown.heading md 1 title;
+  Markdown.table md ~header rows;
+  Markdown.to_string md

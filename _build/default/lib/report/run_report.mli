@@ -1,0 +1,21 @@
+(** Markdown reports of dynamics runs and experiment grids.
+
+    Self-contained documents: configuration, outcome, the per-round
+    feature table, an ASCII social-cost chart, the move trace summary,
+    and final-network statistics — everything needed to archive or review
+    an experiment without rerunning it. *)
+
+(** [of_run ~title config initial result] — report of one dynamics run.
+    [initial] must be the profile the run started from. *)
+val of_run :
+  title:string ->
+  Ncg.Dynamics.config ->
+  Ncg.Strategy.t ->
+  Ncg.Dynamics.result ->
+  string
+
+(** [of_grid ~title ~rows] — report of a parameter grid: one table row per
+    cell, columns = (label, summaries). Free-form: callers supply
+    pre-rendered cells. *)
+val of_grid :
+  title:string -> header:string list -> rows:string list list -> string

@@ -1,0 +1,1 @@
+lib/solver/dominating_set.ml: Array List Ncg_graph Ncg_util Option Set_cover

@@ -1,0 +1,1 @@
+lib/solver/dominating_set.mli: Ncg_graph

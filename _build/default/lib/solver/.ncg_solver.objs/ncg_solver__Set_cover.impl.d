@@ -1,0 +1,1 @@
+lib/solver/set_cover.ml: Array List Ncg_util

@@ -1,0 +1,1 @@
+lib/solver/set_cover.mli: Ncg_util

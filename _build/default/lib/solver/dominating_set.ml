@@ -1,0 +1,32 @@
+module Bitset = Ncg_util.Bitset
+module Graph = Ncg_graph.Graph
+module Power = Ncg_graph.Power
+
+type problem = {
+  graph : Graph.t;
+  radius : int;
+  free_dominators : int list;
+  forbidden : int list;
+}
+
+let to_instance p =
+  let n = Graph.order p.graph in
+  let balls = Power.ball_sets p.graph p.radius in
+  let pre = Bitset.create n in
+  List.iter (fun v -> Bitset.union_into ~into:pre balls.(v)) p.free_dominators;
+  let forbidden = Bitset.of_list n p.forbidden in
+  (* Forbidden vertices get an empty candidate set so that they can never
+     be selected, without disturbing vertex numbering. *)
+  let sets =
+    Array.init n (fun v -> if Bitset.mem forbidden v then Bitset.create n else balls.(v))
+  in
+  { Set_cover.universe = n; sets; pre_covered = Some pre }
+
+let of_solution (s : Set_cover.solution) = s.Set_cover.chosen
+
+let solve ?max_size ?node_budget p =
+  Option.map of_solution (Set_cover.solve ?max_size ?node_budget (to_instance p))
+
+let greedy p = Option.map of_solution (Set_cover.greedy (to_instance p))
+
+let dominates p chosen = Set_cover.is_cover (to_instance p) chosen

@@ -1,0 +1,32 @@
+(** Minimum dominating set with forced and forbidden vertices, on top of
+    {!Set_cover}.
+
+    This is exactly the optimization problem the paper reduces MaxNCG best
+    response to (Section 5.3): dominate the (h−1)-th power of the view
+    minus the player, where the vertices that already bought an edge
+    towards the player dominate for free ("constrained to be included"
+    in the paper's phrasing — equivalently their domination is free since
+    the player keeps those edges either way). *)
+
+type problem = {
+  graph : Ncg_graph.Graph.t;
+  radius : int;
+      (** a vertex dominates all vertices within this distance; 1 = the
+          classical dominating set *)
+  free_dominators : int list;
+      (** vertices whose closed balls are covered at no cost *)
+  forbidden : int list;  (** vertices that may not be chosen as dominators *)
+}
+
+(** [solve ?max_size ?node_budget p] is a minimum list of chosen
+    dominators (excluding the free ones), or [None] if infeasible / above
+    [max_size]. [node_budget] bounds the branch-and-bound search as in
+    {!Set_cover.solve}. *)
+val solve : ?max_size:int -> ?node_budget:int -> problem -> int list option
+
+(** Greedy variant with the same interface. *)
+val greedy : problem -> int list option
+
+(** [dominates p chosen] checks that the free dominators plus [chosen]
+    cover every vertex of the graph. *)
+val dominates : problem -> int list -> bool

@@ -1,0 +1,236 @@
+module Bitset = Ncg_util.Bitset
+
+type instance = {
+  universe : int;
+  sets : Bitset.t array;
+  pre_covered : Bitset.t option;
+}
+
+type solution = { chosen : int list; cardinality : int }
+
+let initial_uncovered inst =
+  let u = Bitset.create inst.universe in
+  Bitset.fill u;
+  (match inst.pre_covered with
+  | Some pre -> Bitset.diff_into ~into:u pre
+  | None -> ());
+  u
+
+let is_cover inst chosen =
+  let u = initial_uncovered inst in
+  List.iter (fun c -> Bitset.diff_into ~into:u inst.sets.(c)) chosen;
+  Bitset.is_empty u
+
+(* Candidates that actually help (non-empty intersection with the initial
+   uncovered set), with dominated candidates removed: c is dominated by c'
+   when c ∩ U ⊆ c' ∩ U. Returns the useful part of each candidate plus its
+   original index. *)
+let reduced_candidates inst uncovered =
+  let useful = ref [] in
+  Array.iteri
+    (fun i s ->
+      let cut = Bitset.inter s uncovered in
+      if not (Bitset.is_empty cut) then useful := (i, cut) :: !useful)
+    inst.sets;
+  let arr = Array.of_list (List.rev !useful) in
+  let n = Array.length arr in
+  let keep = Array.make n true in
+  for i = 0 to n - 1 do
+    if keep.(i) then
+      for j = 0 to n - 1 do
+        if j <> i && keep.(j) then begin
+          let _, si = arr.(i) and _, sj = arr.(j) in
+          (* Drop j if it is contained in i; ties broken by index so that
+             exactly one of two equal sets survives. *)
+          if Bitset.subset sj si && (not (Bitset.equal si sj) || i < j) then
+            keep.(j) <- false
+        end
+      done
+  done;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if keep.(i) then out := arr.(i) :: !out
+  done;
+  Array.of_list !out
+
+let feasible candidates uncovered =
+  (* Every uncovered element must appear in some candidate. *)
+  let coverable = Bitset.create (Bitset.capacity uncovered) in
+  Array.iter (fun (_, s) -> Bitset.union_into ~into:coverable s) candidates;
+  Bitset.subset uncovered coverable
+
+let greedy_on candidates uncovered0 =
+  let uncovered = Bitset.copy uncovered0 in
+  let chosen = ref [] in
+  let continue_ = ref true in
+  while (not (Bitset.is_empty uncovered)) && !continue_ do
+    let best = ref (-1) and best_gain = ref 0 in
+    Array.iteri
+      (fun i (_, s) ->
+        let gain = Bitset.inter_cardinal s uncovered in
+        if gain > !best_gain then begin
+          best := i;
+          best_gain := gain
+        end)
+      candidates;
+    if !best < 0 then continue_ := false
+    else begin
+      let orig, s = candidates.(!best) in
+      chosen := orig :: !chosen;
+      Bitset.diff_into ~into:uncovered s
+    end
+  done;
+  if Bitset.is_empty uncovered then Some (List.rev !chosen) else None
+
+let greedy inst =
+  let uncovered = initial_uncovered inst in
+  if Bitset.is_empty uncovered then Some { chosen = []; cardinality = 0 }
+  else begin
+    let candidates = reduced_candidates inst uncovered in
+    match greedy_on candidates uncovered with
+    | Some chosen -> Some { chosen; cardinality = List.length chosen }
+    | None -> None
+  end
+
+(* Exact DP over covered-element masks. dp.(mask) = fewest sets whose
+   union, together with the pre-covered elements, covers exactly the
+   elements of [mask] or more... precisely: dp.(mask) = fewest sets
+   covering a superset of mask's uncovered part. We iterate the standard
+   relaxation: dp.(mask | set) <- dp.(mask) + 1. *)
+let solve_dp inst =
+  if inst.universe > 22 then
+    invalid_arg "Set_cover.solve_dp: universe too large for the DP";
+  let to_mask s = Bitset.fold (fun i acc -> acc lor (1 lsl i)) s 0 in
+  let full = (1 lsl inst.universe) - 1 in
+  let pre = match inst.pre_covered with Some p -> to_mask p | None -> 0 in
+  let sets = Array.map to_mask inst.sets in
+  let size = full + 1 in
+  let dp = Array.make size max_int in
+  let choice = Array.make size (-1) in
+  let parent = Array.make size 0 in
+  dp.(pre land full) <- 0;
+  (* Masks in increasing order: [mask lor set >= mask], so a single sweep
+     relaxes everything (sets only add bits). *)
+  for mask = 0 to full do
+    if dp.(mask) < max_int then
+      Array.iteri
+        (fun i set ->
+          let next = mask lor set in
+          if dp.(mask) + 1 < dp.(next) then begin
+            dp.(next) <- dp.(mask) + 1;
+            choice.(next) <- i;
+            parent.(next) <- mask
+          end)
+        sets
+  done;
+  if dp.(full) = max_int then None
+  else begin
+    let chosen = ref [] in
+    let mask = ref full in
+    while choice.(!mask) >= 0 do
+      chosen := choice.(!mask) :: !chosen;
+      mask := parent.(!mask)
+    done;
+    Some { chosen = !chosen; cardinality = dp.(full) }
+  end
+
+(* Lower bound: a greedy family of elements no two of which share a
+   candidate; each requires its own set. [covers_elt.(e)] lists candidate
+   indices covering e. *)
+let lower_bound candidates covers_elt uncovered =
+  let rest = Bitset.copy uncovered in
+  let lb = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    match Bitset.choose_from rest 0 with
+    | None -> continue_ := false
+    | Some e ->
+        incr lb;
+        (* Remove every element co-coverable with e. *)
+        List.iter
+          (fun ci ->
+            let _, s = candidates.(ci) in
+            Bitset.diff_into ~into:rest s)
+          covers_elt.(e)
+  done;
+  !lb
+
+let solve ?max_size ?(node_budget = max_int) inst =
+  let uncovered0 = initial_uncovered inst in
+  if Bitset.is_empty uncovered0 then Some { chosen = []; cardinality = 0 }
+  else begin
+    let candidates = reduced_candidates inst uncovered0 in
+    if not (feasible candidates uncovered0) then None
+    else begin
+      let ncand = Array.length candidates in
+      (* covers_elt.(e): indices into [candidates] covering element e. *)
+      let covers_elt = Array.make inst.universe [] in
+      for ci = ncand - 1 downto 0 do
+        let _, s = candidates.(ci) in
+        Bitset.iter (fun e -> covers_elt.(e) <- ci :: covers_elt.(e)) s
+      done;
+      (* Incumbent from greedy; cap by max_size if provided. *)
+      let cap =
+        match max_size with Some m -> m | None -> inst.universe + 1
+      in
+      let best_card = ref (cap + 1) in
+      let best_sol = ref None in
+      (match greedy_on candidates uncovered0 with
+      | Some chosen ->
+          let c = List.length chosen in
+          if c <= cap then begin
+            best_card := c;
+            best_sol := Some chosen
+          end
+      | None -> ());
+      let nodes = ref 0 in
+      let rec branch uncovered depth acc =
+        incr nodes;
+        if !nodes > node_budget then ()
+        else if Bitset.is_empty uncovered then begin
+          if depth < !best_card then begin
+            best_card := depth;
+            best_sol := Some (List.rev acc)
+          end
+        end
+        else if depth + 1 < !best_card then begin
+          let lb = lower_bound candidates covers_elt uncovered in
+          if depth + lb < !best_card then begin
+            (* Branch on the uncovered element with fewest live candidates. *)
+            let pick = ref (-1) and pick_count = ref max_int in
+            Bitset.iter
+              (fun e ->
+                let c = List.length covers_elt.(e) in
+                if c < !pick_count then begin
+                  pick := e;
+                  pick_count := c
+                end)
+              uncovered;
+            let e = !pick in
+            (* Try candidates covering e, largest residual coverage first. *)
+            let opts =
+              List.map
+                (fun ci ->
+                  let _, s = candidates.(ci) in
+                  (ci, Bitset.inter_cardinal s uncovered))
+                covers_elt.(e)
+            in
+            let opts = List.sort (fun (_, a) (_, b) -> compare b a) opts in
+            List.iter
+              (fun (ci, _) ->
+                if depth + 1 < !best_card then begin
+                  let orig, s = candidates.(ci) in
+                  let uncovered' = Bitset.diff uncovered s in
+                  branch uncovered' (depth + 1) (orig :: acc)
+                end)
+              opts
+          end
+        end
+      in
+      branch uncovered0 0 [];
+      match !best_sol with
+      | Some chosen when !best_card <= cap ->
+          Some { chosen; cardinality = !best_card }
+      | _ -> None
+    end
+  end

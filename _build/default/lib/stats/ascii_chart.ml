@@ -1,0 +1,73 @@
+type series = { label : string; points : (float * float) list }
+
+let markers = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 60) ?(height = 16) ?(logx = false) series =
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then "(no data)\n"
+  else begin
+    let xform x =
+      if logx then begin
+        if x <= 0.0 then invalid_arg "Ascii_chart.render: logx needs x > 0";
+        log x
+      end
+      else x
+    in
+    let xs = List.map (fun (x, _) -> xform x) all_points in
+    let ys = List.map snd all_points in
+    let fold f = function [] -> 0.0 | h :: t -> List.fold_left f h t in
+    let xmin = fold min xs and xmax = fold max xs in
+    let ymin = fold min ys and ymax = fold max ys in
+    (* Pad degenerate ranges so everything maps inside the grid. *)
+    let pad lo hi = if hi -. lo < 1e-12 then (lo -. 1.0, hi +. 1.0) else (lo, hi) in
+    let xmin, xmax = pad xmin xmax in
+    let ymin, ymax = pad ymin ymax in
+    let grid = Array.make_matrix height width ' ' in
+    let place marker (x, y) =
+      let fx = (xform x -. xmin) /. (xmax -. xmin) in
+      let fy = (y -. ymin) /. (ymax -. ymin) in
+      let col = min (width - 1) (int_of_float (fx *. float_of_int (width - 1) +. 0.5)) in
+      let row =
+        height - 1 - min (height - 1) (int_of_float (fy *. float_of_int (height - 1) +. 0.5))
+      in
+      if grid.(row).(col) = ' ' then grid.(row).(col) <- marker
+    in
+    List.iteri
+      (fun i s ->
+        let marker = markers.(i mod Array.length markers) in
+        List.iter (place marker) s.points)
+      series;
+    let buf = Buffer.create ((width + 12) * (height + 4)) in
+    let y_label row =
+      if row = 0 then Printf.sprintf "%8.3g" ymax
+      else if row = height - 1 then Printf.sprintf "%8.3g" ymin
+      else String.make 8 ' '
+    in
+    Array.iteri
+      (fun row line ->
+        Buffer.add_string buf (y_label row);
+        Buffer.add_string buf " |";
+        Array.iter (Buffer.add_char buf) line;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make 9 ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    let xmin_str = Printf.sprintf "%.3g" (if logx then exp xmin else xmin) in
+    let xmax_str = Printf.sprintf "%.3g" (if logx then exp xmax else xmax) in
+    Buffer.add_string buf (String.make 10 ' ');
+    Buffer.add_string buf xmin_str;
+    let gap = width - String.length xmin_str - String.length xmax_str in
+    Buffer.add_string buf (String.make (max 1 gap) ' ');
+    Buffer.add_string buf xmax_str;
+    Buffer.add_char buf '\n';
+    List.iteri
+      (fun i s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%10s %s\n"
+             (String.make 1 markers.(i mod Array.length markers))
+             s.label))
+      series;
+    Buffer.contents buf
+  end

@@ -1,0 +1,21 @@
+(** Plain-text scatter/line charts.
+
+    The paper's Figures 5–10 are plots; rendering the reproduced series
+    as text charts makes shape comparisons possible directly from the
+    bench output, with no plotting dependency. Each series gets its own
+    marker character; points are mapped onto a character grid with the
+    y-range annotated on the left and the x-range underneath. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** (x, y) pairs, any order *)
+}
+
+(** [render ?width ?height ?logx series] draws all series on one grid
+    ([width] × [height] interior cells, defaults 60 × 16). When two
+    series hit the same cell the earlier series' marker wins. [logx]
+    spaces the x axis logarithmically (useful for k = 2 … 1000 sweeps;
+    requires every x > 0). Series beyond the 8 available markers reuse
+    them cyclically. Returns a string ending in a legend, one line per
+    series. Empty input or all-empty series yield a short placeholder. *)
+val render : ?width:int -> ?height:int -> ?logx:bool -> series list -> string

@@ -1,0 +1,54 @@
+let nonempty name a =
+  if Array.length a = 0 then invalid_arg ("Descriptive." ^ name ^ ": empty")
+
+let mean a =
+  nonempty "mean" a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  nonempty "variance" a;
+  let n = Array.length a in
+  if n = 1 then 0.0
+  else begin
+    let m = mean a in
+    let acc = ref 0.0 in
+    Array.iter
+      (fun x ->
+        let d = x -. m in
+        acc := !acc +. (d *. d))
+      a;
+    !acc /. float_of_int (n - 1)
+  end
+
+let std_dev a = sqrt (variance a)
+
+let std_error a =
+  nonempty "std_error" a;
+  std_dev a /. sqrt (float_of_int (Array.length a))
+
+let min a =
+  nonempty "min" a;
+  Array.fold_left Stdlib.min a.(0) a
+
+let max a =
+  nonempty "max" a;
+  Array.fold_left Stdlib.max a.(0) a
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let quantile q a =
+  nonempty "quantile" a;
+  if q < 0.0 || q > 1.0 then invalid_arg "Descriptive.quantile: q outside [0,1]";
+  let b = sorted_copy a in
+  let n = Array.length b in
+  let h = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor h) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = h -. float_of_int lo in
+  b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+
+let median a = quantile 0.5 a
+let of_int_array a = Array.map float_of_int a

@@ -1,0 +1,29 @@
+(** Descriptive statistics over float arrays.
+
+    All functions raise [Invalid_argument] on empty input unless stated
+    otherwise. Input arrays are never mutated (functions that need sorted
+    data sort a copy). *)
+
+val mean : float array -> float
+
+(** Unbiased sample variance (divides by n−1). Returns 0 for a singleton. *)
+val variance : float array -> float
+
+(** Square root of {!variance}. *)
+val std_dev : float array -> float
+
+(** Standard error of the mean: std_dev / sqrt n. *)
+val std_error : float array -> float
+
+val min : float array -> float
+val max : float array -> float
+
+(** Median (mean of the two central order statistics for even n). *)
+val median : float array -> float
+
+(** [quantile q xs] for [q] in [0,1], by linear interpolation between
+    order statistics (type-7, the R default). *)
+val quantile : float -> float array -> float
+
+(** [of_int_array a] converts for convenience. *)
+val of_int_array : int array -> float array

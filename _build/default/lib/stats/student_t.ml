@@ -1,0 +1,26 @@
+(* Tabulated two-sided critical values; standard tables. Index = df - 1. *)
+
+let table_95 =
+  [|
+    12.706; 4.303; 3.182; 2.776; 2.571; 2.447; 2.365; 2.306; 2.262; 2.228;
+    2.201; 2.179; 2.160; 2.145; 2.131; 2.120; 2.110; 2.101; 2.093; 2.086;
+    2.080; 2.074; 2.069; 2.064; 2.060; 2.056; 2.052; 2.048; 2.045; 2.042;
+  |]
+
+let table_99 =
+  [|
+    63.657; 9.925; 5.841; 4.604; 4.032; 3.707; 3.499; 3.355; 3.250; 3.169;
+    3.106; 3.055; 3.012; 2.977; 2.947; 2.921; 2.898; 2.878; 2.861; 2.845;
+    2.831; 2.819; 2.807; 2.797; 2.787; 2.779; 2.771; 2.763; 2.756; 2.750;
+  |]
+
+(* Beyond the table, interpolate towards the normal quantile with the
+   classical 1/df expansion  t*(df) ≈ z + (z^3 + z) / (4 df). *)
+let extrapolate z df = z +. (((z ** 3.0) +. z) /. (4.0 *. float_of_int df))
+
+let lookup table z df =
+  if df < 1 then invalid_arg "Student_t: df must be >= 1";
+  if df <= Array.length table then table.(df - 1) else extrapolate z df
+
+let critical_95 df = lookup table_95 1.959964 df
+let critical_99 df = lookup table_99 2.575829 df

@@ -1,0 +1,14 @@
+(** Two-sided critical values of Student's t distribution.
+
+    The paper reports every experimental point as a mean over 20 trials with
+    a 95% confidence interval; with 19 degrees of freedom the normal
+    approximation is noticeably off, so we carry the proper t quantiles. *)
+
+(** [critical_95 df] is the two-sided 97.5% quantile t*(df), i.e. the factor
+    such that mean ± t* · stderr is a 95% CI. Exact tabulated values for
+    df ≤ 30, smooth interpolation towards the normal quantile 1.960 beyond.
+    @raise Invalid_argument if [df < 1]. *)
+val critical_95 : int -> float
+
+(** [critical_99 df] is the two-sided 99.5% quantile (99% CI factor). *)
+val critical_99 : int -> float

@@ -1,0 +1,26 @@
+type t = {
+  n : int;
+  mean : float;
+  ci95 : float;
+  min : float;
+  max : float;
+  std_dev : float;
+}
+
+let of_floats xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Summary.of_floats: empty sample";
+  let mean = Descriptive.mean xs in
+  let std_dev = Descriptive.std_dev xs in
+  let ci95 =
+    if n < 2 then 0.0
+    else Student_t.critical_95 (n - 1) *. std_dev /. sqrt (float_of_int n)
+  in
+  { n; mean; ci95; min = Descriptive.min xs; max = Descriptive.max xs; std_dev }
+
+let of_ints xs = of_floats (Descriptive.of_int_array xs)
+
+let to_string ?(digits = 2) t =
+  Printf.sprintf "%.*f ± %.*f" digits t.mean digits t.ci95
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

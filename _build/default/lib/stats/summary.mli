@@ -1,0 +1,25 @@
+(** A mean ± 95% confidence interval, the unit in which every table and
+    figure of the paper reports its data. *)
+
+type t = {
+  n : int;  (** sample size *)
+  mean : float;
+  ci95 : float;  (** half-width of the 95% confidence interval *)
+  min : float;
+  max : float;
+  std_dev : float;
+}
+
+(** [of_floats xs] summarizes a non-empty sample with a Student-t 95% CI.
+    For [n = 1] the CI half-width is 0 (a single observation carries no
+    spread information). @raise Invalid_argument on empty input. *)
+val of_floats : float array -> t
+
+(** [of_ints xs] is [of_floats] after conversion. *)
+val of_ints : int array -> t
+
+(** Render as ["12.34 ± 0.56"], matching the paper's table style. *)
+val to_string : ?digits:int -> t -> string
+
+(** Formatter version of {!to_string}. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+(** Online mean/variance accumulator (Welford's algorithm).
+
+    Numerically stable single-pass accumulation; used by the dynamics engine
+    to collect per-round features without storing every sample. *)
+
+type t
+
+(** A fresh, empty accumulator. *)
+val create : unit -> t
+
+(** [add t x] folds one observation in. *)
+val add : t -> float -> unit
+
+(** Number of observations so far. *)
+val count : t -> int
+
+(** Mean of the observations. @raise Invalid_argument if empty. *)
+val mean : t -> float
+
+(** Unbiased sample variance. 0 for fewer than two observations. *)
+val variance : t -> float
+
+val std_dev : t -> float
+
+(** Smallest observation. @raise Invalid_argument if empty. *)
+val min : t -> float
+
+(** Largest observation. @raise Invalid_argument if empty. *)
+val max : t -> float
+
+(** [merge a b] is a fresh accumulator equivalent to having seen both
+    streams (Chan et al. parallel combination). *)
+val merge : t -> t -> t

@@ -1,0 +1,30 @@
+let max_elt a =
+  if Array.length a = 0 then invalid_arg "Arrayx.max_elt: empty";
+  Array.fold_left max a.(0) a
+
+let min_elt a =
+  if Array.length a = 0 then invalid_arg "Arrayx.min_elt: empty";
+  Array.fold_left min a.(0) a
+
+let sum a = Array.fold_left ( + ) 0 a
+let sum_float a = Array.fold_left ( +. ) 0.0 a
+
+let mean a =
+  if Array.length a = 0 then invalid_arg "Arrayx.mean: empty";
+  sum_float a /. float_of_int (Array.length a)
+
+let count p a =
+  Array.fold_left (fun acc x -> if p x then acc + 1 else acc) 0 a
+
+let swap a i j =
+  let t = a.(i) in
+  a.(i) <- a.(j);
+  a.(j) <- t
+
+let argmax a =
+  if Array.length a = 0 then invalid_arg "Arrayx.argmax: empty";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) > a.(!best) then best := i
+  done;
+  !best

@@ -1,0 +1,27 @@
+(** Small array helpers shared across the project. *)
+
+(** [max_elt a] is the maximum of a non-empty int array.
+    @raise Invalid_argument on an empty array. *)
+val max_elt : int array -> int
+
+(** [min_elt a] is the minimum of a non-empty int array.
+    @raise Invalid_argument on an empty array. *)
+val min_elt : int array -> int
+
+(** [sum a] is the sum of the elements (no overflow checking). *)
+val sum : int array -> int
+
+(** [sum_float a] is the sum of a float array. *)
+val sum_float : float array -> float
+
+(** [mean a] is the arithmetic mean of a non-empty float array. *)
+val mean : float array -> float
+
+(** [count p a] is the number of elements satisfying [p]. *)
+val count : (int -> bool) -> int array -> int
+
+(** [swap a i j] exchanges [a.(i)] and [a.(j)]. *)
+val swap : 'a array -> int -> int -> unit
+
+(** [argmax a] is the least index of a maximum element of a non-empty array. *)
+val argmax : int array -> int

@@ -1,0 +1,164 @@
+(* Dense bitset over an int array. We use the full native int width (63 bits
+   on 64-bit platforms) per word; [bits] is computed from [Sys.int_size] so
+   the module also works on 32-bit platforms. *)
+
+let bits = Sys.int_size
+
+type t = { capacity : int; words : int array }
+
+let words_for n = if n = 0 then 0 else ((n - 1) / bits) + 1
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { capacity = n; words = Array.make (words_for n) 0 }
+
+let capacity s = s.capacity
+let copy s = { capacity = s.capacity; words = Array.copy s.words }
+
+let check s i =
+  if i < 0 || i >= s.capacity then invalid_arg "Bitset: index out of bounds"
+
+let add s i =
+  check s i;
+  s.words.(i / bits) <- s.words.(i / bits) lor (1 lsl (i mod bits))
+
+let remove s i =
+  check s i;
+  s.words.(i / bits) <- s.words.(i / bits) land lnot (1 lsl (i mod bits))
+
+let mem s i =
+  check s i;
+  s.words.(i / bits) land (1 lsl (i mod bits)) <> 0
+
+(* Population count of one word, folding the word in halves. *)
+let popcount w =
+  let rec go acc w = if w = 0 then acc else go (acc + (w land 1)) (w lsr 1) in
+  (* Kernighan's trick is faster for sparse words: clear lowest set bit. *)
+  let rec kern acc w = if w = 0 then acc else kern (acc + 1) (w land (w - 1)) in
+  ignore go;
+  kern 0 w
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+let clear s = Array.fill s.words 0 (Array.length s.words) 0
+
+let fill s =
+  Array.fill s.words 0 (Array.length s.words) (-1);
+  (* Mask out the bits beyond [capacity] in the last word so that cardinal
+     and iteration stay correct. *)
+  let n = s.capacity in
+  if n > 0 then begin
+    let last = Array.length s.words - 1 in
+    let used = n - (last * bits) in
+    if used < bits then s.words.(last) <- (1 lsl used) - 1
+  end
+
+let same_capacity a b =
+  if a.capacity <> b.capacity then
+    invalid_arg "Bitset: operands have different capacities"
+
+let union_into ~into s =
+  same_capacity into s;
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) lor s.words.(i)
+  done
+
+let inter_into ~into s =
+  same_capacity into s;
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) land s.words.(i)
+  done
+
+let diff_into ~into s =
+  same_capacity into s;
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) land lnot s.words.(i)
+  done
+
+let union a b = let r = copy a in union_into ~into:r b; r
+let inter a b = let r = copy a in inter_into ~into:r b; r
+let diff a b = let r = copy a in diff_into ~into:r b; r
+
+let subset a b =
+  same_capacity a b;
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let equal a b =
+  same_capacity a b;
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) = b.words.(i) && go (i + 1)) in
+  go 0
+
+let disjoint a b =
+  same_capacity a b;
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) land b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let inter_cardinal a b =
+  same_capacity a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(i) land b.words.(i))
+  done;
+  !acc
+
+let diff_cardinal a b =
+  same_capacity a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(i) land lnot b.words.(i))
+  done;
+  !acc
+
+let iter f s =
+  for wi = 0 to Array.length s.words - 1 do
+    let w = ref s.words.(wi) in
+    while !w <> 0 do
+      (* Lowest set bit of !w. *)
+      let low = !w land - !w in
+      let rec log2 acc v = if v = 1 then acc else log2 (acc + 1) (v lsr 1) in
+      f ((wi * bits) + log2 0 low);
+      w := !w land (!w - 1)
+    done
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list n xs =
+  let s = create n in
+  List.iter (fun i -> add s i) xs;
+  s
+
+let choose_from s i0 =
+  let n = s.capacity in
+  let rec go i =
+    if i >= n then None
+    else begin
+      let wi = i / bits in
+      let w = s.words.(wi) lsr (i mod bits) in
+      if w = 0 then go ((wi + 1) * bits)
+      else begin
+        let rec first j w = if w land 1 = 1 then j else first (j + 1) (w lsr 1) in
+        Some (first i w)
+      end
+    end
+  in
+  if i0 < 0 then go 0 else go i0
+
+let min_elt s =
+  match choose_from s 0 with Some i -> i | None -> raise Not_found
+
+let pp ppf s =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Format.pp_print_int)
+    (to_list s)

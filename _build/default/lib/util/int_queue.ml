@@ -1,0 +1,34 @@
+type t = { mutable buf : int array; mutable head : int; mutable len : int }
+
+let create ?(initial_capacity = 16) () =
+  let cap = max 1 initial_capacity in
+  { buf = Array.make cap 0; head = 0; len = 0 }
+
+let length q = q.len
+let is_empty q = q.len = 0
+
+let grow q =
+  let cap = Array.length q.buf in
+  let buf' = Array.make (2 * cap) 0 in
+  for i = 0 to q.len - 1 do
+    buf'.(i) <- q.buf.((q.head + i) mod cap)
+  done;
+  q.buf <- buf';
+  q.head <- 0
+
+let push q x =
+  if q.len = Array.length q.buf then grow q;
+  let cap = Array.length q.buf in
+  q.buf.((q.head + q.len) mod cap) <- x;
+  q.len <- q.len + 1
+
+let pop q =
+  if q.len = 0 then invalid_arg "Int_queue.pop: empty";
+  let x = q.buf.(q.head) in
+  q.head <- (q.head + 1) mod Array.length q.buf;
+  q.len <- q.len - 1;
+  x
+
+let clear q =
+  q.head <- 0;
+  q.len <- 0

@@ -1,0 +1,23 @@
+(** Unboxed FIFO queue of ints, tuned for BFS.
+
+    A growable ring buffer; no allocation per [push] once the buffer is warm.
+    Not thread-safe. *)
+
+type t
+
+(** [create ?initial_capacity ()] is an empty queue. *)
+val create : ?initial_capacity:int -> unit -> t
+
+(** Number of queued elements. *)
+val length : t -> int
+
+val is_empty : t -> bool
+
+(** [push q x] enqueues [x] at the back. Amortized O(1). *)
+val push : t -> int -> unit
+
+(** [pop q] dequeues the front element. @raise Invalid_argument if empty. *)
+val pop : t -> int
+
+(** Remove all elements, keeping the buffer. *)
+val clear : t -> unit

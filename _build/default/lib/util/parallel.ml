@@ -1,0 +1,53 @@
+let sequential_map f xs = List.map f xs
+
+let chunked_map ~domains f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let domains = min domains n in
+  if domains <= 1 then sequential_map f xs
+  else begin
+    (* Contiguous chunk boundaries; the first [n mod domains] chunks get
+       one extra element. *)
+    let base = n / domains and extra = n mod domains in
+    let bounds =
+      Array.init domains (fun i ->
+          let start = (i * base) + min i extra in
+          let len = base + if i < extra then 1 else 0 in
+          (start, len))
+    in
+    let out = Array.make n None in
+    let worker (start, len) () =
+      for j = start to start + len - 1 do
+        out.(j) <- Some (f arr.(j))
+      done
+    in
+    (* Run the first chunk in the calling domain, spawn the rest. *)
+    let spawned =
+      Array.to_list
+        (Array.map (fun b -> Domain.spawn (worker b)) (Array.sub bounds 1 (domains - 1)))
+    in
+    let first_exn =
+      match worker bounds.(0) () with () -> None | exception e -> Some e
+    in
+    let join_exns =
+      List.filter_map
+        (fun d -> match Domain.join d with () -> None | exception e -> Some e)
+        spawned
+    in
+    (match (first_exn, join_exns) with
+    | Some e, _ -> raise e
+    | None, e :: _ -> raise e
+    | None, [] -> ());
+    Array.to_list
+      (Array.map (function Some x -> x | None -> assert false) out)
+  end
+
+let map ?domains f xs =
+  let domains =
+    match domains with Some d -> d | None -> Domain.recommended_domain_count ()
+  in
+  chunked_map ~domains f xs
+
+let init ?domains n f =
+  if n < 0 then invalid_arg "Parallel.init: negative length";
+  map ?domains f (List.init n Fun.id)

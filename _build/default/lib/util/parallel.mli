@@ -1,0 +1,20 @@
+(** Deterministic fork-join parallelism over OCaml 5 domains.
+
+    The experiment harness is embarrassingly parallel (independent seeded
+    trials), so a chunked parallel map is all we need — no dependency on
+    domainslib. Work is split into [domains] contiguous chunks, one
+    domain per chunk; results are reassembled in order, so the output is
+    identical to the sequential map regardless of scheduling.
+
+    With [domains <= 1] (or on a single-core machine, the default) no
+    domain is spawned and the plain sequential map runs. Tasks must not
+    share mutable state; give each its own {!Ncg_prng.Rng} stream. *)
+
+(** [map ?domains f xs] — [domains] defaults to
+    [Domain.recommended_domain_count ()]. Exceptions raised by [f] in any
+    domain are re-raised in the caller. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [init ?domains n f] is [map f [0; ...; n-1]] without building the
+    input list. @raise Invalid_argument if [n < 0]. *)
+val init : ?domains:int -> int -> (int -> 'a) -> 'a list

@@ -1,0 +1,1 @@
+test/test_ascii_chart.ml: Alcotest Ncg_stats QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_ascii_chart.mli:

@@ -1,0 +1,1 @@
+test/test_best_response.ml: Alcotest Array Fun List Ncg Ncg_gen Ncg_graph Ncg_prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Float List Ncg Ncg_gen Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_builder_traversal.ml: Alcotest Array Fun List Ncg_gen Ncg_graph Ncg_prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dynamics.ml: Alcotest Float List Ncg Ncg_gen Ncg_graph Ncg_prng QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Float List Ncg Printf

@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest List Ncg Ncg_graph Ncg_stats Printf

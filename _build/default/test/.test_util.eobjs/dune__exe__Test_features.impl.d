@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Array Float List Ncg Ncg_gen Ncg_graph Ncg_prng QCheck QCheck_alcotest String

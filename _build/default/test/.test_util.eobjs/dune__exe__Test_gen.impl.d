@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array List Ncg_gen Ncg_graph Ncg_prng Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array List Ncg_graph Ncg_util QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Ncg Ncg_gen Ncg_graph Ncg_util Printf

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Fun List Ncg_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest List Ncg Ncg_gen Ncg_graph Ncg_prng Ncg_solver Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest List Ncg Ncg_gen Ncg_reporting QCheck QCheck_alcotest String

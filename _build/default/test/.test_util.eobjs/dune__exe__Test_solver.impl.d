@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Fun Gen List Ncg_gen Ncg_graph Ncg_prng Ncg_solver Ncg_util Option Printf QCheck QCheck_alcotest

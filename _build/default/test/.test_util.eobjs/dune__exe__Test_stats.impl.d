@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Gen Ncg_stats Printf QCheck QCheck_alcotest

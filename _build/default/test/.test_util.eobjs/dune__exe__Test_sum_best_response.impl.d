@@ -1,0 +1,1 @@
+test/test_sum_best_response.ml: Alcotest List Ncg Ncg_gen Ncg_prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sum_best_response.mli:

@@ -1,0 +1,1 @@
+test/test_swap.ml: Alcotest List Ncg Ncg_gen Ncg_prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_torus.ml: Alcotest Array List Ncg_gen Ncg_graph Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Int List Ncg_util Printf QCheck QCheck_alcotest Queue Set

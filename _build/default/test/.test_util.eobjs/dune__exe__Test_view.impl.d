@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Array List Ncg Ncg_gen Ncg_graph Ncg_prng QCheck QCheck_alcotest

@@ -1,0 +1,95 @@
+(* Tests for the text chart renderer. *)
+
+module Ascii_chart = Ncg_stats.Ascii_chart
+
+let check_bool = Alcotest.(check bool)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let count_char c s =
+  String.fold_left (fun acc x -> if x = c then acc + 1 else acc) 0 s
+
+let test_empty () =
+  Alcotest.(check string) "placeholder" "(no data)\n" (Ascii_chart.render []);
+  Alcotest.(check string) "all empty" "(no data)\n"
+    (Ascii_chart.render [ { Ascii_chart.label = "a"; points = [] } ])
+
+let test_single_series () =
+  let s =
+    Ascii_chart.render ~width:20 ~height:5
+      [ { Ascii_chart.label = "line"; points = [ (0.0, 0.0); (1.0, 1.0); (2.0, 2.0) ] } ]
+  in
+  check_bool "legend" true (contains s "* line");
+  Alcotest.(check int) "three markers" 3 (count_char '*' s - 1)
+(* -1: the legend uses the marker too *)
+
+let test_axis_labels () =
+  let s =
+    Ascii_chart.render ~width:30 ~height:6
+      [ { Ascii_chart.label = "x"; points = [ (2.0, 10.0); (8.0, 50.0) ] } ]
+  in
+  check_bool "ymax" true (contains s "50");
+  check_bool "ymin" true (contains s "10");
+  check_bool "xmin" true (contains s "2");
+  check_bool "xmax" true (contains s "8")
+
+let test_two_series_two_markers () =
+  let s =
+    Ascii_chart.render ~width:20 ~height:5
+      [
+        { Ascii_chart.label = "a"; points = [ (0.0, 0.0) ] };
+        { Ascii_chart.label = "b"; points = [ (1.0, 1.0) ] };
+      ]
+  in
+  check_bool "marker a" true (contains s "*");
+  check_bool "marker b" true (contains s "o");
+  check_bool "legend a" true (contains s "* a");
+  check_bool "legend b" true (contains s "o b")
+
+let test_constant_series () =
+  (* Degenerate y-range must not crash or divide by zero. *)
+  let s =
+    Ascii_chart.render
+      [ { Ascii_chart.label = "flat"; points = [ (0.0, 5.0); (1.0, 5.0) ] } ]
+  in
+  check_bool "renders" true (String.length s > 0)
+
+let test_log_axis () =
+  let s =
+    Ascii_chart.render ~logx:true
+      [ { Ascii_chart.label = "k"; points = [ (2.0, 1.0); (1000.0, 2.0) ] } ]
+  in
+  check_bool "renders with labels" true (contains s "2" && contains s "1e+03");
+  Alcotest.check_raises "nonpositive x"
+    (Invalid_argument "Ascii_chart.render: logx needs x > 0") (fun () ->
+      ignore
+        (Ascii_chart.render ~logx:true
+           [ { Ascii_chart.label = "bad"; points = [ (0.0, 1.0) ] } ]))
+
+let prop_never_crashes =
+  QCheck.Test.make ~name:"render total on random finite input" ~count:100
+    QCheck.(
+      list
+        (pair (float_range (-100.0) 100.0)
+           (float_range (-100.0) 100.0)))
+    (fun points ->
+      let s = Ascii_chart.render [ { Ascii_chart.label = "r"; points } ] in
+      String.length s > 0)
+
+let () =
+  Alcotest.run "ascii_chart"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "single series" `Quick test_single_series;
+          Alcotest.test_case "axis labels" `Quick test_axis_labels;
+          Alcotest.test_case "two series" `Quick test_two_series_two_markers;
+          Alcotest.test_case "constant series" `Quick test_constant_series;
+          Alcotest.test_case "log axis" `Quick test_log_axis;
+          QCheck_alcotest.to_alcotest prop_never_crashes;
+        ] );
+    ]

@@ -1,0 +1,239 @@
+(* Tests for the theoretical bound formulas (Figures 3 and 4). *)
+
+module Bounds = Ncg.Bounds
+
+let check_bool = Alcotest.(check bool)
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- Lower bound formulas ------------------------------------------------- *)
+
+let test_lb_cycle () =
+  checkf "n=100 alpha=1" 50.0 (Bounds.lb_cycle ~n:100 ~alpha:1.0);
+  checkf "n=100 alpha=9" 10.0 (Bounds.lb_cycle ~n:100 ~alpha:9.0)
+
+let test_lb_girth () =
+  checkf "n=4096 k=2" 64.0 (Bounds.lb_girth ~n:4096 ~k:2);
+  checkf "n=4096 k=4" (4096.0 ** (1.0 /. 6.0)) (Bounds.lb_girth ~n:4096 ~k:4);
+  Alcotest.check_raises "k=1" (Invalid_argument "Bounds.lb_girth: need k >= 2")
+    (fun () -> ignore (Bounds.lb_girth ~n:100 ~k:1))
+
+let test_lb_torus () =
+  (* k = alpha: the exponent vanishes and the bound is n / (alpha * 2^0) = n/alpha. *)
+  checkf "k=alpha" 50.0 (Bounds.lb_torus ~n:100 ~alpha:2.0 ~k:2);
+  check_bool "larger k weakens the bound" true
+    (Bounds.lb_torus ~n:100_000 ~alpha:2.0 ~k:8
+    < Bounds.lb_torus ~n:100_000 ~alpha:2.0 ~k:2)
+
+let test_lb_monotonicity () =
+  check_bool "cycle decreasing in alpha" true
+    (Bounds.lb_cycle ~n:1000 ~alpha:2.0 > Bounds.lb_cycle ~n:1000 ~alpha:5.0);
+  check_bool "girth decreasing in k" true
+    (Bounds.lb_girth ~n:10_000 ~k:2 > Bounds.lb_girth ~n:10_000 ~k:5);
+  check_bool "all increasing in n" true
+    (Bounds.lb_cycle ~n:2000 ~alpha:2.0 > Bounds.lb_cycle ~n:1000 ~alpha:2.0
+    && Bounds.lb_girth ~n:20_000 ~k:3 > Bounds.lb_girth ~n:10_000 ~k:3
+    && Bounds.lb_torus ~n:20_000 ~alpha:2.0 ~k:4 > Bounds.lb_torus ~n:10_000 ~alpha:2.0 ~k:4)
+
+let test_max_lower_bound_selection () =
+  (* n=10^6, k=2, alpha=2: cycle = n/3 ~ 333k, girth = 1000, torus with
+     k = alpha degenerates to n/alpha = 500k and wins. *)
+  (match Bounds.max_lower_bound ~n:1_000_000 ~alpha:2.0 ~k:2 with
+  | Some (name, v) ->
+      check_bool "torus wins" true (contains name "torus");
+      checkf "value" 500_000.0 v
+  | None -> Alcotest.fail "bounds apply here");
+  (* At alpha = 5 > k the torus bound no longer applies and the cycle
+     bound n/6 wins. *)
+  (match Bounds.max_lower_bound ~n:1_000_000 ~alpha:5.0 ~k:2 with
+  | Some (name, v) ->
+      check_bool "cycle wins" true (contains name "cycle");
+      checkf "value" (1_000_000.0 /. 6.0) v
+  | None -> Alcotest.fail "bounds apply here");
+  (* Huge alpha, k=2: cycle bound ~ 1, girth bound n^(1/2) wins. *)
+  (match Bounds.max_lower_bound ~n:1_000_000 ~alpha:999_999.0 ~k:2 with
+  | Some (name, _) -> check_bool "girth wins" true (contains name "girth")
+  | None -> Alcotest.fail "bounds apply here");
+  (* Very large k: nothing applies. *)
+  check_bool "no bound" true (Bounds.max_lower_bound ~n:1000 ~alpha:1.5 ~k:900 = None)
+
+let test_upper_bound_positive () =
+  List.iter
+    (fun (n, alpha, k) ->
+      let ub = Bounds.max_upper_bound ~n ~alpha ~k in
+      check_bool "positive and finite" true (ub > 0.0 && Float.is_finite ub))
+    [ (100, 1.0, 2); (100, 10.0, 5); (10_000, 2.0, 30); (1000, 0.5, 3) ]
+
+let test_lb_below_ub_in_valid_regions () =
+  (* Sanity: with constants 1 the implemented LB never exceeds the UB by
+     more than the (dropped) constant factors — check a modest grid where
+     both are defined. Tolerance factor 8 covers the Θ-constants. *)
+  List.iter
+    (fun (n, alpha, k) ->
+      match Bounds.max_lower_bound ~n ~alpha ~k with
+      | Some (_, lb) ->
+          let ub = Bounds.max_upper_bound ~n ~alpha ~k in
+          check_bool
+            (Printf.sprintf "lb <= 8*ub at n=%d a=%.1f k=%d" n alpha k)
+            true (lb <= 8.0 *. ub)
+      | None -> ())
+    [ (1000, 2.0, 2); (1000, 5.0, 3); (100_000, 2.0, 2) ]
+
+(* --- Regions ------------------------------------------------------------------ *)
+
+let test_max_regions () =
+  (* k >= n: always full knowledge. *)
+  check_bool "k >= n" true (Bounds.max_region ~n:100 ~alpha:2.0 ~k:1000 = Bounds.Max_full_knowledge);
+  (* Small alpha below the line: region 6. *)
+  check_bool "region 6" true (Bounds.max_region ~n:100 ~alpha:5.0 ~k:2 = Bounds.Max_region 6);
+  (* Huge alpha, small k: region 3 (only the girth bound matters). *)
+  check_bool "region 3" true
+    (Bounds.max_region ~n:100 ~alpha:50.0 ~k:2 = Bounds.Max_region 3);
+  (* alpha <= k-1 with k modest: torus-region side. *)
+  (match Bounds.max_region ~n:1_000_000 ~alpha:2.0 ~k:8 with
+  | Bounds.Max_region r -> check_bool "one of 1/4/5" true (r = 1 || r = 4 || r = 5)
+  | Bounds.Max_full_knowledge -> Alcotest.fail "should not be full knowledge")
+
+let test_sum_regions () =
+  check_bool "full knowledge" true
+    (Bounds.sum_region ~n:100 ~alpha:1.0 ~k:4 = Bounds.Sum_full_knowledge);
+  check_bool "strong lb" true
+    (Bounds.sum_region ~n:10_000 ~alpha:100.0 ~k:2 = Bounds.Sum_strong_lb);
+  check_bool "girth lb" true
+    (Bounds.sum_region ~n:100 ~alpha:1_000.0 ~k:3 = Bounds.Sum_girth_lb);
+  check_bool "open" true (Bounds.sum_region ~n:10_000 ~alpha:100.0 ~k:4 = Bounds.Sum_open)
+
+let test_sum_lower_bounds () =
+  (* Theorem 4.2, alpha <= n: Omega(n/k). *)
+  (match Bounds.sum_lower_bound ~n:10_000 ~alpha:100.0 ~k:2 with
+  | Some (name, v) ->
+      check_bool "torus" true (contains name "4.2");
+      checkf "n/k" 5000.0 v
+  | None -> Alcotest.fail "applies");
+  (* alpha > n (but below k*n so the girth bound stays out) switches the
+     torus bound to 1 + n^2/(k alpha). *)
+  (match Bounds.sum_lower_bound ~n:100 ~alpha:150.0 ~k:2 with
+  | Some (name, v) ->
+      check_bool "torus branch" true (contains name "4.2");
+      checkf "big alpha branch" (1.0 +. (10_000.0 /. 300.0)) v
+  | None -> Alcotest.fail "applies");
+  (* Once alpha >= k*n the girth bound n^{1/(2k-2)} = 10 dominates. *)
+  (match Bounds.sum_lower_bound ~n:100 ~alpha:40_000.0 ~k:2 with
+  | Some (name, v) ->
+      check_bool "girth branch" true (contains name "4.3");
+      checkf "sqrt n" 10.0 v
+  | None -> Alcotest.fail "applies");
+  check_bool "none when k too large" true
+    (Bounds.sum_lower_bound ~n:100 ~alpha:10.0 ~k:50 = None)
+
+(* --- Equilibrium invariants --------------------------------------------------- *)
+
+let test_equilibrium_girth_bound_values () =
+  checkf "alpha small" 3.5 (Bounds.equilibrium_girth_bound ~alpha:1.5 ~k:5);
+  checkf "k binds" 6.0 (Bounds.equilibrium_girth_bound ~alpha:100.0 ~k:2)
+
+let test_check_equilibrium_girth () =
+  let module Classic = Ncg_gen.Classic in
+  (* Trees always pass (no cycle). *)
+  check_bool "tree" true
+    (Bounds.check_equilibrium_girth (Classic.path 6) ~alpha:10.0 ~k:5);
+  (* A triangle fails for alpha >= 2 (bound > 3). *)
+  check_bool "triangle fails" false
+    (Bounds.check_equilibrium_girth (Classic.complete 3) ~alpha:2.0 ~k:3);
+  (* ... and passes for alpha <= 1 (bound = 3). *)
+  check_bool "triangle ok at alpha=1" true
+    (Bounds.check_equilibrium_girth (Classic.complete 3) ~alpha:1.0 ~k:3)
+
+let test_ball_growth_diagnostics () =
+  (* Star with k = 2: no vertex has view-eccentricity exactly 2 at k=2?
+     Leaves do (distance 2 to other leaves). Layers from a leaf: L_1 =
+     {center}. Required bound (i-1)/alpha = 0: always passes. *)
+  let g = Ncg_gen.Classic.star 6 in
+  let diags = Bounds.ball_growth_diagnostics g ~alpha:1.0 ~k:2 in
+  check_bool "leaves diagnosed" true (List.length diags = 5);
+  List.iter
+    (fun (_, i, layer, required) ->
+      check_bool "i = 1 layer is the center" true (i = 1 && layer = 1);
+      check_bool "bound" true (float_of_int layer >= required))
+    diags;
+  check_bool "star passes" true (Bounds.check_ball_growth g ~alpha:1.0 ~k:2);
+  (* A long path at large alpha: vertices with view-ecc k have |L_i| <= 2
+     while (i-1)/alpha stays small — still passes; with alpha tiny the
+     bound (i-1)/alpha explodes and the path must FAIL the check, i.e. a
+     long path cannot be an equilibrium for tiny alpha and large k. *)
+  let p = Ncg_gen.Classic.path 30 in
+  check_bool "path fails at tiny alpha" false
+    (Bounds.check_ball_growth p ~alpha:0.05 ~k:10)
+
+(* --- Trend and tables ------------------------------------------------------------ *)
+
+let test_fig7_trend_anchor () =
+  let trend = Bounds.fig7_trend ~n:100 ~alpha:2.0 ~anchor_k:2 ~anchor_value:13.0 in
+  checkf "anchored" 13.0 (trend 2);
+  check_bool "finite elsewhere" true (Float.is_finite (trend 7))
+
+let test_tables_render () =
+  let t = Bounds.max_table ~n:1000 ~alphas:[ 1.0; 10.0 ] ~ks:[ 2; 5 ] in
+  check_bool "header" true (contains t "MaxNCG PoA bounds, n = 1000");
+  check_bool "has rows" true (contains t "region");
+  let s = Bounds.sum_table ~n:1000 ~alphas:[ 1.0; 100.0 ] ~ks:[ 2; 5 ] in
+  check_bool "sum header" true (contains s "SumNCG PoA bounds, n = 1000")
+
+let prop_region_total =
+  QCheck.Test.make ~name:"every (n, alpha, k) gets a region" ~count:300
+    QCheck.(triple (int_range 10 100_000) (float_range 0.05 1000.0) (int_range 1 1000))
+    (fun (n, alpha, k) ->
+      match Bounds.max_region ~n ~alpha ~k with
+      | Bounds.Max_full_knowledge -> true
+      | Bounds.Max_region r -> r >= 1 && r <= 8)
+
+let prop_upper_bound_defined =
+  QCheck.Test.make ~name:"upper bound always positive" ~count:300
+    QCheck.(triple (int_range 10 100_000) (float_range 0.05 1000.0) (int_range 1 1000))
+    (fun (n, alpha, k) ->
+      let ub = Bounds.max_upper_bound ~n ~alpha ~k in
+      ub > 0.0 && not (Float.is_nan ub))
+
+let () =
+  Alcotest.run "bounds"
+    [
+      ( "lower_bounds",
+        [
+          Alcotest.test_case "cycle" `Quick test_lb_cycle;
+          Alcotest.test_case "girth" `Quick test_lb_girth;
+          Alcotest.test_case "torus" `Quick test_lb_torus;
+          Alcotest.test_case "monotonicity" `Quick test_lb_monotonicity;
+          Alcotest.test_case "selection" `Quick test_max_lower_bound_selection;
+        ] );
+      ( "upper_bounds",
+        [
+          Alcotest.test_case "positive" `Quick test_upper_bound_positive;
+          Alcotest.test_case "lb vs ub" `Quick test_lb_below_ub_in_valid_regions;
+        ] );
+      ( "regions",
+        [
+          Alcotest.test_case "max regions" `Quick test_max_regions;
+          Alcotest.test_case "sum regions" `Quick test_sum_regions;
+          Alcotest.test_case "sum lower bounds" `Quick test_sum_lower_bounds;
+        ] );
+      ( "equilibrium_invariants",
+        [
+          Alcotest.test_case "girth bound values" `Quick test_equilibrium_girth_bound_values;
+          Alcotest.test_case "girth check" `Quick test_check_equilibrium_girth;
+          Alcotest.test_case "ball growth" `Quick test_ball_growth_diagnostics;
+        ] );
+      ( "rendering",
+        [
+          Alcotest.test_case "fig7 trend" `Quick test_fig7_trend_anchor;
+          Alcotest.test_case "tables" `Quick test_tables_render;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_region_total;
+          QCheck_alcotest.to_alcotest prop_upper_bound_defined;
+        ] );
+    ]

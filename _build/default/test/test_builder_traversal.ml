@@ -1,0 +1,211 @@
+(* Tests for Builder, Traversal and the extended Metrics. *)
+
+module Graph = Ncg_graph.Graph
+module Builder = Ncg_graph.Builder
+module Traversal = Ncg_graph.Traversal
+module Metrics = Ncg_graph.Metrics
+module Classic = Ncg_gen.Classic
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+(* --- Builder ------------------------------------------------------------ *)
+
+let test_builder_basics () =
+  let b = Builder.create 5 in
+  check_int "order" 5 (Builder.order b);
+  Builder.add_edge b 0 1;
+  Builder.add_edge b 1 2;
+  Builder.add_edge b 0 1;
+  (* duplicate: no-op *)
+  check_int "size" 2 (Builder.size b);
+  check_bool "mem" true (Builder.mem_edge b 1 0);
+  check_int "degree" 2 (Builder.degree b 1);
+  Builder.remove_edge b 0 1;
+  check_int "size after remove" 1 (Builder.size b);
+  Builder.remove_edge b 0 1;
+  (* absent: no-op *)
+  check_int "idempotent" 1 (Builder.size b)
+
+let test_builder_to_graph () =
+  let b = Builder.create 4 in
+  Builder.add_edge b 0 1;
+  Builder.add_edge b 2 3;
+  let g = Builder.to_graph b in
+  check_bool "same edges" true
+    (Graph.equal g (Graph.of_edges ~n:4 [ (0, 1); (2, 3) ]));
+  (* Builder stays usable after freezing. *)
+  Builder.add_edge b 1 2;
+  check_int "still mutable" 3 (Builder.size b)
+
+let test_builder_of_graph_roundtrip () =
+  let g = Classic.cycle 7 in
+  check_bool "roundtrip" true (Graph.equal g (Builder.to_graph (Builder.of_graph g)))
+
+let test_builder_validation () =
+  let b = Builder.create 3 in
+  Alcotest.check_raises "self loop" (Invalid_argument "Builder.add_edge: self loop")
+    (fun () -> Builder.add_edge b 1 1);
+  Alcotest.check_raises "range" (Invalid_argument "Builder: vertex out of range")
+    (fun () -> Builder.add_edge b 0 3)
+
+let test_builder_neighbors () =
+  let b = Builder.create 4 in
+  Builder.add_edge b 0 1;
+  Builder.add_edge b 0 2;
+  Alcotest.(check (list int)) "neighbors" [ 1; 2 ]
+    (List.sort compare (Builder.neighbors b 0));
+  let count = ref 0 in
+  Builder.iter_neighbors (fun _ -> incr count) b 0;
+  check_int "iter count" 2 !count
+
+(* --- Traversal ----------------------------------------------------------- *)
+
+let test_dfs_preorder () =
+  (* Star from center: preorder = 0 then leaves in increasing order. *)
+  let g = Classic.star 4 in
+  Alcotest.(check (list int)) "star" [ 0; 1; 2; 3 ] (Traversal.dfs_preorder g 0);
+  (* Path from one end. *)
+  let p = Classic.path 4 in
+  Alcotest.(check (list int)) "path" [ 0; 1; 2; 3 ] (Traversal.dfs_preorder p 0);
+  (* Unreachable vertices are excluded. *)
+  let g2 = Graph.of_edges ~n:4 [ (0, 1) ] in
+  Alcotest.(check (list int)) "component only" [ 0; 1 ] (Traversal.dfs_preorder g2 0)
+
+let test_bipartite () =
+  check_bool "even cycle" true (Traversal.is_bipartite (Classic.cycle 6));
+  check_bool "odd cycle" false (Traversal.is_bipartite (Classic.cycle 5));
+  check_bool "tree" true (Traversal.is_bipartite (Classic.path 7));
+  check_bool "complete K3" false (Traversal.is_bipartite (Classic.complete 3));
+  check_bool "empty" true (Traversal.is_bipartite (Graph.empty 3))
+
+let test_bipartition_valid () =
+  let g = Classic.cycle 8 in
+  match Traversal.bipartition g with
+  | Some colors ->
+      Graph.iter_edges
+        (fun u v -> check_bool "proper colouring" true (colors.(u) <> colors.(v)))
+        g
+  | None -> Alcotest.fail "C8 is bipartite"
+
+let test_pg_incidence_bipartite () =
+  check_bool "PG(2,3) incidence bipartite" true
+    (Traversal.is_bipartite (Ncg_gen.Projective_plane.incidence 3))
+
+let test_articulation_points () =
+  (* Path: all interior vertices are cut vertices. *)
+  Alcotest.(check (list int)) "path" [ 1; 2; 3 ]
+    (Traversal.articulation_points (Classic.path 5));
+  (* Cycle: none. *)
+  Alcotest.(check (list int)) "cycle" [] (Traversal.articulation_points (Classic.cycle 6));
+  (* Star: only the center. *)
+  Alcotest.(check (list int)) "star" [ 0 ] (Traversal.articulation_points (Classic.star 5));
+  (* Two triangles sharing vertex 2. *)
+  let bowtie =
+    Graph.of_edges ~n:5 [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 2) ]
+  in
+  Alcotest.(check (list int)) "bowtie" [ 2 ] (Traversal.articulation_points bowtie)
+
+let test_bridges () =
+  Alcotest.(check (list (pair int int))) "path" [ (0, 1); (1, 2); (2, 3) ]
+    (Traversal.bridges (Classic.path 4));
+  Alcotest.(check (list (pair int int))) "cycle" [] (Traversal.bridges (Classic.cycle 5));
+  (* Two triangles joined by one edge. *)
+  let g =
+    Graph.of_edges ~n:6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3); (2, 3) ]
+  in
+  Alcotest.(check (list (pair int int))) "joined triangles" [ (2, 3) ] (Traversal.bridges g)
+
+(* Reference implementation: v is a cut vertex iff deleting it increases
+   the number of connected components. *)
+let is_cut_reference g v =
+  let rest = List.filter (fun x -> x <> v) (List.init (Graph.order g) Fun.id) in
+  let without_v, _ = Ncg_graph.Subgraph.induced g rest in
+  Ncg_graph.Components.count without_v > Ncg_graph.Components.count g
+
+let prop_articulation_matches_reference =
+  QCheck.Test.make ~name:"articulation points match removal-based reference" ~count:60
+    QCheck.(pair (int_range 3 15) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Ncg_prng.Rng.create seed in
+      let tree = Ncg_gen.Random_tree.generate rng n in
+      (* Sprinkle a few extra edges so not everything is a cut vertex. *)
+      let extra =
+        List.init (n / 3) (fun _ ->
+            (Ncg_prng.Rng.int rng n, Ncg_prng.Rng.int rng n))
+        |> List.filter (fun (a, b) -> a <> b)
+      in
+      let g = Graph.add_edges tree extra in
+      let computed = Traversal.articulation_points g in
+      let expected =
+        List.filter (is_cut_reference g) (List.init n Fun.id)
+      in
+      computed = expected)
+
+let prop_bridges_sound =
+  QCheck.Test.make ~name:"removing a bridge disconnects its endpoints" ~count:60
+    QCheck.(pair (int_range 3 15) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Ncg_prng.Rng.create seed in
+      let g = Ncg_gen.Random_tree.generate rng n in
+      List.for_all
+        (fun (u, v) ->
+          let edges' = List.filter (fun e -> e <> (u, v)) (Graph.edges g) in
+          let g' = Graph.of_edges ~n edges' in
+          not (Ncg_graph.Components.same_component g' u v))
+        (Traversal.bridges g))
+
+(* --- Extended metrics ------------------------------------------------------- *)
+
+let test_density () =
+  checkf "complete" 1.0 (Metrics.density (Classic.complete 6));
+  checkf "empty" 0.0 (Metrics.density (Graph.empty 6));
+  checkf "half" (2.0 /. 5.0) (Metrics.density (Classic.path 5));
+  checkf "singleton" 0.0 (Metrics.density (Graph.empty 1))
+
+let test_degree_histogram () =
+  let g = Classic.star 5 in
+  Alcotest.(check (array int)) "star" [| 0; 4; 0; 0; 1 |] (Metrics.degree_histogram g);
+  Alcotest.(check (array int)) "empty" [| 3 |] (Metrics.degree_histogram (Graph.empty 3))
+
+let test_clustering () =
+  checkf "complete" 1.0 (Metrics.avg_clustering (Classic.complete 5));
+  checkf "tree" 0.0 (Metrics.avg_clustering (Classic.path 6));
+  (* Triangle with a pendant: vertices 0,1,2 clustered 1.0; vertex 2 has
+     degree 3 with one closed pair of three. *)
+  let g = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 0); (2, 3) ] in
+  checkf "local of 0" 1.0 (Metrics.local_clustering g 0);
+  checkf "local of 2" (1.0 /. 3.0) (Metrics.local_clustering g 2);
+  checkf "local of pendant" 0.0 (Metrics.local_clustering g 3)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "builder_traversal"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "basics" `Quick test_builder_basics;
+          Alcotest.test_case "to_graph" `Quick test_builder_to_graph;
+          Alcotest.test_case "of_graph roundtrip" `Quick test_builder_of_graph_roundtrip;
+          Alcotest.test_case "validation" `Quick test_builder_validation;
+          Alcotest.test_case "neighbors" `Quick test_builder_neighbors;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "dfs preorder" `Quick test_dfs_preorder;
+          Alcotest.test_case "bipartite" `Quick test_bipartite;
+          Alcotest.test_case "bipartition valid" `Quick test_bipartition_valid;
+          Alcotest.test_case "PG incidence" `Quick test_pg_incidence_bipartite;
+          Alcotest.test_case "articulation points" `Quick test_articulation_points;
+          Alcotest.test_case "bridges" `Quick test_bridges;
+          qt prop_articulation_matches_reference;
+          qt prop_bridges_sound;
+        ] );
+      ( "metrics_extra",
+        [
+          Alcotest.test_case "density" `Quick test_density;
+          Alcotest.test_case "degree histogram" `Quick test_degree_histogram;
+          Alcotest.test_case "clustering" `Quick test_clustering;
+        ] );
+    ]

@@ -1,0 +1,145 @@
+(* Tests for closeness and betweenness centrality. *)
+
+module Graph = Ncg_graph.Graph
+module Centrality = Ncg_graph.Centrality
+module Classic = Ncg_gen.Classic
+
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+let test_closeness_star () =
+  let g = Classic.star 5 in
+  checkf "center" 1.0 (Centrality.closeness g 0);
+  (* Leaf: distances 1 + 2+2+2 = 7; (n-1)/7. *)
+  checkf "leaf" (4.0 /. 7.0) (Centrality.closeness g 1)
+
+let test_closeness_path () =
+  let g = Classic.path 5 in
+  (* Center vertex 2: distances 2+1+1+2 = 6. *)
+  checkf "center" (4.0 /. 6.0) (Centrality.closeness g 2);
+  checkf "end" (4.0 /. 10.0) (Centrality.closeness g 0)
+
+let test_closeness_disconnected () =
+  let g = Graph.of_edges ~n:3 [ (0, 1) ] in
+  checkf "unreachable -> 0" 0.0 (Centrality.closeness g 0);
+  checkf "singleton graph" 0.0 (Centrality.closeness (Graph.empty 1) 0)
+
+let test_closeness_all () =
+  let g = Classic.cycle 6 in
+  let all = Centrality.closeness_all g in
+  (* Vertex-transitive: all equal; distances 1+1+2+2+3 = 9. *)
+  Array.iter (fun c -> checkf "cycle uniform" (5.0 /. 9.0) c) all
+
+let test_betweenness_star () =
+  let g = Classic.star 5 in
+  let b = Centrality.betweenness g in
+  (* Center lies on every one of the C(4,2) = 6 leaf pairs. *)
+  checkf "center" 6.0 b.(0);
+  Array.iteri (fun v x -> if v > 0 then checkf "leaf" 0.0 x) b
+
+let test_betweenness_path () =
+  let g = Classic.path 4 in
+  let b = Centrality.betweenness g in
+  (* Vertex 1 separates {0} from {2,3}: pairs (0,2), (0,3) -> 2. *)
+  checkf "v0" 0.0 b.(0);
+  checkf "v1" 2.0 b.(1);
+  checkf "v2" 2.0 b.(2);
+  checkf "v3" 0.0 b.(3)
+
+let test_betweenness_cycle_even () =
+  (* C4: between opposite vertices there are two shortest paths, each
+     midpoint gets 1/2 per opposite pair. Pairs: (0,2) contributes 1/2 to
+     1 and 3; (1,3) contributes 1/2 to 0 and 2. *)
+  let g = Classic.cycle 4 in
+  let b = Centrality.betweenness g in
+  Array.iter (fun x -> checkf "C4 uniform" 0.5 x) b
+
+(* Brute-force reference via explicit shortest-path counting. *)
+let betweenness_reference g =
+  let n = Graph.order g in
+  let dist = Ncg_graph.Metrics.distance_matrix g in
+  (* Count shortest paths sigma.(s).(t) by DP over distance layers. *)
+  let sigma = Array.make_matrix n n 0.0 in
+  for s = 0 to n - 1 do
+    sigma.(s).(s) <- 1.0;
+    (* Process vertices in increasing distance from s. *)
+    let order = List.init n Fun.id in
+    let order = List.filter (fun v -> dist.(s).(v) >= 0) order in
+    let order = List.sort (fun a b -> compare dist.(s).(a) dist.(s).(b)) order in
+    List.iter
+      (fun v ->
+        if v <> s then
+          Array.iter
+            (fun w ->
+              if dist.(s).(w) = dist.(s).(v) - 1 then
+                sigma.(s).(v) <- sigma.(s).(v) +. sigma.(s).(w))
+            (Graph.neighbors g v))
+      order
+  done;
+  Array.init n (fun v ->
+      let total = ref 0.0 in
+      for s = 0 to n - 1 do
+        for t = s + 1 to n - 1 do
+          if
+            s <> v && t <> v
+            && dist.(s).(t) >= 0
+            && dist.(s).(v) >= 0
+            && dist.(v).(t) >= 0
+            && dist.(s).(v) + dist.(v).(t) = dist.(s).(t)
+          then total := !total +. (sigma.(s).(v) *. sigma.(v).(t) /. sigma.(s).(t))
+        done
+      done;
+      !total)
+
+let prop_brandes_matches_reference =
+  QCheck.Test.make ~name:"Brandes matches pair-counting reference" ~count:60
+    QCheck.(pair (int_range 2 14) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Ncg_prng.Rng.create seed in
+      let tree = Ncg_gen.Random_tree.generate rng n in
+      let extra =
+        List.init (n / 2) (fun _ -> (Ncg_prng.Rng.int rng n, Ncg_prng.Rng.int rng n))
+        |> List.filter (fun (a, b) -> a <> b)
+      in
+      let g = Graph.add_edges tree extra in
+      let fast = Ncg_graph.Centrality.betweenness g in
+      let slow = betweenness_reference g in
+      Array.for_all2 (fun a b -> abs_float (a -. b) < 1e-6) fast slow)
+
+let prop_closeness_vs_sum_usage =
+  QCheck.Test.make ~name:"closeness is the inverse of the Sum usage cost" ~count:60
+    QCheck.(pair (int_range 2 20) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Ncg_prng.Rng.create seed in
+      let g = Ncg_gen.Random_tree.generate rng n in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        match Ncg_graph.Bfs.sum_distances g u with
+        | Some total ->
+            if
+              abs_float
+                (Centrality.closeness g u -. (float_of_int (n - 1) /. float_of_int total))
+              > 1e-9
+            then ok := false
+        | None -> ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "centrality"
+    [
+      ( "closeness",
+        [
+          Alcotest.test_case "star" `Quick test_closeness_star;
+          Alcotest.test_case "path" `Quick test_closeness_path;
+          Alcotest.test_case "disconnected" `Quick test_closeness_disconnected;
+          Alcotest.test_case "cycle uniform" `Quick test_closeness_all;
+          QCheck_alcotest.to_alcotest prop_closeness_vs_sum_usage;
+        ] );
+      ( "betweenness",
+        [
+          Alcotest.test_case "star" `Quick test_betweenness_star;
+          Alcotest.test_case "path" `Quick test_betweenness_path;
+          Alcotest.test_case "even cycle" `Quick test_betweenness_cycle_even;
+          QCheck_alcotest.to_alcotest prop_brandes_matches_reference;
+        ] );
+    ]

@@ -1,0 +1,274 @@
+(* Tests for the round-robin best-response dynamics. *)
+
+module Strategy = Ncg.Strategy
+module Dynamics = Ncg.Dynamics
+module Lke = Ncg.Lke
+module Game = Ncg.Game
+module Features = Ncg.Features
+module Rng = Ncg_prng.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let config ?(variant = Game.Max) ?(max_rounds = 100) ~alpha ~k () =
+  { (Dynamics.default_config ~alpha ~k) with Dynamics.variant; max_rounds }
+
+let test_star_already_stable () =
+  (* The star at alpha >= 1 is an LKE: dynamics must stop after one
+     no-change round. *)
+  let s = Strategy.of_buys ~n:6 (Ncg_gen.Classic.star_buys 6) in
+  let r = Dynamics.run (config ~alpha:1.5 ~k:2 ()) s in
+  (match r.Dynamics.outcome with
+  | Dynamics.Converged 1 -> ()
+  | _ -> Alcotest.fail "expected immediate convergence");
+  check_int "no moves" 0 r.Dynamics.total_moves;
+  check_bool "profile unchanged" true (Strategy.equal s r.Dynamics.final)
+
+let test_path_converges_to_lke () =
+  let s = Strategy.of_buys ~n:8 (List.init 7 (fun i -> (i, i + 1))) in
+  let cfg = config ~alpha:1.0 ~k:2 () in
+  let r = Dynamics.run cfg s in
+  (match r.Dynamics.outcome with
+  | Dynamics.Converged _ -> ()
+  | _ -> Alcotest.fail "expected convergence");
+  check_bool "final is an LKE" true (Lke.is_lke_max ~alpha:1.0 ~k:2 r.Dynamics.final)
+
+let test_connectivity_preserved () =
+  let rng = Rng.create 3 in
+  let g = Ncg_gen.Random_tree.generate rng 15 in
+  let s = Strategy.random_orientation rng g in
+  let r = Dynamics.run (config ~alpha:0.5 ~k:3 ()) s in
+  check_bool "final connected" true
+    (Ncg_graph.Bfs.is_connected (Strategy.graph r.Dynamics.final))
+
+let test_disconnected_initial_rejected () =
+  let s = Strategy.of_buys ~n:4 [ (0, 1) ] in
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Dynamics.run: initial network must be connected") (fun () ->
+      ignore (Dynamics.run (config ~alpha:1.0 ~k:2 ()) s))
+
+let test_max_rounds () =
+  let s = Strategy.of_buys ~n:6 (Ncg_gen.Classic.star_buys 6) in
+  let r = Dynamics.run (config ~alpha:1.0 ~k:2 ~max_rounds:0 ()) s in
+  check_bool "max rounds" true (r.Dynamics.outcome = Dynamics.Max_rounds_exceeded);
+  check_int "zero rounds" 0 r.Dynamics.rounds
+
+let test_features_collected () =
+  let s = Strategy.of_buys ~n:8 (List.init 7 (fun i -> (i, i + 1))) in
+  let r = Dynamics.run (config ~alpha:1.0 ~k:2 ()) s in
+  check_int "one feature record per round" r.Dynamics.rounds
+    (List.length r.Dynamics.features);
+  (* Rounds are chronological starting at 1. *)
+  List.iteri
+    (fun i f -> check_int "chronological" (i + 1) f.Features.round)
+    r.Dynamics.features;
+  (* The last round has zero changes (that's the convergence witness). *)
+  (match List.rev r.Dynamics.features with
+  | last :: _ -> check_int "last round quiet" 0 last.Features.changes
+  | [] -> Alcotest.fail "expected features");
+  (* Total moves = sum of per-round changes. *)
+  check_int "moves consistent" r.Dynamics.total_moves
+    (List.fold_left (fun acc f -> acc + f.Features.changes) 0 r.Dynamics.features)
+
+let test_features_disabled () =
+  let s = Strategy.of_buys ~n:6 (Ncg_gen.Classic.star_buys 6) in
+  let cfg = { (config ~alpha:1.0 ~k:2 ()) with Dynamics.collect_features = false } in
+  let r = Dynamics.run cfg s in
+  check_int "no features" 0 (List.length r.Dynamics.features)
+
+let test_determinism () =
+  let make () =
+    let rng = Rng.create 99 in
+    let g = Ncg_gen.Random_tree.generate rng 12 in
+    Strategy.random_orientation rng g
+  in
+  let r1 = Dynamics.run (config ~alpha:0.7 ~k:3 ()) (make ()) in
+  let r2 = Dynamics.run (config ~alpha:0.7 ~k:3 ()) (make ()) in
+  check_bool "same final profile" true (Strategy.equal r1.Dynamics.final r2.Dynamics.final);
+  check_int "same move count" r1.Dynamics.total_moves r2.Dynamics.total_moves
+
+let test_best_response_step () =
+  (* Star with cheap edges: a leaf's step changes the profile. *)
+  let s = Strategy.of_buys ~n:5 (Ncg_gen.Classic.star_buys 5) in
+  let cfg = config ~alpha:0.1 ~k:2 () in
+  let g = Strategy.graph s in
+  (match Dynamics.best_response_step cfg s g 1 with
+  | Some s' ->
+      check_bool "changed" false (Strategy.equal s s');
+      check_bool "player 1 now owns edges" true (Strategy.bought_count s' 1 > 0)
+  | None -> Alcotest.fail "leaf should move at alpha=0.1");
+  (* The center has no improving move. *)
+  check_bool "center stays" true (Dynamics.best_response_step cfg s g 0 = None)
+
+let test_sum_dynamics_runs () =
+  let s = Strategy.of_buys ~n:8 (List.init 7 (fun i -> (i, i + 1))) in
+  let cfg = config ~variant:Game.Sum ~alpha:1.0 ~k:2 () in
+  let r = Dynamics.run cfg s in
+  (match r.Dynamics.outcome with
+  | Dynamics.Converged _ -> ()
+  | _ -> Alcotest.fail "sum dynamics should converge here");
+  check_bool "final connected" true
+    (Ncg_graph.Bfs.is_connected (Strategy.graph r.Dynamics.final))
+
+let test_csv_row () =
+  let s = Strategy.of_buys ~n:6 (Ncg_gen.Classic.star_buys 6) in
+  let g = Strategy.graph s in
+  let f =
+    Features.collect Game.Max ~alpha:1.0 ~k:2 ~round:1 ~changes:0 s g
+  in
+  let row = Features.to_csv_row f in
+  check_int "field count"
+    (List.length (String.split_on_char ',' Features.csv_header))
+    (List.length (String.split_on_char ',' row))
+
+let test_local_moves_dynamics () =
+  (* Better-response (single-move) dynamics also converge; the result is
+     single-move stable but not necessarily an LKE. *)
+  let rng = Rng.create 21 in
+  let g = Ncg_gen.Random_tree.generate rng 20 in
+  let s = Strategy.random_orientation rng g in
+  let cfg = { (config ~alpha:1.0 ~k:3 ()) with Dynamics.response = `Local_moves } in
+  let r = Dynamics.run cfg s in
+  (match r.Dynamics.outcome with
+  | Dynamics.Converged _ | Dynamics.Cycle_detected _ -> ()
+  | Dynamics.Max_rounds_exceeded -> Alcotest.fail "local-move dynamics ran away");
+  check_bool "connected" true
+    (Ncg_graph.Bfs.is_connected (Strategy.graph r.Dynamics.final))
+
+let test_local_moves_never_below_best_quality () =
+  (* With exact responses the same start converges too; both engines end
+     connected and stable under their own notion of improvement. *)
+  let rng = Rng.create 4 in
+  let g = Ncg_gen.Random_tree.generate rng 15 in
+  let s = Strategy.random_orientation rng g in
+  let exact = Dynamics.run (config ~alpha:2.0 ~k:3 ()) s in
+  let local =
+    Dynamics.run { (config ~alpha:2.0 ~k:3 ()) with Dynamics.response = `Local_moves } s
+  in
+  check_bool "both converge" true
+    (match (exact.Dynamics.outcome, local.Dynamics.outcome) with
+    | Dynamics.Converged _, Dynamics.Converged _ -> true
+    | _ -> false)
+
+let test_random_sweep_order () =
+  let rng = Rng.create 8 in
+  let g = Ncg_gen.Random_tree.generate rng 15 in
+  let s = Strategy.random_orientation rng g in
+  let cfg = { (config ~alpha:1.0 ~k:3 ()) with Dynamics.order = `Random_sweep 5 } in
+  let r = Dynamics.run cfg s in
+  (match r.Dynamics.outcome with
+  | Dynamics.Converged _ -> ()
+  | Dynamics.Cycle_detected _ -> Alcotest.fail "cycle detection must be off"
+  | Dynamics.Max_rounds_exceeded -> Alcotest.fail "should converge");
+  (* Deterministic given the sweep seed. *)
+  let r2 = Dynamics.run cfg s in
+  check_bool "sweep-seed determinism" true
+    (Strategy.equal r.Dynamics.final r2.Dynamics.final);
+  (* The converged profile is an LKE regardless of visit order. *)
+  check_bool "still an LKE" true (Lke.is_lke_max ~alpha:1.0 ~k:3 r.Dynamics.final)
+
+(* Property: on trees with alpha >= 1 the dynamics converges quickly and the
+   result is an LKE. The paper observed convergence in <= ~7 rounds on
+   trees; we allow a loose cap. *)
+let prop_tree_dynamics_converge =
+  QCheck.Test.make ~name:"tree dynamics converge to an LKE" ~count:20
+    QCheck.(
+      quad (int_range 5 18) (int_range 2 4) (int_range 0 100_000)
+        (float_range 1.0 5.0))
+    (fun (n, k, seed, alpha) ->
+      let rng = Rng.create seed in
+      let g = Ncg_gen.Random_tree.generate rng n in
+      let s = Strategy.random_orientation rng g in
+      let r = Dynamics.run (config ~alpha ~k ~max_rounds:60 ()) s in
+      match r.Dynamics.outcome with
+      | Dynamics.Converged _ -> Lke.is_lke_max ~alpha ~k r.Dynamics.final
+      | Dynamics.Cycle_detected _ -> true (* rare but legitimate *)
+      | Dynamics.Max_rounds_exceeded -> false)
+
+(* Lemma 3.13's layer growth as a falsifiable invariant on equilibria. *)
+let prop_equilibria_satisfy_ball_growth =
+  QCheck.Test.make ~name:"converged equilibria satisfy Lemma 3.13's layer bound"
+    ~count:25
+    QCheck.(
+      quad (int_range 6 20) (int_range 2 4) (int_range 0 100_000)
+        (float_range 0.3 4.0))
+    (fun (n, k, seed, alpha) ->
+      let rng = Rng.create seed in
+      let g = Ncg_gen.Random_tree.generate rng n in
+      let s = Strategy.random_orientation rng g in
+      let r = Dynamics.run (config ~alpha ~k ()) s in
+      match r.Dynamics.outcome with
+      | Dynamics.Converged _ ->
+          Ncg.Bounds.check_ball_growth (Strategy.graph r.Dynamics.final) ~alpha ~k
+      | _ -> true)
+
+(* Lemma 3.17 as a falsifiable invariant: every equilibrium the dynamics
+   produces has girth >= 2 + min(alpha, 2k). *)
+let prop_equilibria_satisfy_girth_invariant =
+  QCheck.Test.make ~name:"converged equilibria satisfy Lemma 3.17's girth bound"
+    ~count:25
+    QCheck.(
+      quad (int_range 5 18) (int_range 2 4) (int_range 0 100_000)
+        (float_range 0.3 5.0))
+    (fun (n, k, seed, alpha) ->
+      let rng = Rng.create seed in
+      let g = Ncg_gen.Random_tree.generate rng n in
+      let s = Strategy.random_orientation rng g in
+      let r = Dynamics.run (config ~alpha ~k ()) s in
+      match r.Dynamics.outcome with
+      | Dynamics.Converged _ ->
+          Ncg.Bounds.check_equilibrium_girth
+            (Strategy.graph r.Dynamics.final)
+            ~alpha ~k
+      | _ -> true)
+
+let prop_social_cost_finite_throughout =
+  QCheck.Test.make ~name:"network stays connected through the dynamics" ~count:15
+    QCheck.(triple (int_range 5 15) (int_range 0 100_000) (float_range 0.2 3.0))
+    (fun (n, seed, alpha) ->
+      let rng = Rng.create seed in
+      let g = Ncg_gen.Random_tree.generate rng n in
+      let s = Strategy.random_orientation rng g in
+      let r = Dynamics.run (config ~alpha ~k:3 ~max_rounds:60 ()) s in
+      List.for_all
+        (fun f -> f.Features.diameter >= 0 && not (Float.is_nan f.Features.social_cost))
+        r.Dynamics.features)
+
+let () =
+  Alcotest.run "dynamics"
+    [
+      ( "outcomes",
+        [
+          Alcotest.test_case "stable start" `Quick test_star_already_stable;
+          Alcotest.test_case "path converges to LKE" `Quick test_path_converges_to_lke;
+          Alcotest.test_case "connectivity preserved" `Quick test_connectivity_preserved;
+          Alcotest.test_case "disconnected rejected" `Quick test_disconnected_initial_rejected;
+          Alcotest.test_case "max rounds" `Quick test_max_rounds;
+        ] );
+      ( "features",
+        [
+          Alcotest.test_case "collected per round" `Quick test_features_collected;
+          Alcotest.test_case "disabled" `Quick test_features_disabled;
+          Alcotest.test_case "csv row" `Quick test_csv_row;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "single step" `Quick test_best_response_step;
+          Alcotest.test_case "sum variant" `Quick test_sum_dynamics_runs;
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "local-move response" `Quick test_local_moves_dynamics;
+          Alcotest.test_case "exact vs local both converge" `Quick
+            test_local_moves_never_below_best_quality;
+          Alcotest.test_case "random sweep order" `Quick test_random_sweep_order;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_tree_dynamics_converge;
+          QCheck_alcotest.to_alcotest prop_equilibria_satisfy_girth_invariant;
+          QCheck_alcotest.to_alcotest prop_equilibria_satisfy_ball_growth;
+          QCheck_alcotest.to_alcotest prop_social_cost_finite_throughout;
+        ] );
+    ]

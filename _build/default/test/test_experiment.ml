@@ -1,0 +1,136 @@
+(* Tests for the experiment harness. *)
+
+module Experiment = Ncg.Experiment
+module Strategy = Ncg.Strategy
+module Dynamics = Ncg.Dynamics
+module Game = Ncg.Game
+module Graph = Ncg_graph.Graph
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_paper_grids () =
+  check_int "15 alphas" 15 (List.length Experiment.paper_alphas);
+  check_int "12 ks" 12 (List.length Experiment.paper_ks);
+  check_bool "k=1000 included" true (List.mem 1000 Experiment.paper_ks);
+  check_bool "alpha=0.025 included" true (List.mem 0.025 Experiment.paper_alphas)
+
+let test_initial_tree () =
+  let s = Experiment.initial_tree ~seed:5 ~n:30 in
+  check_int "players" 30 (Strategy.n_players s);
+  check_int "purchases = n-1" 29 (Strategy.total_bought s);
+  check_bool "connected" true (Ncg_graph.Bfs.is_connected (Strategy.graph s));
+  (* Deterministic per seed. *)
+  let s' = Experiment.initial_tree ~seed:5 ~n:30 in
+  check_bool "deterministic" true (Strategy.equal s s');
+  let s2 = Experiment.initial_tree ~seed:6 ~n:30 in
+  check_bool "seed matters" false (Strategy.equal s s2)
+
+let test_initial_gnp () =
+  let s = Experiment.initial_gnp ~seed:7 ~n:40 ~p:0.15 in
+  check_int "players" 40 (Strategy.n_players s);
+  check_bool "connected" true (Ncg_graph.Bfs.is_connected (Strategy.graph s));
+  check_int "purchases = edges" (Graph.size (Strategy.graph s)) (Strategy.total_bought s)
+
+let test_initial_stats () =
+  let s = Experiment.initial_tree ~seed:11 ~n:25 in
+  let st = Experiment.initial_stats s in
+  let g = Strategy.graph s in
+  check_int "edges" (Graph.size g) st.Experiment.edges;
+  check_int "diameter"
+    (match Ncg_graph.Metrics.diameter g with Some d -> d | None -> -1)
+    st.Experiment.diameter;
+  check_int "max degree" (Ncg_graph.Metrics.max_degree g) st.Experiment.max_degree;
+  check_bool "max bought >= 1" true (st.Experiment.max_bought >= 1)
+
+let test_run_one () =
+  let s = Experiment.initial_tree ~seed:3 ~n:15 in
+  let cfg = Dynamics.default_config ~alpha:2.0 ~k:3 in
+  let r = Experiment.run_one cfg s in
+  check_bool "converged" true r.Experiment.converged;
+  check_bool "not cycled" true (not r.Experiment.cycled);
+  check_bool "quality >= 1 for alpha >= 1" true (r.Experiment.quality >= 1.0 -. 1e-9);
+  check_bool "unfairness >= 1" true (r.Experiment.unfairness >= 1.0 -. 1e-9);
+  check_bool "diameter positive" true (r.Experiment.diameter >= 1);
+  check_bool "view sizes sane" true
+    (r.Experiment.min_view >= 1 && r.Experiment.avg_view >= float_of_int r.Experiment.min_view);
+  check_bool "social cost positive" true (r.Experiment.social_cost > 0.0)
+
+let test_trials_and_summaries () =
+  let cfg = Dynamics.default_config ~alpha:2.0 ~k:3 in
+  let runs =
+    Experiment.trials
+      ~make_initial:(fun ~seed -> Experiment.initial_tree ~seed ~n:12)
+      ~config:cfg ~trials:5 ~seed:100
+  in
+  check_int "five runs" 5 (List.length runs);
+  let q = Experiment.summarize (fun r -> r.Experiment.quality) runs in
+  check_int "summary n" 5 q.Ncg_stats.Summary.n;
+  check_bool "mean quality >= 1" true (q.Ncg_stats.Summary.mean >= 1.0 -. 1e-9);
+  let frac = Experiment.fraction (fun r -> r.Experiment.converged) runs in
+  check_bool "most converge" true (frac >= 0.8)
+
+let test_trials_deterministic () =
+  let cfg = Dynamics.default_config ~alpha:1.0 ~k:2 in
+  let run () =
+    Experiment.trials
+      ~make_initial:(fun ~seed -> Experiment.initial_tree ~seed ~n:10)
+      ~config:cfg ~trials:3 ~seed:42
+  in
+  let a = List.map (fun r -> r.Experiment.social_cost) (run ()) in
+  let b = List.map (fun r -> r.Experiment.social_cost) (run ()) in
+  Alcotest.(check (list (float 1e-12))) "reproducible" a b
+
+let test_parallel_trials_match_sequential () =
+  let cfg = Dynamics.default_config ~alpha:2.0 ~k:3 in
+  let make_initial ~seed = Experiment.initial_tree ~seed ~n:12 in
+  let seq = Experiment.trials ~make_initial ~config:cfg ~trials:6 ~seed:77 in
+  List.iter
+    (fun domains ->
+      let par =
+        Experiment.trials_parallel ~domains ~make_initial ~config:cfg ~trials:6
+          ~seed:77
+      in
+      Alcotest.(check (list (float 1e-12)))
+        (Printf.sprintf "identical at %d domains" domains)
+        (List.map (fun r -> r.Experiment.social_cost) seq)
+        (List.map (fun r -> r.Experiment.social_cost) par))
+    [ 1; 2; 4 ]
+
+let test_initial_ba_ws () =
+  let ba = Experiment.initial_ba ~seed:4 ~n:30 ~m:2 in
+  check_bool "ba connected" true (Ncg_graph.Bfs.is_connected (Strategy.graph ba));
+  check_int "ba players" 30 (Strategy.n_players ba);
+  let ws = Experiment.initial_ws ~seed:4 ~n:30 ~k:4 ~beta:0.2 in
+  check_bool "ws connected" true (Ncg_graph.Bfs.is_connected (Strategy.graph ws));
+  check_int "ws purchases = edges" (Graph.size (Strategy.graph ws))
+    (Strategy.total_bought ws)
+
+let test_full_knowledge_view_sizes () =
+  (* With k = 1000 every converged player sees everything. *)
+  let s = Experiment.initial_tree ~seed:8 ~n:12 in
+  let cfg = Dynamics.default_config ~alpha:2.0 ~k:1000 in
+  let r = Experiment.run_one cfg s in
+  check_int "min view = n" 12 r.Experiment.min_view
+
+let () =
+  Alcotest.run "experiment"
+    [
+      ( "setup",
+        [
+          Alcotest.test_case "paper grids" `Quick test_paper_grids;
+          Alcotest.test_case "initial tree" `Quick test_initial_tree;
+          Alcotest.test_case "initial gnp" `Quick test_initial_gnp;
+          Alcotest.test_case "initial stats" `Quick test_initial_stats;
+        ] );
+      ( "runs",
+        [
+          Alcotest.test_case "run_one" `Quick test_run_one;
+          Alcotest.test_case "trials + summaries" `Quick test_trials_and_summaries;
+          Alcotest.test_case "determinism" `Quick test_trials_deterministic;
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_parallel_trials_match_sequential;
+          Alcotest.test_case "ba/ws initials" `Quick test_initial_ba_ws;
+          Alcotest.test_case "full knowledge views" `Quick test_full_knowledge_view_sizes;
+        ] );
+    ]

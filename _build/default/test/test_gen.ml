@@ -1,0 +1,366 @@
+(* Tests for the graph generators (except the torus grid, see test_torus). *)
+
+module Graph = Ncg_graph.Graph
+module Bfs = Ncg_graph.Bfs
+module Metrics = Ncg_graph.Metrics
+module Girth = Ncg_graph.Girth
+module Classic = Ncg_gen.Classic
+module Random_tree = Ncg_gen.Random_tree
+module Erdos_renyi = Ncg_gen.Erdos_renyi
+module Gf = Ncg_gen.Gf
+module Projective_plane = Ncg_gen.Projective_plane
+module High_girth = Ncg_gen.High_girth
+module Rng = Ncg_prng.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_opt_int = Alcotest.(check (option int))
+
+(* --- Classic families --------------------------------------------------- *)
+
+let test_path () =
+  let g = Classic.path 6 in
+  check_int "size" 5 (Graph.size g);
+  check_opt_int "diameter" (Some 5) (Metrics.diameter g)
+
+let test_cycle () =
+  let g = Classic.cycle 8 in
+  check_int "size" 8 (Graph.size g);
+  check_opt_int "diameter" (Some 4) (Metrics.diameter g);
+  check_int "regular" 2 (Metrics.max_degree g);
+  Alcotest.check_raises "too small" (Invalid_argument "Classic.cycle: need n >= 3")
+    (fun () -> ignore (Classic.cycle 2))
+
+let test_cycle_buys () =
+  let buys = Classic.cycle_buys 5 in
+  check_int "one edge each" 5 (List.length buys);
+  (* Buys must cover exactly the cycle's edges. *)
+  let g = Graph.of_edges ~n:5 buys in
+  check_bool "covers the cycle" true (Graph.equal g (Classic.cycle 5))
+
+let test_star () =
+  let g = Classic.star 7 in
+  check_int "size" 6 (Graph.size g);
+  check_int "center degree" 6 (Graph.degree g 0);
+  check_opt_int "diameter" (Some 2) (Metrics.diameter g);
+  let buys = Classic.star_buys 7 in
+  check_bool "center buys all" true (List.for_all (fun (b, _) -> b = 0) buys)
+
+let test_complete () =
+  let g = Classic.complete 6 in
+  check_int "size" 15 (Graph.size g);
+  check_opt_int "diameter" (Some 1) (Metrics.diameter g)
+
+let test_grid () =
+  let g = Classic.grid 3 4 in
+  check_int "order" 12 (Graph.order g);
+  check_int "size" ((2 * 4) + (3 * 3)) (Graph.size g);
+  check_opt_int "diameter" (Some 5) (Metrics.diameter g)
+
+let test_hypercube () =
+  let g = Classic.hypercube 4 in
+  check_int "order" 16 (Graph.order g);
+  check_int "size" (16 * 4 / 2) (Graph.size g);
+  check_opt_int "diameter" (Some 4) (Metrics.diameter g);
+  check_opt_int "girth" (Some 4) (Girth.girth g)
+
+(* --- Random trees -------------------------------------------------------- *)
+
+let test_pruefer_known () =
+  (* Sequence [3; 3] on n=4 decodes to the star centered at 3. *)
+  let g = Random_tree.decode_pruefer ~n:4 [| 3; 3 |] in
+  check_int "star center degree" 3 (Graph.degree g 3);
+  check_int "size" 3 (Graph.size g)
+
+let test_pruefer_path () =
+  (* Sequence [1; 2] on n=4 decodes to the path 0-1-2-3. *)
+  let g = Random_tree.decode_pruefer ~n:4 [| 1; 2 |] in
+  check_bool "0-1" true (Graph.mem_edge g 0 1);
+  check_bool "1-2" true (Graph.mem_edge g 1 2);
+  check_bool "2-3" true (Graph.mem_edge g 2 3)
+
+let test_pruefer_validation () =
+  Alcotest.check_raises "length"
+    (Invalid_argument "Random_tree.decode_pruefer: sequence must have length n-2")
+    (fun () -> ignore (Random_tree.decode_pruefer ~n:4 [| 0 |]));
+  Alcotest.check_raises "range"
+    (Invalid_argument "Random_tree.decode_pruefer: entry out of range") (fun () ->
+      ignore (Random_tree.decode_pruefer ~n:4 [| 4; 0 |]))
+
+let test_tree_tiny () =
+  check_int "n=1" 0 (Graph.size (Random_tree.generate (Rng.create 1) 1));
+  check_int "n=2" 1 (Graph.size (Random_tree.generate (Rng.create 1) 2))
+
+let test_random_tree_is_tree () =
+  let rng = Rng.create 42 in
+  List.iter
+    (fun n ->
+      let g = Random_tree.generate rng n in
+      check_int (Printf.sprintf "n=%d edges" n) (n - 1) (Graph.size g);
+      check_bool "connected" true (Bfs.is_connected g))
+    [ 2; 3; 10; 50; 200 ]
+
+let test_random_tree_uniformity () =
+  (* On 3 labelled vertices there are exactly 3 trees (which vertex is the
+     center); each should appear about 1/3 of the time. *)
+  let rng = Rng.create 7 in
+  let counts = Array.make 3 0 in
+  let trials = 3000 in
+  for _ = 1 to trials do
+    let g = Random_tree.generate rng 3 in
+    let center = if Graph.degree g 0 = 2 then 0 else if Graph.degree g 1 = 2 then 1 else 2 in
+    counts.(center) <- counts.(center) + 1
+  done;
+  Array.iter
+    (fun c ->
+      check_bool "roughly uniform" true
+        (abs (c - (trials / 3)) < trials / 10))
+    counts
+
+let prop_random_tree_tree =
+  QCheck.Test.make ~name:"random trees are spanning trees" ~count:100
+    QCheck.(pair (int_range 2 100) (int_range 0 10000))
+    (fun (n, seed) ->
+      let g = Random_tree.generate (Rng.create seed) n in
+      Graph.size g = n - 1 && Bfs.is_connected g)
+
+(* --- Erdős–Rényi --------------------------------------------------------- *)
+
+let test_gnp_extremes () =
+  let rng = Rng.create 3 in
+  check_int "p=0" 0 (Graph.size (Erdos_renyi.generate rng ~n:20 ~p:0.0));
+  check_int "p=1" (20 * 19 / 2) (Graph.size (Erdos_renyi.generate rng ~n:20 ~p:1.0))
+
+let test_gnp_density () =
+  let rng = Rng.create 5 in
+  let n = 100 and p = 0.1 in
+  let sizes =
+    List.init 20 (fun _ -> Graph.size (Erdos_renyi.generate rng ~n ~p))
+  in
+  let mean =
+    float_of_int (List.fold_left ( + ) 0 sizes) /. 20.0
+  in
+  let expected = p *. float_of_int (n * (n - 1) / 2) in
+  check_bool "mean edge count near expectation" true
+    (abs_float (mean -. expected) < expected *. 0.15)
+
+let test_gnp_connected () =
+  let rng = Rng.create 11 in
+  let g = Erdos_renyi.connected rng ~n:60 ~p:0.1 ~max_attempts:1000 in
+  check_bool "connected" true (Bfs.is_connected g)
+
+let test_gnp_connected_fails () =
+  let rng = Rng.create 11 in
+  Alcotest.check_raises "hopeless p"
+    (Failure "Erdos_renyi.connected: exceeded max_attempts") (fun () ->
+      ignore (Erdos_renyi.connected rng ~n:50 ~p:0.001 ~max_attempts:3))
+
+let test_gnp_validation () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bad p"
+    (Invalid_argument "Erdos_renyi.generate: p outside [0,1]") (fun () ->
+      ignore (Erdos_renyi.generate rng ~n:5 ~p:1.5))
+
+(* --- GF(p) ----------------------------------------------------------------- *)
+
+let test_is_prime () =
+  check_bool "2" true (Gf.is_prime 2);
+  check_bool "3" true (Gf.is_prime 3);
+  check_bool "4" false (Gf.is_prime 4);
+  check_bool "1" false (Gf.is_prime 1);
+  check_bool "0" false (Gf.is_prime 0);
+  check_bool "97" true (Gf.is_prime 97);
+  check_bool "91 = 7*13" false (Gf.is_prime 91)
+
+let test_gf_arithmetic () =
+  let f = Gf.create 7 in
+  check_int "add" 2 (Gf.add f 5 4);
+  check_int "sub wraps" 6 (Gf.sub f 2 3);
+  check_int "mul" 6 (Gf.mul f 4 5);
+  check_int "pow" 1 (Gf.pow f 3 6);
+  (* Fermat *)
+  check_int "inv 3" 5 (Gf.inv f 3);
+  (* 3*5 = 15 = 1 mod 7 *)
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Gf.inv f 0));
+  Alcotest.check_raises "not prime" (Invalid_argument "Gf.create: modulus must be prime")
+    (fun () -> ignore (Gf.create 6))
+
+let prop_gf_inverse =
+  QCheck.Test.make ~name:"x * inv x = 1 in GF(p)" ~count:200
+    QCheck.(pair (oneofl [ 2; 3; 5; 7; 11; 13 ]) (int_range 1 1000))
+    (fun (p, x) ->
+      let f = Gf.create p in
+      let x = 1 + (x mod (p - 1)) in
+      Gf.mul f x (Gf.inv f x) = 1)
+
+(* --- Projective planes ------------------------------------------------------ *)
+
+let test_pg2_structure () =
+  List.iter
+    (fun q ->
+      let np = Projective_plane.plane_size q in
+      check_int (Printf.sprintf "PG(2,%d) size" q) ((q * q) + q + 1) np;
+      let g = Projective_plane.incidence q in
+      check_int "order" (2 * np) (Graph.order g);
+      (* (q+1)-regular. *)
+      for v = 0 to Graph.order g - 1 do
+        check_int "regular" (q + 1) (Graph.degree g v)
+      done;
+      check_int "edges" (np * (q + 1)) (Graph.size g);
+      check_opt_int "girth 6" (Some 6) (Girth.girth g);
+      check_bool "connected" true (Bfs.is_connected g);
+      check_opt_int "diameter 3" (Some 3) (Metrics.diameter g))
+    [ 2; 3; 5 ]
+
+let test_pg2_bipartite () =
+  let q = 3 in
+  let np = Projective_plane.plane_size q in
+  let g = Projective_plane.incidence q in
+  (* No edge joins two points or two lines. *)
+  Graph.iter_edges
+    (fun u v ->
+      check_bool "bipartite" true ((u < np && v >= np) || (v < np && u >= np)))
+    g
+
+(* --- Barabási–Albert ----------------------------------------------------------- *)
+
+let test_ba_structure () =
+  let rng = Rng.create 19 in
+  let n = 60 and m = 2 in
+  let g = Ncg_gen.Barabasi_albert.generate rng ~n ~m in
+  check_int "order" n (Graph.order g);
+  check_bool "connected" true (Bfs.is_connected g);
+  (* Star seed on m+1 vertices has m edges; each of the n-m-1 newcomers
+     adds exactly m edges. *)
+  check_int "edges" (m + ((n - m - 1) * m)) (Graph.size g);
+  (* Every newcomer has degree >= m. *)
+  for v = m + 1 to n - 1 do
+    check_bool "degree >= m" true (Graph.degree g v >= m)
+  done
+
+let test_ba_hubs () =
+  (* Preferential attachment grows hubs: max degree far above the average. *)
+  let rng = Rng.create 4 in
+  let g = Ncg_gen.Barabasi_albert.generate rng ~n:200 ~m:2 in
+  check_bool "has a hub" true
+    (float_of_int (Metrics.max_degree g) > 3.0 *. Metrics.avg_degree g)
+
+let test_ba_validation () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "m = 0" (Invalid_argument "Barabasi_albert.generate: need 1 <= m < n")
+    (fun () -> ignore (Ncg_gen.Barabasi_albert.generate rng ~n:5 ~m:0))
+
+(* --- Watts–Strogatz ------------------------------------------------------------- *)
+
+let test_ws_lattice () =
+  (* beta = 0: the pristine ring lattice. *)
+  let rng = Rng.create 2 in
+  let g = Ncg_gen.Watts_strogatz.generate rng ~n:20 ~k:4 ~beta:0.0 in
+  check_int "edges" (20 * 4 / 2) (Graph.size g);
+  for v = 0 to 19 do
+    check_int "4-regular" 4 (Graph.degree g v)
+  done;
+  check_bool "clustered" true (Metrics.avg_clustering g > 0.4)
+
+let test_ws_rewired () =
+  let rng = Rng.create 3 in
+  let lattice = Ncg_gen.Watts_strogatz.generate rng ~n:40 ~k:4 ~beta:0.0 in
+  let rewired = Ncg_gen.Watts_strogatz.generate rng ~n:40 ~k:4 ~beta:0.3 in
+  check_int "edge count preserved" (Graph.size lattice) (Graph.size rewired);
+  check_bool "actually rewired" false (Graph.equal lattice rewired);
+  (* Small world: rewiring shortens the diameter. *)
+  match (Metrics.diameter lattice, Metrics.diameter rewired) with
+  | Some dl, Some dr -> check_bool "shorter paths" true (dr < dl)
+  | _ -> () (* rewired graph may disconnect; nothing to compare *)
+
+let test_ws_validation () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "odd k"
+    (Invalid_argument "Watts_strogatz.generate: k must be even and >= 2") (fun () ->
+      ignore (Ncg_gen.Watts_strogatz.generate rng ~n:10 ~k:3 ~beta:0.1));
+  Alcotest.check_raises "beta"
+    (Invalid_argument "Watts_strogatz.generate: beta outside [0,1]") (fun () ->
+      ignore (Ncg_gen.Watts_strogatz.generate rng ~n:10 ~k:2 ~beta:1.5))
+
+(* --- High girth --------------------------------------------------------------- *)
+
+let test_high_girth_certified () =
+  let rng = Rng.create 17 in
+  List.iter
+    (fun (n, d, girth) ->
+      let g = High_girth.generate rng ~n ~max_degree:d ~girth in
+      check_bool
+        (Printf.sprintf "girth >= %d" girth)
+        true (Girth.girth_at_least g girth);
+      check_bool "connected" true (Bfs.is_connected g);
+      check_bool "degree cap respected" true (Metrics.max_degree g <= d);
+      check_bool "denser than the cycle" true (Graph.size g > n))
+    [ (40, 4, 6); (60, 5, 8); (80, 3, 10) ]
+
+let test_high_girth_validation () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "girth too small"
+    (Invalid_argument "High_girth.generate: need girth >= 4") (fun () ->
+      ignore (High_girth.generate rng ~n:10 ~max_degree:3 ~girth:3))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ncg_gen"
+    [
+      ( "classic",
+        [
+          Alcotest.test_case "path" `Quick test_path;
+          Alcotest.test_case "cycle" `Quick test_cycle;
+          Alcotest.test_case "cycle ownership" `Quick test_cycle_buys;
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "complete" `Quick test_complete;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "hypercube" `Quick test_hypercube;
+        ] );
+      ( "random_tree",
+        [
+          Alcotest.test_case "pruefer star" `Quick test_pruefer_known;
+          Alcotest.test_case "pruefer path" `Quick test_pruefer_path;
+          Alcotest.test_case "pruefer validation" `Quick test_pruefer_validation;
+          Alcotest.test_case "tiny trees" `Quick test_tree_tiny;
+          Alcotest.test_case "is a tree" `Quick test_random_tree_is_tree;
+          Alcotest.test_case "uniform on n=3" `Quick test_random_tree_uniformity;
+          qt prop_random_tree_tree;
+        ] );
+      ( "erdos_renyi",
+        [
+          Alcotest.test_case "extremes" `Quick test_gnp_extremes;
+          Alcotest.test_case "density" `Quick test_gnp_density;
+          Alcotest.test_case "connected resampling" `Quick test_gnp_connected;
+          Alcotest.test_case "max_attempts" `Quick test_gnp_connected_fails;
+          Alcotest.test_case "validation" `Quick test_gnp_validation;
+        ] );
+      ( "gf",
+        [
+          Alcotest.test_case "primality" `Quick test_is_prime;
+          Alcotest.test_case "arithmetic" `Quick test_gf_arithmetic;
+          qt prop_gf_inverse;
+        ] );
+      ( "projective_plane",
+        [
+          Alcotest.test_case "structure" `Quick test_pg2_structure;
+          Alcotest.test_case "bipartite" `Quick test_pg2_bipartite;
+        ] );
+      ( "barabasi_albert",
+        [
+          Alcotest.test_case "structure" `Quick test_ba_structure;
+          Alcotest.test_case "hubs" `Quick test_ba_hubs;
+          Alcotest.test_case "validation" `Quick test_ba_validation;
+        ] );
+      ( "watts_strogatz",
+        [
+          Alcotest.test_case "lattice" `Quick test_ws_lattice;
+          Alcotest.test_case "rewired" `Quick test_ws_rewired;
+          Alcotest.test_case "validation" `Quick test_ws_validation;
+        ] );
+      ( "high_girth",
+        [
+          Alcotest.test_case "certified girth" `Quick test_high_girth_certified;
+          Alcotest.test_case "validation" `Quick test_high_girth_validation;
+        ] );
+    ]

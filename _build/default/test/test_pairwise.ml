@@ -1,0 +1,123 @@
+(* Tests for the Jackson–Wolinsky pairwise-stability baseline. *)
+
+module Graph = Ncg_graph.Graph
+module Pairwise = Ncg.Pairwise
+module Classic = Ncg_gen.Classic
+module Rng = Ncg_prng.Rng
+
+let check_bool = Alcotest.(check bool)
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+let uniform alpha = Pairwise.uniform_costs ~alpha
+
+let test_player_cost () =
+  (* Path 0-1-2, uniform alpha = 2: player 1 pays 2 activations + 2. *)
+  let g = Classic.path 3 in
+  Alcotest.(check (option (float 1e-9)))
+    "middle" (Some 6.0)
+    (Pairwise.player_cost (uniform 2.0) g 1);
+  Alcotest.(check (option (float 1e-9)))
+    "end" (Some 5.0)
+    (Pairwise.player_cost (uniform 2.0) g 0);
+  Alcotest.(check (option (float 1e-9)))
+    "disconnected" None
+    (Pairwise.player_cost (uniform 2.0) (Graph.empty 2) 0)
+
+let test_asymmetric_costs () =
+  let costs = { Pairwise.activation = (fun i j -> float_of_int ((10 * i) + j)) } in
+  let g = Classic.path 3 in
+  (* Player 0 pays activation 0->1 = 1, distances 1+2. *)
+  Alcotest.(check (option (float 1e-9)))
+    "asymmetric" (Some 4.0)
+    (Pairwise.player_cost costs g 0)
+
+let test_star_stability_known_threshold () =
+  (* Jackson–Wolinsky: with c_ij = alpha, the star is pairwise stable for
+     1 <= alpha (no leaf pair wants to link: linking costs alpha and
+     saves exactly 1 unit of distance; the center never cuts for
+     alpha <= ... cutting disconnects: never). Below alpha = 1 leaves
+     want to link. *)
+  let g = Classic.star 6 in
+  check_bool "stable at alpha=1.5" true (Pairwise.is_pairwise_stable (uniform 1.5) g);
+  check_bool "unstable at alpha=0.5" false (Pairwise.is_pairwise_stable (uniform 0.5) g)
+
+let test_complete_stability () =
+  (* The clique is pairwise stable iff no one wants to cut an edge:
+     cutting saves alpha and adds 1 to the distance -> cut iff alpha > 1. *)
+  let g = Classic.complete 5 in
+  check_bool "stable at alpha=0.5" true (Pairwise.is_pairwise_stable (uniform 0.5) g);
+  check_bool "unstable at alpha=2" false (Pairwise.is_pairwise_stable (uniform 2.0) g)
+
+let test_instability_kinds () =
+  let g = Classic.complete 4 in
+  let viols = Pairwise.instabilities (uniform 5.0) g in
+  check_bool "cut violations" true
+    (List.exists (function Pairwise.Wants_to_cut _ -> true | _ -> false) viols);
+  let star = Classic.star 5 in
+  let viols = Pairwise.instabilities (uniform 0.2) star in
+  check_bool "link violations" true
+    (List.exists (function Pairwise.Wants_to_link _ -> true | _ -> false) viols)
+
+let test_cut_never_disconnects () =
+  (* Bridges are never cut (infinite cost): the path at huge alpha still
+     reports no cuts. *)
+  let g = Classic.path 5 in
+  let viols = Pairwise.instabilities (uniform 100.0) g in
+  check_bool "no cut of a bridge" true
+    (List.for_all (function Pairwise.Wants_to_cut _ -> false | _ -> true) viols)
+
+let test_improve_reaches_stability () =
+  let g = Classic.path 6 in
+  let final, steps = Pairwise.improve (uniform 1.5) g in
+  check_bool "stable" true (Pairwise.is_pairwise_stable (uniform 1.5) final);
+  check_bool "took steps" true (steps > 0);
+  check_bool "connected" true (Ncg_graph.Bfs.is_connected final)
+
+let test_social_cost () =
+  let g = Classic.path 3 in
+  (* Activations: 4 endpoint-payments x alpha=1 -> 4; distances 2+3+3=8. *)
+  match Pairwise.social_cost (uniform 1.0) g with
+  | Some c -> checkf "social" 12.0 c
+  | None -> Alcotest.fail "connected"
+
+let prop_improve_converges_on_trees =
+  QCheck.Test.make ~name:"pairwise improvement converges on random trees" ~count:20
+    QCheck.(triple (int_range 3 12) (int_range 0 10_000) (float_range 0.5 3.0))
+    (fun (n, seed, alpha) ->
+      let rng = Rng.create seed in
+      let g = Ncg_gen.Random_tree.generate rng n in
+      let final, steps = Pairwise.improve ~max_steps:500 (uniform alpha) g in
+      steps < 500 && Pairwise.is_pairwise_stable (uniform alpha) final)
+
+let prop_stable_networks_connected =
+  QCheck.Test.make ~name:"improvement preserves connectivity" ~count:20
+    QCheck.(triple (int_range 3 10) (int_range 0 10_000) (float_range 0.5 3.0))
+    (fun (n, seed, alpha) ->
+      let rng = Rng.create seed in
+      let g = Ncg_gen.Random_tree.generate rng n in
+      let final, _ = Pairwise.improve ~max_steps:500 (uniform alpha) g in
+      Ncg_graph.Bfs.is_connected final)
+
+let () =
+  Alcotest.run "pairwise"
+    [
+      ( "costs",
+        [
+          Alcotest.test_case "player cost" `Quick test_player_cost;
+          Alcotest.test_case "asymmetric" `Quick test_asymmetric_costs;
+          Alcotest.test_case "social cost" `Quick test_social_cost;
+        ] );
+      ( "stability",
+        [
+          Alcotest.test_case "star threshold" `Quick test_star_stability_known_threshold;
+          Alcotest.test_case "clique threshold" `Quick test_complete_stability;
+          Alcotest.test_case "violation kinds" `Quick test_instability_kinds;
+          Alcotest.test_case "bridges never cut" `Quick test_cut_never_disconnects;
+        ] );
+      ( "dynamics",
+        [
+          Alcotest.test_case "improve to stability" `Quick test_improve_reaches_stability;
+          QCheck_alcotest.to_alcotest prop_improve_converges_on_trees;
+          QCheck_alcotest.to_alcotest prop_stable_networks_connected;
+        ] );
+    ]

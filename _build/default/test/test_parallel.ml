@@ -1,0 +1,65 @@
+(* Tests for the domain-based parallel map. *)
+
+module Parallel = Ncg_util.Parallel
+
+let check_int_list = Alcotest.(check (list int))
+
+let test_matches_sequential () =
+  let xs = List.init 100 Fun.id in
+  List.iter
+    (fun domains ->
+      check_int_list
+        (Printf.sprintf "domains=%d" domains)
+        (List.map (fun x -> x * x) xs)
+        (Parallel.map ~domains (fun x -> x * x) xs))
+    [ 1; 2; 3; 4; 7 ]
+
+let test_order_preserved () =
+  (* Results must come back in input order even with many chunks. *)
+  let xs = List.init 50 (fun i -> 50 - i) in
+  check_int_list "order" xs (Parallel.map ~domains:8 Fun.id xs)
+
+let test_empty_and_singleton () =
+  check_int_list "empty" [] (Parallel.map ~domains:4 Fun.id []);
+  check_int_list "singleton" [ 42 ] (Parallel.map ~domains:4 Fun.id [ 42 ])
+
+let test_more_domains_than_items () =
+  check_int_list "n < domains" [ 2; 4; 6 ]
+    (Parallel.map ~domains:16 (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_init () =
+  check_int_list "init" [ 0; 2; 4; 6 ] (Parallel.init ~domains:2 4 (fun i -> 2 * i));
+  Alcotest.check_raises "negative" (Invalid_argument "Parallel.init: negative length")
+    (fun () -> ignore (Parallel.init (-1) Fun.id))
+
+let test_exception_propagates () =
+  Alcotest.check_raises "raises" Exit (fun () ->
+      ignore (Parallel.map ~domains:3 (fun x -> if x = 7 then raise Exit else x)
+                (List.init 10 Fun.id)))
+
+let test_default_domains () =
+  (* Must work without specifying domains (single-core containers give
+     recommended_domain_count = 1, multicore machines more). *)
+  check_int_list "default" [ 1; 2; 3 ] (Parallel.map Fun.id [ 1; 2; 3 ])
+
+let prop_equivalence =
+  QCheck.Test.make ~name:"parallel map == sequential map" ~count:100
+    QCheck.(pair (int_range 1 6) (list small_int))
+    (fun (domains, xs) ->
+      Parallel.map ~domains (fun x -> x + 1) xs = List.map (fun x -> x + 1) xs)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_matches_sequential;
+          Alcotest.test_case "order preserved" `Quick test_order_preserved;
+          Alcotest.test_case "empty/singleton" `Quick test_empty_and_singleton;
+          Alcotest.test_case "more domains than items" `Quick test_more_domains_than_items;
+          Alcotest.test_case "init" `Quick test_init;
+          Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+          Alcotest.test_case "default domains" `Quick test_default_domains;
+          QCheck_alcotest.to_alcotest prop_equivalence;
+        ] );
+    ]

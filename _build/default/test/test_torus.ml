@@ -1,0 +1,227 @@
+(* Tests for the Section 3.1 toroidal-grid construction. *)
+
+module Graph = Ncg_graph.Graph
+module Bfs = Ncg_graph.Bfs
+module Metrics = Ncg_graph.Metrics
+module Torus_grid = Ncg_gen.Torus_grid
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let vertex_count ~d ~ell ~deltas =
+  let n_intersection = 2 * Array.fold_left ( * ) 1 deltas in
+  n_intersection * (((1 lsl (d - 1)) * (ell - 1)) + 1)
+
+let test_counts () =
+  (* Paper: n = N·(2^{d-1}(ℓ-1) + 1), N = 2·Πδᵢ. *)
+  List.iter
+    (fun (d, ell, deltas) ->
+      let t = Torus_grid.closed ~d ~ell ~deltas in
+      check_int
+        (Printf.sprintf "order d=%d ell=%d" d ell)
+        (vertex_count ~d ~ell ~deltas)
+        (Graph.order t.Torus_grid.graph))
+    [
+      (2, 2, [| 3; 4 |]);
+      (2, 1, [| 3; 5 |]);
+      (2, 3, [| 2; 6 |]);
+      (3, 2, [| 2; 2; 3 |]);
+    ]
+
+let test_figure1_instance () =
+  (* Figure 1: d = 2, δ = (15, 5), ℓ = 2. *)
+  let t = Torus_grid.closed ~d:2 ~ell:2 ~deltas:[| 15; 5 |] in
+  let n_intersection = 2 * 15 * 5 in
+  check_int "intersections" n_intersection
+    (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.Torus_grid.is_intersection);
+  check_int "order" (n_intersection * 3) (Graph.order t.Torus_grid.graph);
+  check_bool "connected" true (Bfs.is_connected t.Torus_grid.graph)
+
+let test_degrees () =
+  let t = Torus_grid.closed ~d:2 ~ell:2 ~deltas:[| 3; 4 |] in
+  let g = t.Torus_grid.graph in
+  Array.iteri
+    (fun v is_x ->
+      if is_x then check_int "intersection degree 2^d" 4 (Graph.degree g v)
+      else check_int "interior degree 2" 2 (Graph.degree g v))
+    t.Torus_grid.is_intersection
+
+let test_ownership_covers_all_edges () =
+  List.iter
+    (fun (d, ell, deltas) ->
+      let t = Torus_grid.closed ~d ~ell ~deltas in
+      let g = t.Torus_grid.graph in
+      let bought = Graph.of_edges ~n:(Graph.order g) t.Torus_grid.buys in
+      check_bool "buys = edge set" true (Graph.equal bought g))
+    [ (2, 2, [| 3; 4 |]); (2, 1, [| 3; 3 |]); (2, 4, [| 2; 3 |]) ]
+
+let test_ownership_counts () =
+  let t = Torus_grid.closed ~d:2 ~ell:3 ~deltas:[| 3; 4 |] in
+  let n = Graph.order t.Torus_grid.graph in
+  let counts = Array.make n 0 in
+  List.iter (fun (b, _) -> counts.(b) <- counts.(b) + 1) t.Torus_grid.buys;
+  Array.iteri
+    (fun v is_x ->
+      if is_x then check_int "intersection buys none" 0 counts.(v)
+      else check_bool "interior buys 1 or 2" true (counts.(v) = 1 || counts.(v) = 2))
+    t.Torus_grid.is_intersection
+
+let test_lemma_3_3_distance_bound () =
+  (* d(x,y) >= max_i min(|xi-yi|, 2 δi ℓ - |xi-yi|), strict if one endpoint
+     is an intersection vertex. *)
+  let t = Torus_grid.closed ~d:2 ~ell:2 ~deltas:[| 3; 4 |] in
+  let g = t.Torus_grid.graph in
+  let n = Graph.order g in
+  for x = 0 to n - 1 do
+    let dist = Bfs.distances g x in
+    for y = 0 to n - 1 do
+      if x <> y then begin
+        let lb = Torus_grid.coordinate_distance_lower_bound t x y in
+        check_bool "lower bound holds" true (dist.(y) >= lb);
+        if t.Torus_grid.is_intersection.(x) || t.Torus_grid.is_intersection.(y)
+        then check_bool "strict for intersections" true (dist.(y) >= lb)
+      end
+    done
+  done
+
+let test_corollary_3_4_diameter () =
+  (* Diameter >= ℓ·δ_d. *)
+  List.iter
+    (fun (d, ell, deltas) ->
+      let t = Torus_grid.closed ~d ~ell ~deltas in
+      match Metrics.diameter t.Torus_grid.graph with
+      | Some diam ->
+          check_bool
+            (Printf.sprintf "diam %d >= %d" diam (ell * deltas.(d - 1)))
+            true
+            (diam >= ell * deltas.(d - 1))
+      | None -> Alcotest.fail "torus must be connected")
+    [ (2, 2, [| 2; 5 |]); (2, 3, [| 2; 4 |]) ]
+
+let test_intersection_lookup () =
+  let t = Torus_grid.closed ~d:2 ~ell:2 ~deltas:[| 3; 4 |] in
+  (match Torus_grid.intersection_at t [| 0; 0 |] with
+  | Some v ->
+      check_bool "is intersection" true t.Torus_grid.is_intersection.(v);
+      Alcotest.(check (array int)) "coords" [| 0; 0 |] t.Torus_grid.coords.(v)
+  | None -> Alcotest.fail "origin must exist");
+  (* Coordinates are reduced modulo 2δℓ: (12, 16) = (0, 0). *)
+  Alcotest.(check bool)
+    "modular lookup" true
+    (Torus_grid.intersection_at t [| 12; 16 |] = Torus_grid.intersection_at t [| 0; 0 |]);
+  (* Mixed parity tuple is not an intersection vertex. *)
+  Alcotest.(check (option int)) "bad parity" None (Torus_grid.intersection_at t [| 0; 2 |])
+
+let test_open_grid_structure () =
+  let t = Torus_grid.open_grid ~d:2 ~ell:2 ~deltas:[| 3; 3 |] in
+  let g = t.Torus_grid.graph in
+  check_bool "nonempty" true (Graph.order g > 0);
+  (* Lemma 3.5: d(x,y) >= max_i |xi - yi| in the open grid. *)
+  let n = Graph.order g in
+  for x = 0 to n - 1 do
+    let dist = Bfs.distances g x in
+    for y = 0 to n - 1 do
+      if x <> y && dist.(y) <> Bfs.unreachable then begin
+        let cx = t.Torus_grid.coords.(x) and cy = t.Torus_grid.coords.(y) in
+        let lb = max (abs (cx.(0) - cy.(0))) (abs (cx.(1) - cy.(1))) in
+        check_bool "open-grid bound" true (dist.(y) >= lb)
+      end
+    done
+  done
+
+let test_open_grid_corner_degree () =
+  let t = Torus_grid.open_grid ~d:2 ~ell:1 ~deltas:[| 3; 3 |] in
+  let g = t.Torus_grid.graph in
+  (* The corner (0,0) has a single diagonal neighbour. *)
+  match Torus_grid.intersection_at t [| 0; 0 |] with
+  | Some v -> check_int "corner degree" 1 (Graph.degree g v)
+  | None -> Alcotest.fail "corner must exist"
+
+let test_validation () =
+  Alcotest.check_raises "small delta"
+    (Invalid_argument "Torus_grid: need every delta >= 2") (fun () ->
+      ignore (Torus_grid.closed ~d:2 ~ell:2 ~deltas:[| 1; 4 |]));
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Torus_grid: deltas must have length d") (fun () ->
+      ignore (Torus_grid.closed ~d:2 ~ell:2 ~deltas:[| 2 |]))
+
+let test_params_theorem_3_12 () =
+  (match Torus_grid.params_for_theorem_3_12 ~alpha:2.0 ~k:4 ~n_budget:4000 with
+  | Some (d, ell, deltas) ->
+      check_int "ell = ceil(alpha)" 2 ell;
+      check_int "d = ceil(log2(k/l+2))" 2 d;
+      check_int "deltas prefix" (4 / 2 + 1) deltas.(0);
+      check_bool "last dimension longest" true (deltas.(d - 1) >= deltas.(0));
+      (* The realized graph must fit the budget. *)
+      let t = Torus_grid.closed ~d ~ell ~deltas in
+      check_bool "fits budget" true (Graph.order t.Torus_grid.graph <= 4000)
+  | None -> Alcotest.fail "params must exist for a generous budget");
+  Alcotest.(check bool)
+    "tiny budget fails" true
+    (Torus_grid.params_for_theorem_3_12 ~alpha:2.0 ~k:4 ~n_budget:10 = None)
+
+let test_params_theorem_4_2 () =
+  match Torus_grid.params_for_theorem_4_2 ~k:2 ~n_budget:600 with
+  | Some (d, ell, deltas) ->
+      check_int "d" 2 d;
+      check_int "ell" 2 ell;
+      check_int "delta1 = ceil(k/2)+1" 2 deltas.(0);
+      let t = Torus_grid.closed ~d ~ell ~deltas in
+      check_int "n = 6 d1 d2" (6 * deltas.(0) * deltas.(1))
+        (Graph.order t.Torus_grid.graph)
+  | None -> Alcotest.fail "params must exist"
+
+let prop_torus_connected =
+  QCheck.Test.make ~name:"closed torus is always connected" ~count:20
+    QCheck.(triple (int_range 2 3) (int_range 1 3) (int_range 2 4))
+    (fun (d, ell, delta) ->
+      let deltas = Array.make d delta in
+      let t = Torus_grid.closed ~d ~ell ~deltas in
+      Bfs.is_connected t.Torus_grid.graph)
+
+let prop_torus_vertex_count =
+  QCheck.Test.make ~name:"closed torus matches the paper's vertex count" ~count:20
+    QCheck.(triple (int_range 2 3) (int_range 1 3) (pair (int_range 2 4) (int_range 2 5)))
+    (fun (d, ell, (da, db)) ->
+      let deltas = Array.init d (fun i -> if i = 0 then da else db) in
+      let t = Torus_grid.closed ~d ~ell ~deltas in
+      Graph.order t.Torus_grid.graph = vertex_count ~d ~ell ~deltas)
+
+let () =
+  Alcotest.run "torus_grid"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "vertex counts" `Quick test_counts;
+          Alcotest.test_case "figure 1 instance" `Quick test_figure1_instance;
+          Alcotest.test_case "degrees" `Quick test_degrees;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "ownership",
+        [
+          Alcotest.test_case "covers all edges" `Quick test_ownership_covers_all_edges;
+          Alcotest.test_case "per-player counts" `Quick test_ownership_counts;
+        ] );
+      ( "distances",
+        [
+          Alcotest.test_case "lemma 3.3 bound" `Quick test_lemma_3_3_distance_bound;
+          Alcotest.test_case "corollary 3.4 diameter" `Quick test_corollary_3_4_diameter;
+        ] );
+      ( "lookup",
+        [ Alcotest.test_case "intersection_at" `Quick test_intersection_lookup ] );
+      ( "open_grid",
+        [
+          Alcotest.test_case "lemma 3.5 bound" `Quick test_open_grid_structure;
+          Alcotest.test_case "corner degree" `Quick test_open_grid_corner_degree;
+        ] );
+      ( "theorem_params",
+        [
+          Alcotest.test_case "theorem 3.12" `Quick test_params_theorem_3_12;
+          Alcotest.test_case "theorem 4.2" `Quick test_params_theorem_4_2;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_torus_connected;
+          QCheck_alcotest.to_alcotest prop_torus_vertex_count;
+        ] );
+    ]
