@@ -552,6 +552,99 @@ let ablation () =
       ("greedy", `Greedy);
     ]
 
+(* --- Instrumented parallel experiment sweep ------------------------------------------------ *)
+
+(* Runs one (alpha, k) sweep twice — sequentially and fanned out over
+   domains — checks the results are identical (the engine's determinism
+   contract), and writes BENCH_experiment.json: per-cell wall time and
+   hot-path counters plus the 1-domain vs n-domain speedup, so CI can
+   track the perf trajectory run over run.
+
+   Env knobs (for CI):
+     NCG_BENCH_SMOKE=1   tiny grid, finishes in seconds
+     NCG_BENCH_OUT=PATH  output path (default BENCH_experiment.json) *)
+
+let experiment () =
+  section_header "experiment" "instrumented parallel sweep + BENCH_experiment.json";
+  let smoke = Sys.getenv_opt "NCG_BENCH_SMOKE" <> None in
+  let out = Option.value (Sys.getenv_opt "NCG_BENCH_OUT") ~default:"BENCH_experiment.json" in
+  let n = if smoke then 20 else 50 in
+  let trials = if smoke then 2 else 5 in
+  let alphas = if smoke then [ 0.5; 2.0 ] else [ 0.5; 1.0; 2.0; 5.0 ] in
+  let ks = if smoke then [ 2; 1000 ] else [ 2; 3; 5; 1000 ] in
+  let cells = Experiment.grid ~alphas ~ks in
+  let make_initial ~seed = Experiment.initial_tree ~seed ~n in
+  let make_config (c : Experiment.cell) =
+    config ~alpha:c.Experiment.alpha ~k:c.Experiment.k ()
+  in
+  let timed domains =
+    let t0 = Ncg_obs.Clock.now_ns () in
+    let results =
+      Experiment.sweep ~domains ~make_initial ~make_config ~cells ~trials
+        ~seed:base_seed ()
+    in
+    (results, Ncg_obs.Clock.ns_to_s (Ncg_obs.Clock.elapsed_ns ~since:t0))
+  in
+  let seq, seq_wall = timed 1 in
+  let fan_domains = max 2 (Domain.recommended_domain_count ()) in
+  let par, par_wall = timed fan_domains in
+  let identical =
+    List.for_all2
+      (fun (a : Experiment.cell_result) (b : Experiment.cell_result) ->
+        a.Experiment.runs = b.Experiment.runs
+        && a.Experiment.counters = b.Experiment.counters)
+      seq par
+  in
+  let speedup = seq_wall /. par_wall in
+  Printf.printf "%-30s %d cells x %d trials, n=%d%s\n" "grid"
+    (List.length cells) trials n (if smoke then " (smoke)" else "");
+  Printf.printf "%-30s %.2fs\n" "sequential (1 domain)" seq_wall;
+  Printf.printf "%-30s %.2fs (%d domains, speedup %.2fx)\n" "parallel" par_wall
+    fan_domains speedup;
+  Printf.printf "%-30s %b\n" "parallel == sequential" identical;
+  if not identical then failwith "experiment: parallel sweep diverged from sequential";
+  let module Json = Ncg_obs.Json in
+  let cell_json (r : Experiment.cell_result) =
+    let mean f = (Experiment.summarize f r.Experiment.runs).Summary.mean in
+    Json.Obj
+      [
+        ("alpha", Json.Float r.Experiment.cell.Experiment.alpha);
+        ("k", Json.Int r.Experiment.cell.Experiment.k);
+        ("wall_seconds", Json.Float (Ncg_obs.Clock.ns_to_s r.Experiment.wall_ns));
+        ("counters", Ncg_obs.Metrics.to_json r.Experiment.counters);
+        ( "converged_frac",
+          Json.Float
+            (Experiment.fraction (fun x -> x.Experiment.converged) r.Experiment.runs)
+        );
+        ("rounds_mean", Json.Float (mean (fun x -> fi x.Experiment.rounds)));
+        ("quality_mean", Json.Float (mean (fun x -> x.Experiment.quality)));
+      ]
+  in
+  Json.to_file out
+    (Json.Obj
+       [
+         ("schema", Json.String "ncg.bench.experiment/1");
+         ("smoke", Json.Bool smoke);
+         ("seed", Json.Int base_seed);
+         ("class", Json.String "tree");
+         ("n", Json.Int n);
+         ("trials", Json.Int trials);
+         ("cells", Json.List (List.map cell_json par));
+         ( "totals",
+           Json.Obj
+             [
+               ("wall_seconds_1_domain", Json.Float seq_wall);
+               ("wall_seconds_parallel", Json.Float par_wall);
+               ("parallel_domains", Json.Int fan_domains);
+               ("speedup", Json.Float speedup);
+               ("deterministic", Json.Bool identical);
+               ("counters", Ncg_obs.Metrics.to_json (Experiment.sweep_counters par));
+             ] );
+       ]);
+  Printf.printf "wrote %s\n%!" out;
+  (* Per-cell counter profile: where the solver work concentrates. *)
+  print_string (Ncg_obs.Metrics.to_markdown (Experiment.sweep_counters par))
+
 (* --- Bechamel micro-benchmarks ------------------------------------------------------------ *)
 
 let kernels () =
@@ -643,6 +736,7 @@ let sections =
     ("modes", modes);
     ("sumdyn", sumdyn);
     ("ablation", ablation);
+    ("experiment", experiment);
     ("kernels", kernels);
   ]
 

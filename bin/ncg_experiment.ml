@@ -2,15 +2,25 @@
    one CSV row per (alpha, k) cell — the raw series behind the paper's
    Figures 5-10.
 
+   Cells are independent and fan out over OCaml domains (--domains); for a
+   fixed --seed the CSV is byte-identical whatever the domain count, since
+   every cell draws its RNG streams from a SplitMix64 split of the seed
+   before the fan-out. --telemetry FILE additionally dumps per-cell wall
+   times, hot-path counters (BFS calls, solver nodes, best responses) and
+   span trees as JSON.
+
    Examples:
      # Figure 5 series (view sizes) on 50-vertex trees, 5 seeds per cell
      dune exec bin/ncg_experiment.exe -- --class tree -n 50 --trials 5
 
-     # Figure 8/9 series on G(100, 0.1) for specific alphas
+     # Figure 8/9 series on G(100, 0.1), 4 domains, with telemetry
      dune exec bin/ncg_experiment.exe -- --class gnp -n 100 -p 0.1 \
-         --alphas 0.5,1,2 --ks 2,3,1000 *)
+         --alphas 0.5,1,2 --ks 2,3,1000 --domains 4 --telemetry cells.json *)
 
 open Cmdliner
+module Experiment = Ncg.Experiment
+module Metrics = Ncg_obs.Metrics
+module Json = Ncg_obs.Json
 
 let default_alphas = [ 0.5; 1.0; 2.0; 5.0 ]
 let default_ks = [ 2; 3; 4; 5; 1000 ]
@@ -20,7 +30,21 @@ let header =
    quality_mean,quality_ci,unfairness_mean,unfairness_ci,diameter_mean,\
    max_degree_mean,max_bought_mean,min_view_mean,avg_view_mean,social_cost_mean"
 
-let run graph_class n p alphas ks trials seed budget =
+let cell_json graph_class n p trials (r : Experiment.cell_result) =
+  Json.Obj
+    [
+      ("class", Json.String graph_class);
+      ("n", Json.Int n);
+      ("p", Json.Float p);
+      ("alpha", Json.Float r.Experiment.cell.Experiment.alpha);
+      ("k", Json.Int r.Experiment.cell.Experiment.k);
+      ("trials", Json.Int trials);
+      ("wall_seconds", Json.Float (Ncg_obs.Clock.ns_to_s r.Experiment.wall_ns));
+      ("counters", Metrics.to_json r.Experiment.counters);
+      ("spans", Ncg_obs.Span.to_json r.Experiment.spans);
+    ]
+
+let run graph_class n p alphas ks trials seed budget domains telemetry =
   let alphas = if alphas = [] then default_alphas else alphas in
   let ks = if ks = [] then default_ks else ks in
   let make_initial =
@@ -31,39 +55,67 @@ let run graph_class n p alphas ks trials seed budget =
     | "ws" -> fun ~seed -> Ncg.Experiment.initial_ws ~seed ~n ~k:4 ~beta:0.2
     | other -> failwith (Printf.sprintf "unknown graph class %S" other)
   in
+  let make_config (cell : Experiment.cell) =
+    {
+      (Ncg.Dynamics.default_config ~alpha:cell.Experiment.alpha ~k:cell.Experiment.k) with
+      Ncg.Dynamics.solver = `Budgeted budget;
+      collect_features = false;
+    }
+  in
+  let cells = Experiment.grid ~alphas ~ks in
+  let started = Ncg_obs.Clock.now_ns () in
+  let results =
+    Experiment.sweep ~domains ~make_initial ~make_config ~cells ~trials ~seed ()
+  in
+  let sweep_wall = Ncg_obs.Clock.elapsed_ns ~since:started in
   print_endline header;
   List.iter
-    (fun alpha ->
-      List.iter
-        (fun k ->
-          let config =
-            {
-              (Ncg.Dynamics.default_config ~alpha ~k) with
-              Ncg.Dynamics.solver = `Budgeted budget;
-              collect_features = false;
-            }
-          in
-          let runs = Ncg.Experiment.trials ~make_initial ~config ~trials ~seed in
-          let s f = Ncg.Experiment.summarize f runs in
-          let mean f = (s f).Ncg_stats.Summary.mean in
-          let quality = s (fun r -> r.Ncg.Experiment.quality) in
-          let rounds = s (fun r -> float_of_int r.Ncg.Experiment.rounds) in
-          let unfair = s (fun r -> r.Ncg.Experiment.unfairness) in
-          Printf.printf "%s,%d,%g,%g,%d,%d,%.2f,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n%!"
-            graph_class n p alpha k trials
-            (Ncg.Experiment.fraction (fun r -> r.Ncg.Experiment.converged) runs)
-            (Ncg.Experiment.fraction (fun r -> r.Ncg.Experiment.cycled) runs)
-            rounds.Ncg_stats.Summary.mean rounds.Ncg_stats.Summary.ci95
-            quality.Ncg_stats.Summary.mean quality.Ncg_stats.Summary.ci95
-            unfair.Ncg_stats.Summary.mean unfair.Ncg_stats.Summary.ci95
-            (mean (fun r -> float_of_int r.Ncg.Experiment.diameter))
-            (mean (fun r -> float_of_int r.Ncg.Experiment.max_degree))
-            (mean (fun r -> float_of_int r.Ncg.Experiment.max_bought))
-            (mean (fun r -> float_of_int r.Ncg.Experiment.min_view))
-            (mean (fun r -> r.Ncg.Experiment.avg_view))
-            (mean (fun r -> r.Ncg.Experiment.social_cost)))
-        ks)
-    alphas
+    (fun (r : Experiment.cell_result) ->
+      let runs = r.Experiment.runs in
+      let s f = Ncg.Experiment.summarize f runs in
+      let mean f = (s f).Ncg_stats.Summary.mean in
+      let quality = s (fun r -> r.Ncg.Experiment.quality) in
+      let rounds = s (fun r -> float_of_int r.Ncg.Experiment.rounds) in
+      let unfair = s (fun r -> r.Ncg.Experiment.unfairness) in
+      Printf.printf
+        "%s,%d,%g,%g,%d,%d,%.2f,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n%!"
+        graph_class n p r.Experiment.cell.Experiment.alpha
+        r.Experiment.cell.Experiment.k trials
+        (Ncg.Experiment.fraction (fun r -> r.Ncg.Experiment.converged) runs)
+        (Ncg.Experiment.fraction (fun r -> r.Ncg.Experiment.cycled) runs)
+        rounds.Ncg_stats.Summary.mean rounds.Ncg_stats.Summary.ci95
+        quality.Ncg_stats.Summary.mean quality.Ncg_stats.Summary.ci95
+        unfair.Ncg_stats.Summary.mean unfair.Ncg_stats.Summary.ci95
+        (mean (fun r -> float_of_int r.Ncg.Experiment.diameter))
+        (mean (fun r -> float_of_int r.Ncg.Experiment.max_degree))
+        (mean (fun r -> float_of_int r.Ncg.Experiment.max_bought))
+        (mean (fun r -> float_of_int r.Ncg.Experiment.min_view))
+        (mean (fun r -> r.Ncg.Experiment.avg_view))
+        (mean (fun r -> r.Ncg.Experiment.social_cost)))
+    results;
+  match telemetry with
+  | None -> ()
+  | Some path -> (
+      let doc =
+        Json.Obj
+          [
+            ("schema", Json.String "ncg.experiment.telemetry/1");
+            ("seed", Json.Int seed);
+            ("domains", Json.Int domains);
+            ("wall_seconds", Json.Float (Ncg_obs.Clock.ns_to_s sweep_wall));
+            ( "cells_wall_seconds",
+              Json.Float
+                (Ncg_obs.Clock.ns_to_s (Experiment.sweep_wall_ns results)) );
+            ("counters_total", Metrics.to_json (Experiment.sweep_counters results));
+            ("cells", Json.List (List.map (cell_json graph_class n p trials) results));
+          ]
+      in
+      try
+        Json.to_file path doc;
+        Printf.eprintf "telemetry written to %s\n%!" path
+      with Sys_error msg ->
+        Printf.eprintf "ncg_experiment: cannot write telemetry: %s\n%!" msg;
+        exit 1)
 
 let graph_class =
   Arg.(value & opt string "tree" & info [ "class" ] ~docv:"CLASS"
@@ -82,10 +134,19 @@ let seed = Arg.(value & opt int 2014 & info [ "seed" ] ~doc:"Base seed.")
 let budget =
   Arg.(value & opt int 50_000 & info [ "budget" ] ~doc:"Branch-and-bound node budget per best response.")
 
+let domains =
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D"
+         ~doc:"Domains to fan sweep cells over; output is identical for any value.")
+
+let telemetry =
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE"
+         ~doc:"Write per-cell wall times, counters and span trees as JSON.")
+
 let cmd =
   let doc = "grid experiments over (alpha, k) printing CSV series" in
   Cmd.v
     (Cmd.info "ncg_experiment" ~doc)
-    Term.(const run $ graph_class $ n $ p $ alphas $ ks $ trials $ seed $ budget)
+    Term.(const run $ graph_class $ n $ p $ alphas $ ks $ trials $ seed $ budget
+          $ domains $ telemetry)
 
 let () = exit (Cmd.eval cmd)

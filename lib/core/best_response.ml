@@ -11,6 +11,7 @@ let current_cost ~alpha (v : View.t) =
   +. float_of_int (current_usage v)
 
 let compute ?(solver = `Exact) ?max_edges ?allowed ~alpha (v : View.t) =
+  Ncg_obs.Metrics.(incr best_response_calls);
   let h_graph = v.View.graph in
   let nv = Graph.order h_graph in
   (match max_edges with
@@ -53,6 +54,7 @@ let compute ?(solver = `Exact) ?max_edges ?allowed ~alpha (v : View.t) =
     let h = ref 1 in
     let continue_ = ref true in
     while !continue_ && float_of_int !h < !best.cost -. 1e-9 do
+      Ncg_obs.Metrics.(incr best_response_radii);
       (* Cardinality cap: a solution only helps if α·|S| + h < best. *)
       let max_size =
         if alpha <= 0.0 then nv

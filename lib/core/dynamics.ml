@@ -69,7 +69,7 @@ let best_response_step config strategy g u =
     (fun targets -> Strategy.with_owned strategy u (View.to_host view targets))
     new_targets
 
-let run config strategy0 =
+let run_untraced config strategy0 =
   let n = Strategy.n_players strategy0 in
   let g0 = Strategy.graph strategy0 in
   if not (Bfs.is_connected g0) then
@@ -130,6 +130,8 @@ let run config strategy0 =
       | None -> Hashtbl.replace seen key !round
     end
   done;
+  Ncg_obs.Metrics.(add dynamics_rounds !round);
+  Ncg_obs.Metrics.(add dynamics_moves !total_moves);
   {
     outcome = (match !outcome with Some o -> o | None -> Max_rounds_exceeded);
     final = !strategy;
@@ -138,3 +140,6 @@ let run config strategy0 =
     features = List.rev !features;
     trace = { Trace.n; moves = List.rev !moves };
   }
+
+let run config strategy0 =
+  Ncg_obs.Span.with_span "dynamics.run" (fun () -> run_untraced config strategy0)

@@ -112,12 +112,71 @@ let run_one (config : Dynamics.config) strategy0 =
     social_cost;
   }
 
+(* Per-trial (and per-cell) seeds come from a SplitMix64 stream keyed on
+   the root seed: child [i] gets the stream's [i]-th output. The whole
+   array is derived up front, before any fan-out, so the seed a trial
+   sees depends only on [(seed, i)] — never on which domain ran it or in
+   what order. *)
+let derive_seeds ~seed ~count =
+  let sm = Ncg_prng.Splitmix64.create (Int64.of_int seed) in
+  Array.init count (fun _ -> Int64.to_int (Ncg_prng.Splitmix64.next sm))
+
 let trials_parallel ~domains ~make_initial ~config ~trials:count ~seed =
+  let seeds = derive_seeds ~seed ~count in
   Ncg_util.Parallel.init ~domains count (fun i ->
-      run_one config (make_initial ~seed:(seed + (7919 * (i + 1)))))
+      run_one config (make_initial ~seed:seeds.(i)))
 
 let trials ~make_initial ~config ~trials:count ~seed =
   trials_parallel ~domains:1 ~make_initial ~config ~trials:count ~seed
+
+(* --- Instrumented parallel sweeps --------------------------------------- *)
+
+type cell = { alpha : float; k : int }
+
+type cell_result = {
+  cell : cell;
+  runs : run_stats list;
+  counters : Ncg_obs.Metrics.snapshot;
+  spans : Ncg_obs.Span.t;
+  wall_ns : int64;
+}
+
+let grid ~alphas ~ks =
+  List.concat_map (fun alpha -> List.map (fun k -> { alpha; k }) ks) alphas
+
+let sweep ?(domains = 1) ~make_initial ~make_config ~cells ~trials:count ~seed () =
+  let cells = Array.of_list cells in
+  let cell_seeds = derive_seeds ~seed ~count:(Array.length cells) in
+  let run_cell i =
+    let cell = cells.(i) in
+    let started = Ncg_obs.Clock.now_ns () in
+    let (runs, spans), counters =
+      Ncg_obs.Metrics.collect (fun () ->
+          Ncg_obs.Span.trace
+            (Printf.sprintf "cell alpha=%g k=%d" cell.alpha cell.k)
+            (fun () ->
+              let config = make_config cell in
+              let seeds = derive_seeds ~seed:cell_seeds.(i) ~count in
+              List.init count (fun j ->
+                  Ncg_obs.Span.with_span
+                    (Printf.sprintf "trial %d" j)
+                    (fun () -> run_one config (make_initial ~seed:seeds.(j))))))
+    in
+    {
+      cell;
+      runs;
+      counters;
+      spans;
+      wall_ns = Ncg_obs.Clock.elapsed_ns ~since:started;
+    }
+  in
+  Ncg_util.Parallel.init ~domains (Array.length cells) run_cell
+
+let sweep_counters results =
+  Ncg_obs.Metrics.total (List.map (fun r -> r.counters) results)
+
+let sweep_wall_ns results =
+  List.fold_left (fun acc r -> Int64.add acc r.wall_ns) 0L results
 
 let summarize f runs = Summary.of_floats (Array.of_list (List.map f runs))
 

@@ -57,6 +57,12 @@ type run_stats = {
 (** [run_one config strategy] runs the dynamics and summarizes. *)
 val run_one : Dynamics.config -> Strategy.t -> run_stats
 
+(** [derive_seeds ~seed ~count] is the array of child seeds used for
+    trials (and sweep cells): element [i] is the [i]-th output of a
+    SplitMix64 stream keyed on [seed]. Exposed so tools can re-run any
+    single trial of a sweep in isolation. *)
+val derive_seeds : seed:int -> count:int -> int array
+
 (** [trials ~make_initial ~config ~trials ~seed] runs several seeds
     sequentially. *)
 val trials :
@@ -76,6 +82,52 @@ val trials_parallel :
   trials:int ->
   seed:int ->
   run_stats list
+
+(** {1 Instrumented parallel sweeps}
+
+    The engine behind [bin/ncg_experiment] and the bench harness: a grid
+    of [(alpha, k)] cells fanned out over OCaml domains, each cell
+    carrying its own telemetry. Determinism contract: for a fixed
+    [seed], [runs] and [counters] of every cell are identical whatever
+    [domains] is — cells draw their RNG streams from
+    {!derive_seeds} before the fan-out, and counters are collected
+    domain-locally ({!Ncg_obs.Metrics.collect}) inside the cell. Only
+    [wall_ns] and the span durations vary between runs. *)
+
+(** One sweep cell of the paper's Section 5 grids. *)
+type cell = { alpha : float; k : int }
+
+type cell_result = {
+  cell : cell;
+  runs : run_stats list;  (** identical to a sequential run of the cell *)
+  counters : Ncg_obs.Metrics.snapshot;
+      (** per-cell counts: BFS calls, solver nodes, best responses, … *)
+  spans : Ncg_obs.Span.t;  (** per-cell span tree (one child per trial) *)
+  wall_ns : int64;  (** cell wall time on its domain *)
+}
+
+(** [grid ~alphas ~ks] is the row-major cell list of the cross product. *)
+val grid : alphas:float list -> ks:int list -> cell list
+
+(** [sweep ?domains ~make_initial ~make_config ~cells ~trials ~seed ()]
+    runs every cell ([trials] dynamics each) fanned out over [domains]
+    (default 1), returning results in cell order. *)
+val sweep :
+  ?domains:int ->
+  make_initial:(seed:int -> Strategy.t) ->
+  make_config:(cell -> Dynamics.config) ->
+  cells:cell list ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  cell_result list
+
+(** Pointwise sum of all per-cell counters. *)
+val sweep_counters : cell_result list -> Ncg_obs.Metrics.snapshot
+
+(** Sum of per-cell wall times (CPU-ish aggregate; wall time of the whole
+    sweep is shorter when [domains > 1]). *)
+val sweep_wall_ns : cell_result list -> int64
 
 (** [summarize f runs] is the mean ± CI of [f] over the runs. *)
 val summarize : (run_stats -> float) -> run_stats list -> Ncg_stats.Summary.t

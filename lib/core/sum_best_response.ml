@@ -170,6 +170,7 @@ let branch_and_bound ?(max_candidates = 34) ~alpha (v : View.t) =
           +. float_of_int d_opt +. !penalty)
   in
   let rec go idx included =
+    Ncg_obs.Metrics.(incr sum_bb_nodes);
     if idx = ncand then begin
       match evaluate ~alpha v included with
       | Some o when o.cost < !best.cost -. 1e-12 -> best := o
@@ -188,6 +189,7 @@ let branch_and_bound ?(max_candidates = 34) ~alpha (v : View.t) =
   !best
 
 let improving ?(epsilon = 1e-9) ~alpha ~mode v =
+  Ncg_obs.Metrics.(incr sum_best_response_calls);
   let best =
     match mode with
     | `Exact max_view -> exact ~max_view ~alpha v

@@ -14,6 +14,7 @@ type t = {
 
 let extract strategy g ~k u =
   if k < 1 then invalid_arg "View.extract: need k >= 1";
+  Ncg_obs.Metrics.(incr view_extracts);
   let graph, mapping = Subgraph.ball_induced g u ~radius:k in
   let player = mapping.Subgraph.to_sub.(u) in
   let map_host v = mapping.Subgraph.to_sub.(v) in

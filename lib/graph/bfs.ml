@@ -1,6 +1,7 @@
 let unreachable = -1
 
 let distances_within g src ~radius =
+  Ncg_obs.Metrics.(incr bfs_calls);
   let n = Graph.order g in
   let dist = Array.make n unreachable in
   let q = Ncg_util.Int_queue.create ~initial_capacity:n () in

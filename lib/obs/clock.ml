@@ -1,0 +1,3 @@
+let now_ns () = Monotonic_clock.now ()
+let elapsed_ns ~since = Int64.sub (now_ns ()) since
+let ns_to_s ns = Int64.to_float ns /. 1e9

@@ -1,0 +1,15 @@
+(** Monotonic wall-clock, nanosecond resolution.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] through bechamel's C stub
+    (already a bench dependency), so readings are immune to NTP steps and
+    suitable for measuring elapsed time across domains. *)
+
+(** Nanoseconds from an arbitrary fixed origin; strictly non-decreasing
+    within a process. *)
+val now_ns : unit -> int64
+
+(** [elapsed_ns ~since] is [now_ns () - since]. *)
+val elapsed_ns : since:int64 -> int64
+
+(** Nanoseconds to seconds. *)
+val ns_to_s : int64 -> float

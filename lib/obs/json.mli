@@ -1,0 +1,25 @@
+(** Minimal JSON tree and serializer.
+
+    Just enough for telemetry export ({!Metrics}, {!Span},
+    [BENCH_experiment.json]) without pulling in a JSON dependency.
+    Numbers follow OCaml float formatting; NaN and infinities serialize
+    as [null] so the output stays standard-compliant. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact one-line rendering. *)
+val to_string : t -> string
+
+(** Two-space indented rendering, ending in a newline. *)
+val to_string_pretty : t -> string
+
+(** [to_file path json] writes the pretty rendering atomically enough for
+    our purposes (plain [open_out]). *)
+val to_file : string -> t -> unit

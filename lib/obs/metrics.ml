@@ -1,0 +1,108 @@
+type counter = int
+
+let capacity = 64
+let names = Array.make capacity ""
+let registered = ref 0
+
+let register name =
+  if name = "" then invalid_arg "Metrics.register: empty name";
+  let rec find i =
+    if i >= !registered then -1 else if names.(i) = name then i else find (i + 1)
+  in
+  match find 0 with
+  | i when i >= 0 -> i
+  | _ ->
+      if !registered >= capacity then invalid_arg "Metrics.register: registry full";
+      names.(!registered) <- name;
+      incr registered;
+      !registered - 1
+
+let name c = names.(c)
+
+let bfs_calls = register "bfs.calls"
+let view_extracts = register "view.extracts"
+let set_cover_solves = register "set_cover.solves"
+let set_cover_nodes = register "set_cover.bb_nodes"
+let set_cover_greedy = register "set_cover.greedy_runs"
+let best_response_calls = register "best_response.calls"
+let best_response_radii = register "best_response.radii_tried"
+let sum_best_response_calls = register "sum_best_response.calls"
+let sum_bb_nodes = register "sum_best_response.bb_nodes"
+let dynamics_rounds = register "dynamics.rounds"
+let dynamics_moves = register "dynamics.moves"
+
+(* The collector is domain-local: no atomics in the hot path, and counts
+   recorded by a sweep cell stay with that cell wherever it runs. *)
+type collector = { counts : int array }
+
+let current : collector option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let add c n =
+  match Domain.DLS.get current with
+  | None -> ()
+  | Some col -> col.counts.(c) <- col.counts.(c) + n
+
+let incr c = add c 1
+let recording () = Domain.DLS.get current <> None
+
+type snapshot = (string * int) list
+
+let snapshot_of col =
+  List.init !registered (fun i -> (names.(i), col.counts.(i)))
+
+let collect f =
+  let col = { counts = Array.make capacity 0 } in
+  let prev = Domain.DLS.get current in
+  Domain.DLS.set current (Some col);
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set current prev;
+      match prev with
+      | Some outer ->
+          Array.iteri
+            (fun i v -> outer.counts.(i) <- outer.counts.(i) + v)
+            col.counts
+      | None -> ())
+    (fun () ->
+      let result = f () in
+      (result, snapshot_of col))
+
+let merge a b =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) a;
+  List.iter
+    (fun (k, v) ->
+      Hashtbl.replace tbl k (v + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    b;
+  (* Registration order for registered counters, then any stragglers in
+     input order, so merged snapshots keep a stable shape. *)
+  let ordered = ref [] in
+  let emit k =
+    match Hashtbl.find_opt tbl k with
+    | Some v ->
+        ordered := (k, v) :: !ordered;
+        Hashtbl.remove tbl k
+    | None -> ()
+  in
+  for i = 0 to !registered - 1 do
+    emit names.(i)
+  done;
+  List.iter (fun (k, _) -> emit k) a;
+  List.iter (fun (k, _) -> emit k) b;
+  List.rev !ordered
+
+let total snaps = List.fold_left merge [] snaps
+
+let nonzero snap = List.filter (fun (_, v) -> v <> 0) snap
+
+let to_json snap =
+  Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (nonzero snap))
+
+let to_markdown snap =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "| counter | count |\n|---|---:|\n";
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "| %s | %d |\n" k v))
+    (nonzero snap);
+  Buffer.contents buf

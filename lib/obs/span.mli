@@ -1,0 +1,41 @@
+(** Hierarchical wall-time spans.
+
+    A trace is opened with {!trace}; within it, {!with_span} nests timed
+    sections into a tree. Like {!Metrics}, the active trace is
+    domain-local: outside any [trace], [with_span] runs its thunk
+    directly with no clock read, so instrumented library code costs
+    nothing when tracing is off. Span timings are telemetry — two runs of
+    the same seeded experiment produce the same tree {e shape} but not
+    the same durations. *)
+
+type t = {
+  span_name : string;
+  elapsed_ns : int64;
+  children : t list;  (** in execution order *)
+}
+
+(** [trace name f] runs [f] inside a fresh root span and returns its
+    result together with the completed tree. Works under an enclosing
+    [trace]: the new root is independent (not attached to the outer
+    tree). *)
+val trace : string -> (unit -> 'a) -> 'a * t
+
+(** [with_span name f] times [f] as a child of the innermost open span.
+    Without an open trace in this domain, behaves exactly like [f ()]. *)
+val with_span : string -> (unit -> 'a) -> 'a
+
+(** True when a trace is open in the calling domain. *)
+val active : unit -> bool
+
+(** Total number of spans in the tree (including the root). *)
+val count : t -> int
+
+(** Depth-first search for the first span with the given name. *)
+val find : t -> string -> t option
+
+(** [{"name": ..., "elapsed_ns": ..., "children": [...]}], children
+    omitted when empty. *)
+val to_json : t -> Json.t
+
+(** Indented tree with millisecond durations, one span per line. *)
+val to_markdown : t -> string

@@ -60,6 +60,7 @@ let feasible candidates uncovered =
   Bitset.subset uncovered coverable
 
 let greedy_on candidates uncovered0 =
+  Ncg_obs.Metrics.(incr set_cover_greedy);
   let uncovered = Bitset.copy uncovered0 in
   let chosen = ref [] in
   let continue_ = ref true in
@@ -156,6 +157,7 @@ let lower_bound candidates covers_elt uncovered =
   !lb
 
 let solve ?max_size ?(node_budget = max_int) inst =
+  Ncg_obs.Metrics.(incr set_cover_solves);
   let uncovered0 = initial_uncovered inst in
   if Bitset.is_empty uncovered0 then Some { chosen = []; cardinality = 0 }
   else begin
@@ -228,6 +230,7 @@ let solve ?max_size ?(node_budget = max_int) inst =
         end
       in
       branch uncovered0 0 [];
+      Ncg_obs.Metrics.(add set_cover_nodes !nodes);
       match !best_sol with
       | Some chosen when !best_card <= cap ->
           Some { chosen; cardinality = !best_card }

@@ -15,31 +15,27 @@ let chunked_map ~domains f xs =
           let len = base + if i < extra then 1 else 0 in
           (start, len))
     in
-    let out = Array.make n None in
-    let worker (start, len) () =
-      for j = start to start + len - 1 do
-        out.(j) <- Some (f arr.(j))
-      done
-    in
-    (* Run the first chunk in the calling domain, spawn the rest. *)
+    (* Each worker builds its own chunk array — no mutable state shared
+       between domains beyond the read-only input. *)
+    let worker (start, len) () = Array.init len (fun j -> f arr.(start + j)) in
     let spawned =
-      Array.to_list
-        (Array.map (fun b -> Domain.spawn (worker b)) (Array.sub bounds 1 (domains - 1)))
+      Array.map (fun b -> Domain.spawn (worker b)) (Array.sub bounds 1 (domains - 1))
     in
-    let first_exn =
-      match worker bounds.(0) () with () -> None | exception e -> Some e
+    (* Chunk 0 runs in the calling domain. Whatever happens, every
+       spawned domain is joined before any exception escapes, so a
+       failing chunk can never leave domains running or results torn;
+       then the failure of the lowest-numbered chunk (a deterministic
+       choice) is re-raised. *)
+    let capture g = match g () with v -> Ok v | exception e -> Error e in
+    let chunks =
+      Array.append
+        [| capture (worker bounds.(0)) |]
+        (Array.map (fun d -> capture (fun () -> Domain.join d)) spawned)
     in
-    let join_exns =
-      List.filter_map
-        (fun d -> match Domain.join d with () -> None | exception e -> Some e)
-        spawned
-    in
-    (match (first_exn, join_exns) with
-    | Some e, _ -> raise e
-    | None, e :: _ -> raise e
-    | None, [] -> ());
-    Array.to_list
-      (Array.map (function Some x -> x | None -> assert false) out)
+    Array.iter (function Error e -> raise e | Ok _ -> ()) chunks;
+    List.concat_map
+      (function Ok chunk -> Array.to_list chunk | Error _ -> assert false)
+      (Array.to_list chunks)
   end
 
 let map ?domains f xs =

@@ -11,8 +11,11 @@
     share mutable state; give each its own {!Ncg_prng.Rng} stream. *)
 
 (** [map ?domains f xs] — [domains] defaults to
-    [Domain.recommended_domain_count ()]. Exceptions raised by [f] in any
-    domain are re-raised in the caller. *)
+    [Domain.recommended_domain_count ()]. If [f] raises in any domain,
+    every other domain is still run to completion and joined first, and
+    then the exception from the lowest-numbered failing chunk is
+    re-raised in the caller — so a failure never leaves stray domains
+    running, and which exception surfaces is deterministic. *)
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 
 (** [init ?domains n f] is [map f [0; ...; n-1]] without building the

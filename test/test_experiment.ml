@@ -97,6 +97,89 @@ let test_parallel_trials_match_sequential () =
         (List.map (fun r -> r.Experiment.social_cost) par))
     [ 1; 2; 4 ]
 
+let test_derive_seeds () =
+  let a = Experiment.derive_seeds ~seed:42 ~count:8 in
+  let b = Experiment.derive_seeds ~seed:42 ~count:8 in
+  check_bool "deterministic" true (a = b);
+  (* A prefix of a longer stream: trial seeds don't depend on the count. *)
+  let longer = Experiment.derive_seeds ~seed:42 ~count:16 in
+  check_bool "prefix stable" true (Array.sub longer 0 8 = a);
+  let other = Experiment.derive_seeds ~seed:43 ~count:8 in
+  check_bool "seed matters" false (a = other);
+  let distinct = List.sort_uniq compare (Array.to_list a) in
+  check_int "all distinct" 8 (List.length distinct)
+
+let sweep_fixture ~domains =
+  Experiment.sweep ~domains
+    ~make_initial:(fun ~seed -> Experiment.initial_tree ~seed ~n:12)
+    ~make_config:(fun (c : Experiment.cell) ->
+      {
+        (Dynamics.default_config ~alpha:c.Experiment.alpha ~k:c.Experiment.k) with
+        Dynamics.collect_features = false;
+      })
+    ~cells:(Experiment.grid ~alphas:[ 0.5; 2.0 ] ~ks:[ 2; 3; 1000 ])
+    ~trials:3 ~seed:2014 ()
+
+let test_sweep_shape () =
+  let results = sweep_fixture ~domains:1 in
+  check_int "six cells" 6 (List.length results);
+  let first = List.hd results in
+  check_bool "cell order row-major" true
+    (first.Experiment.cell = { Experiment.alpha = 0.5; k = 2 });
+  check_int "three runs per cell" 3 (List.length first.Experiment.runs);
+  (* Telemetry present: the cell counted its solver work and spans one
+     child per trial. *)
+  check_bool "bfs counted" true
+    (List.assoc "bfs.calls" first.Experiment.counters > 0);
+  check_bool "best responses counted" true
+    (List.assoc "best_response.calls" first.Experiment.counters > 0);
+  check_int "trial spans" 3
+    (List.length first.Experiment.spans.Ncg_obs.Span.children);
+  check_bool "wall time positive" true (first.Experiment.wall_ns > 0L)
+
+let test_sweep_deterministic_across_domains () =
+  (* The tentpole contract: same seed => byte-identical run statistics
+     AND per-cell counters, whatever the fan-out. *)
+  let reference = sweep_fixture ~domains:1 in
+  List.iter
+    (fun domains ->
+      let results = sweep_fixture ~domains in
+      List.iter2
+        (fun (a : Experiment.cell_result) (b : Experiment.cell_result) ->
+          check_bool
+            (Printf.sprintf "cell (%g,%d) runs identical at %d domains"
+               a.Experiment.cell.Experiment.alpha a.Experiment.cell.Experiment.k
+               domains)
+            true
+            (a.Experiment.runs = b.Experiment.runs);
+          check_bool
+            (Printf.sprintf "cell (%g,%d) counters identical at %d domains"
+               a.Experiment.cell.Experiment.alpha a.Experiment.cell.Experiment.k
+               domains)
+            true
+            (a.Experiment.counters = b.Experiment.counters))
+        reference results)
+    [ 2; 4 ]
+
+let test_sweep_counters_isolated_per_cell () =
+  (* Counts recorded inside a sweep must not leak into an enclosing
+     collector beyond the totals, and totals equal the cell sum. *)
+  let results, outer =
+    Ncg_obs.Metrics.collect (fun () -> sweep_fixture ~domains:2)
+  in
+  let totals = Experiment.sweep_counters results in
+  (* Spawned-domain cells count into their own collectors only; the
+     caller's collector sees just the chunk it ran itself, so it can be
+     at most the totals. *)
+  check_bool "outer <= totals" true
+    (List.for_all
+       (fun (name, v) ->
+         match List.assoc_opt name totals with
+         | Some t -> v <= t
+         | None -> v = 0)
+       outer);
+  check_bool "totals positive" true (List.assoc "bfs.calls" totals > 0)
+
 let test_initial_ba_ws () =
   let ba = Experiment.initial_ba ~seed:4 ~n:30 ~m:2 in
   check_bool "ba connected" true (Ncg_graph.Bfs.is_connected (Strategy.graph ba));
@@ -132,5 +215,14 @@ let () =
             test_parallel_trials_match_sequential;
           Alcotest.test_case "ba/ws initials" `Quick test_initial_ba_ws;
           Alcotest.test_case "full knowledge views" `Quick test_full_knowledge_view_sizes;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "seed derivation" `Quick test_derive_seeds;
+          Alcotest.test_case "shape + telemetry" `Quick test_sweep_shape;
+          Alcotest.test_case "deterministic across domains" `Quick
+            test_sweep_deterministic_across_domains;
+          Alcotest.test_case "per-cell counter isolation" `Quick
+            test_sweep_counters_isolated_per_cell;
         ] );
     ]

@@ -1,0 +1,195 @@
+(* Tests for the observability library: JSON emitter, counters, spans. *)
+
+module Json = Ncg_obs.Json
+module Metrics = Ncg_obs.Metrics
+module Span = Ncg_obs.Span
+
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec at i = i + m <= n && (String.sub s i m = affix || at (i + 1)) in
+  at 0
+
+(* --- Json ---------------------------------------------------------------- *)
+
+let test_json_scalars () =
+  check_string "null" "null" (Json.to_string Json.Null);
+  check_string "true" "true" (Json.to_string (Json.Bool true));
+  check_string "int" "-42" (Json.to_string (Json.Int (-42)));
+  check_string "float" "1.5" (Json.to_string (Json.Float 1.5));
+  check_string "float int-valued gets a dot" "2.0" (Json.to_string (Json.Float 2.0));
+  check_string "nan is null" "null" (Json.to_string (Json.Float nan));
+  check_string "inf is null" "null" (Json.to_string (Json.Float infinity))
+
+let test_json_escaping () =
+  check_string "quotes and backslash" {|"a\"b\\c"|}
+    (Json.to_string (Json.String {|a"b\c|}));
+  check_string "newline" {|"a\nb"|} (Json.to_string (Json.String "a\nb"));
+  check_string "control char" "\"\\u0001\"" (Json.to_string (Json.String "\x01"))
+
+let test_json_structures () =
+  check_string "list" "[1,2]" (Json.to_string (Json.List [ Json.Int 1; Json.Int 2 ]));
+  check_string "empty obj" "{}" (Json.to_string (Json.Obj []));
+  check_string "obj"
+    {|{"a":1,"b":[true]}|}
+    (Json.to_string
+       (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true ]) ]));
+  (* Pretty form parses back to the same compact content modulo whitespace. *)
+  let v = Json.Obj [ ("xs", Json.List [ Json.Int 1 ]); ("s", Json.String "q") ] in
+  let strip s =
+    String.concat ""
+      (String.split_on_char '\n'
+         (String.concat "" (String.split_on_char ' ' s)))
+  in
+  check_string "pretty == compact modulo layout" (Json.to_string v)
+    (strip (Json.to_string_pretty v))
+
+(* --- Metrics ------------------------------------------------------------- *)
+
+let test_counters_noop_without_collector () =
+  check_bool "not recording" false (Metrics.recording ());
+  (* Must be a no-op, not a crash. *)
+  Metrics.incr Metrics.bfs_calls;
+  Metrics.add Metrics.set_cover_nodes 5;
+  check_bool "still not recording" false (Metrics.recording ())
+
+let test_collect_basic () =
+  let (), snap =
+    Metrics.collect (fun () ->
+        check_bool "recording inside" true (Metrics.recording ());
+        Metrics.incr Metrics.bfs_calls;
+        Metrics.incr Metrics.bfs_calls;
+        Metrics.add Metrics.dynamics_moves 3)
+  in
+  check_int "bfs twice" 2 (List.assoc "bfs.calls" snap);
+  check_int "moves" 3 (List.assoc "dynamics.moves" snap);
+  check_int "untouched is zero" 0 (List.assoc "dynamics.rounds" snap);
+  check_bool "recording off after" false (Metrics.recording ())
+
+let test_collect_nests () =
+  let (inner_snap, ()), outer_snap =
+    Metrics.collect (fun () ->
+        Metrics.incr Metrics.bfs_calls;
+        let inner =
+          Metrics.collect (fun () ->
+              Metrics.incr Metrics.bfs_calls;
+              Metrics.incr Metrics.bfs_calls)
+        in
+        (snd inner, ()))
+  in
+  check_int "inner sees its own" 2 (List.assoc "bfs.calls" inner_snap);
+  check_int "outer accumulates inner" 3 (List.assoc "bfs.calls" outer_snap)
+
+let test_collect_restores_on_exception () =
+  (try
+     ignore (Metrics.collect (fun () -> raise Exit));
+     Alcotest.fail "expected Exit"
+   with Exit -> ());
+  check_bool "collector uninstalled after raise" false (Metrics.recording ())
+
+let test_register_idempotent () =
+  let a = Metrics.register "test.some_counter" in
+  let b = Metrics.register "test.some_counter" in
+  check_bool "same slot" true (a == b || Metrics.name a = Metrics.name b);
+  check_string "name round-trips" "test.some_counter" (Metrics.name a)
+
+let test_merge_and_total () =
+  let a = [ ("x", 1); ("y", 2) ] and b = [ ("y", 40); ("z", 5) ] in
+  let m = Metrics.merge a b in
+  check_int "x" 1 (List.assoc "x" m);
+  check_int "y summed" 42 (List.assoc "y" m);
+  check_int "z" 5 (List.assoc "z" m);
+  check_int "total of none is empty" 0 (List.length (Metrics.total []));
+  let t = Metrics.total [ a; b; a ] in
+  check_int "total y" 44 (List.assoc "y" t)
+
+let test_instrumented_code_counts () =
+  let g = Ncg_gen.Classic.path 6 in
+  let (), snap = Metrics.collect (fun () -> ignore (Ncg_graph.Bfs.distances g 0)) in
+  check_int "one bfs" 1 (List.assoc "bfs.calls" snap);
+  let json = Json.to_string (Metrics.to_json snap) in
+  check_bool "json has the counter" true
+    (contains ~affix:"\"bfs.calls\":1" json)
+
+(* --- Span ---------------------------------------------------------------- *)
+
+let test_span_noop_outside_trace () =
+  check_bool "inactive" false (Span.active ());
+  check_int "with_span is transparent" 7 (Span.with_span "s" (fun () -> 7))
+
+let test_trace_tree () =
+  let result, root =
+    Span.trace "root" (fun () ->
+        check_bool "active inside" true (Span.active ());
+        let a = Span.with_span "a" (fun () -> 1) in
+        let b =
+          Span.with_span "b" (fun () -> Span.with_span "b.1" (fun () -> 2))
+        in
+        a + b)
+  in
+  check_int "result" 3 result;
+  check_string "root name" "root" root.Span.span_name;
+  check_int "two children" 2 (List.length root.Span.children);
+  check_string "order preserved" "a" (List.nth root.Span.children 0).Span.span_name;
+  check_int "span count" 4 (Span.count root);
+  check_bool "find nested" true (Span.find root "b.1" <> None);
+  check_bool "find missing" true (Span.find root "zzz" = None);
+  check_bool "durations non-negative" true
+    (root.Span.elapsed_ns >= 0L
+    && List.for_all (fun c -> c.Span.elapsed_ns >= 0L) root.Span.children);
+  check_bool "inactive after" false (Span.active ())
+
+let test_trace_exception_restores () =
+  (try
+     ignore (Span.trace "boom" (fun () -> raise Exit));
+     Alcotest.fail "expected Exit"
+   with Exit -> ());
+  check_bool "inactive after raise" false (Span.active ());
+  (* A failing child is dropped; the trace itself survives. *)
+  let (), root =
+    Span.trace "root" (fun () ->
+        try Span.with_span "bad" (fun () -> raise Exit) with Exit -> ())
+  in
+  check_int "failed span dropped" 0 (List.length root.Span.children)
+
+let test_span_export () =
+  let (), root = Span.trace "r" (fun () -> Span.with_span "c" (fun () -> ())) in
+  let json = Json.to_string (Span.to_json root) in
+  check_bool "json mentions child" true (contains ~affix:{|"name":"c"|} json);
+  let md = Span.to_markdown root in
+  check_bool "markdown indents child" true
+    (contains ~affix:"\n  - c:" md)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "structures" `Quick test_json_structures;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "no-op without collector" `Quick
+            test_counters_noop_without_collector;
+          Alcotest.test_case "collect" `Quick test_collect_basic;
+          Alcotest.test_case "nesting accumulates" `Quick test_collect_nests;
+          Alcotest.test_case "exception safety" `Quick
+            test_collect_restores_on_exception;
+          Alcotest.test_case "register idempotent" `Quick test_register_idempotent;
+          Alcotest.test_case "merge/total" `Quick test_merge_and_total;
+          Alcotest.test_case "instrumented code counts" `Quick
+            test_instrumented_code_counts;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "no-op outside trace" `Quick test_span_noop_outside_trace;
+          Alcotest.test_case "tree shape" `Quick test_trace_tree;
+          Alcotest.test_case "exception safety" `Quick test_trace_exception_restores;
+          Alcotest.test_case "export" `Quick test_span_export;
+        ] );
+    ]
