@@ -561,13 +561,19 @@ let ablation () =
    track the perf trajectory run over run.
 
    Env knobs (for CI):
-     NCG_BENCH_SMOKE=1   tiny grid, finishes in seconds
-     NCG_BENCH_OUT=PATH  output path (default BENCH_experiment.json) *)
+     NCG_BENCH_SMOKE=1     tiny grid, finishes in seconds
+     NCG_BENCH_OUT=PATH    output path (default BENCH_experiment.json)
+     NCG_BENCH_TRACE=PATH  Chrome trace of the parallel sweep
+                           (default BENCH_experiment_trace.json) *)
 
 let experiment () =
   section_header "experiment" "instrumented parallel sweep + BENCH_experiment.json";
   let smoke = Sys.getenv_opt "NCG_BENCH_SMOKE" <> None in
   let out = Option.value (Sys.getenv_opt "NCG_BENCH_OUT") ~default:"BENCH_experiment.json" in
+  let trace_out =
+    Option.value (Sys.getenv_opt "NCG_BENCH_TRACE")
+      ~default:"BENCH_experiment_trace.json"
+  in
   let n = if smoke then 20 else 50 in
   let trials = if smoke then 2 else 5 in
   let alphas = if smoke then [ 0.5; 2.0 ] else [ 0.5; 1.0; 2.0; 5.0 ] in
@@ -589,10 +595,26 @@ let experiment () =
   let fan_domains = max 2 (Domain.recommended_domain_count ()) in
   let par, par_wall = timed fan_domains in
   let identical =
+    (* The full determinism contract: runs, counters, histogram sample
+       counts and GC allocated words (bucket placement and collection
+       counts are timing-dependent, so they are excluded). *)
     List.for_all2
       (fun (a : Experiment.cell_result) (b : Experiment.cell_result) ->
-        a.Experiment.runs = b.Experiment.runs
-        && a.Experiment.counters = b.Experiment.counters)
+        let check name ok =
+          if not ok then
+            Printf.printf "  DIVERGED alpha=%g k=%d: %s\n%!"
+              a.Experiment.cell.Experiment.alpha a.Experiment.cell.Experiment.k
+              name;
+          ok
+        in
+        check "runs" (a.Experiment.runs = b.Experiment.runs)
+        && check "counters" (a.Experiment.counters = b.Experiment.counters)
+        && check "histogram counts"
+             (Ncg_obs.Histogram.counts_only a.Experiment.histograms
+             = Ncg_obs.Histogram.counts_only b.Experiment.histograms)
+        && check "gc allocated words"
+             (Ncg_obs.Gc_stats.allocated_words a.Experiment.gc
+             = Ncg_obs.Gc_stats.allocated_words b.Experiment.gc))
       seq par
   in
   let speedup = seq_wall /. par_wall in
@@ -611,7 +633,10 @@ let experiment () =
         ("alpha", Json.Float r.Experiment.cell.Experiment.alpha);
         ("k", Json.Int r.Experiment.cell.Experiment.k);
         ("wall_seconds", Json.Float (Ncg_obs.Clock.ns_to_s r.Experiment.wall_ns));
+        ("domain", Json.Int r.Experiment.domain);
         ("counters", Ncg_obs.Metrics.to_json r.Experiment.counters);
+        ("histograms", Ncg_obs.Histogram.to_json r.Experiment.histograms);
+        ("gc", Ncg_obs.Gc_stats.to_json r.Experiment.gc);
         ( "converged_frac",
           Json.Float
             (Experiment.fraction (fun x -> x.Experiment.converged) r.Experiment.runs)
@@ -623,7 +648,7 @@ let experiment () =
   Json.to_file out
     (Json.Obj
        [
-         ("schema", Json.String "ncg.bench.experiment/1");
+         ("schema", Json.String "ncg.bench.experiment/2");
          ("smoke", Json.Bool smoke);
          ("seed", Json.Int base_seed);
          ("class", Json.String "tree");
@@ -639,11 +664,30 @@ let experiment () =
                ("speedup", Json.Float speedup);
                ("deterministic", Json.Bool identical);
                ("counters", Ncg_obs.Metrics.to_json (Experiment.sweep_counters par));
+               ( "histograms",
+                 Ncg_obs.Histogram.to_json (Experiment.sweep_histograms par) );
+               ("gc", Ncg_obs.Gc_stats.to_json (Experiment.sweep_gc par));
              ] );
        ]);
   Printf.printf "wrote %s\n%!" out;
+  (* Chrome trace of the parallel run: one Perfetto track per domain. *)
+  let trace = Ncg_obs.Chrome_trace.create ~process_name:"ncg_bench" () in
+  List.iter
+    (fun (r : Experiment.cell_result) ->
+      let tid = r.Experiment.domain in
+      Ncg_obs.Chrome_trace.add_span_tree trace ~tid r.Experiment.spans;
+      Ncg_obs.Chrome_trace.add_counter trace ~tid
+        ~ts_ns:(Int64.add r.Experiment.started_ns r.Experiment.wall_ns)
+        ~name:"gc allocated words"
+        [ ("words", Ncg_obs.Gc_stats.allocated_words r.Experiment.gc) ])
+    par;
+  Ncg_obs.Chrome_trace.to_file trace_out trace;
+  Printf.printf "wrote %s (%d events)\n%!" trace_out
+    (Ncg_obs.Chrome_trace.event_count trace);
   (* Per-cell counter profile: where the solver work concentrates. *)
-  print_string (Ncg_obs.Metrics.to_markdown (Experiment.sweep_counters par))
+  print_string (Ncg_obs.Metrics.to_markdown (Experiment.sweep_counters par));
+  (* Latency profile of the whole sweep. *)
+  print_string (Ncg_obs.Histogram.to_markdown (Experiment.sweep_histograms par))
 
 (* --- Bechamel micro-benchmarks ------------------------------------------------------------ *)
 

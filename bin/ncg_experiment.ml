@@ -6,8 +6,11 @@
    fixed --seed the CSV is byte-identical whatever the domain count, since
    every cell draws its RNG streams from a SplitMix64 split of the seed
    before the fan-out. --telemetry FILE additionally dumps per-cell wall
-   times, hot-path counters (BFS calls, solver nodes, best responses) and
-   span trees as JSON.
+   times, hot-path counters (BFS calls, solver nodes, best responses),
+   latency histograms, GC deltas and span trees as JSON; --trace-out FILE
+   writes the sweep timeline as Chrome trace-event JSON (open in
+   ui.perfetto.dev); --events FILE logs one JSONL line per accepted
+   dynamics move and per finished cell.
 
    Examples:
      # Figure 5 series (view sizes) on 50-vertex trees, 5 seeds per cell
@@ -15,7 +18,8 @@
 
      # Figure 8/9 series on G(100, 0.1), 4 domains, with telemetry
      dune exec bin/ncg_experiment.exe -- --class gnp -n 100 -p 0.1 \
-         --alphas 0.5,1,2 --ks 2,3,1000 --domains 4 --telemetry cells.json *)
+         --alphas 0.5,1,2 --ks 2,3,1000 --domains 4 --telemetry cells.json \
+         --trace-out trace.json --events events.jsonl *)
 
 open Cmdliner
 module Experiment = Ncg.Experiment
@@ -40,11 +44,35 @@ let cell_json graph_class n p trials (r : Experiment.cell_result) =
       ("k", Json.Int r.Experiment.cell.Experiment.k);
       ("trials", Json.Int trials);
       ("wall_seconds", Json.Float (Ncg_obs.Clock.ns_to_s r.Experiment.wall_ns));
+      ("domain", Json.Int r.Experiment.domain);
       ("counters", Metrics.to_json r.Experiment.counters);
+      ("histograms", Ncg_obs.Histogram.to_json r.Experiment.histograms);
+      ("gc", Ncg_obs.Gc_stats.to_json r.Experiment.gc);
       ("spans", Ncg_obs.Span.to_json r.Experiment.spans);
     ]
 
-let run graph_class n p alphas ks trials seed budget domains telemetry =
+(* One Perfetto track per domain: each cell's span tree at its absolute
+   start, plus a GC counter sample (words allocated by that cell) at the
+   cell boundary. *)
+let write_trace path (results : Experiment.cell_result list) =
+  let trace = Ncg_obs.Chrome_trace.create ~process_name:"ncg_experiment" () in
+  List.iter
+    (fun (r : Experiment.cell_result) ->
+      let tid = r.Experiment.domain in
+      Ncg_obs.Chrome_trace.add_span_tree trace ~tid r.Experiment.spans;
+      let end_ns = Int64.add r.Experiment.started_ns r.Experiment.wall_ns in
+      Ncg_obs.Chrome_trace.add_counter trace ~tid ~ts_ns:end_ns
+        ~name:"gc allocated words"
+        [ ("words", Ncg_obs.Gc_stats.allocated_words r.Experiment.gc) ])
+    results;
+  Ncg_obs.Chrome_trace.to_file path trace;
+  Printf.eprintf "chrome trace (%d events) written to %s\n%!"
+    (Ncg_obs.Chrome_trace.event_count trace)
+    path
+
+let run graph_class n p alphas ks trials seed budget domains telemetry trace_out
+    events quiet =
+  if quiet then Ncg_obs.Events.set_progress false;
   let alphas = if alphas = [] then default_alphas else alphas in
   let ks = if ks = [] then default_ks else ks in
   let make_initial =
@@ -64,10 +92,26 @@ let run graph_class n p alphas ks trials seed budget domains telemetry =
   in
   let cells = Experiment.grid ~alphas ~ks in
   let started = Ncg_obs.Clock.now_ns () in
-  let results =
+  let run_sweep () =
     Experiment.sweep ~domains ~make_initial ~make_config ~cells ~trials ~seed ()
   in
+  let results =
+    match events with
+    | None -> run_sweep ()
+    | Some path -> (
+        try Ncg_obs.Events.with_file path run_sweep
+        with Sys_error msg ->
+          Printf.eprintf "ncg_experiment: cannot write events: %s\n%!" msg;
+          exit 1)
+  in
   let sweep_wall = Ncg_obs.Clock.elapsed_ns ~since:started in
+  (match trace_out with
+  | None -> ()
+  | Some path -> (
+      try write_trace path results
+      with Sys_error msg ->
+        Printf.eprintf "ncg_experiment: cannot write trace: %s\n%!" msg;
+        exit 1));
   print_endline header;
   List.iter
     (fun (r : Experiment.cell_result) ->
@@ -99,7 +143,7 @@ let run graph_class n p alphas ks trials seed budget domains telemetry =
       let doc =
         Json.Obj
           [
-            ("schema", Json.String "ncg.experiment.telemetry/1");
+            ("schema", Json.String "ncg.experiment.telemetry/2");
             ("seed", Json.Int seed);
             ("domains", Json.Int domains);
             ("wall_seconds", Json.Float (Ncg_obs.Clock.ns_to_s sweep_wall));
@@ -107,6 +151,9 @@ let run graph_class n p alphas ks trials seed budget domains telemetry =
               Json.Float
                 (Ncg_obs.Clock.ns_to_s (Experiment.sweep_wall_ns results)) );
             ("counters_total", Metrics.to_json (Experiment.sweep_counters results));
+            ( "histograms_total",
+              Ncg_obs.Histogram.to_json (Experiment.sweep_histograms results) );
+            ("gc_total", Ncg_obs.Gc_stats.to_json (Experiment.sweep_gc results));
             ("cells", Json.List (List.map (cell_json graph_class n p trials) results));
           ]
       in
@@ -140,13 +187,28 @@ let domains =
 
 let telemetry =
   Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE"
-         ~doc:"Write per-cell wall times, counters and span trees as JSON.")
+         ~doc:"Write per-cell wall times, counters, histograms, GC deltas and \
+               span trees as JSON.")
+
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Write the sweep timeline as Chrome trace-event JSON (one track \
+               per domain; open in ui.perfetto.dev).")
+
+let events =
+  Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE"
+         ~doc:"Write a structured JSONL event log (one line per accepted \
+               dynamics move and per finished cell).")
+
+let quiet =
+  Arg.(value & flag & info [ "quiet" ]
+         ~doc:"Suppress the live progress line on stderr.")
 
 let cmd =
   let doc = "grid experiments over (alpha, k) printing CSV series" in
   Cmd.v
     (Cmd.info "ncg_experiment" ~doc)
     Term.(const run $ graph_class $ n $ p $ alphas $ ks $ trials $ seed $ budget
-          $ domains $ telemetry)
+          $ domains $ telemetry $ trace_out $ events $ quiet)
 
 let () = exit (Cmd.eval cmd)

@@ -11,6 +11,7 @@ let current_cost ~alpha (v : View.t) =
   +. float_of_int (current_usage v)
 
 let compute ?(solver = `Exact) ?max_edges ?allowed ~alpha (v : View.t) =
+  Ncg_obs.Histogram.(time best_response) @@ fun () ->
   Ncg_obs.Metrics.(incr best_response_calls);
   let h_graph = v.View.graph in
   let nv = Graph.order h_graph in

@@ -39,35 +39,53 @@ type result = {
   trace : Trace.t;
 }
 
+(* On an accepted move, also returns the player's view-local cost before
+   and after — already computed by the oracles, and what the structured
+   event log reports per move. *)
 let best_response_step config strategy g u =
   let view = View.extract strategy g ~k:config.k u in
-  let new_targets =
+  let improvement =
     match config.variant with
     | Game.Max -> begin
         match config.response with
         | `Best ->
             Option.map
-              (fun (o : Best_response.outcome) -> o.Best_response.targets)
+              (fun (o : Best_response.outcome) ->
+                ( o.Best_response.targets,
+                  Best_response.current_cost ~alpha:config.alpha view,
+                  o.Best_response.cost ))
               (Best_response.improving ~solver:config.solver
                  ~epsilon:config.epsilon ~alpha:config.alpha view)
         | `Local_moves ->
             let o = Best_response.local_search ~alpha:config.alpha view in
-            if
-              o.Best_response.cost
-              < Best_response.current_cost ~alpha:config.alpha view
-                -. config.epsilon
-            then Some o.Best_response.targets
+            let current = Best_response.current_cost ~alpha:config.alpha view in
+            if o.Best_response.cost < current -. config.epsilon then
+              Some (o.Best_response.targets, current, o.Best_response.cost)
             else None
       end
     | Game.Sum ->
         Option.map
-          (fun (o : Sum_best_response.outcome) -> o.Sum_best_response.targets)
+          (fun (o : Sum_best_response.outcome) ->
+            ( o.Sum_best_response.targets,
+              Sum_best_response.current_cost ~alpha:config.alpha view,
+              o.Sum_best_response.cost ))
           (Sum_best_response.improving ~epsilon:config.epsilon
              ~alpha:config.alpha ~mode:config.sum_mode view)
   in
   Option.map
-    (fun targets -> Strategy.with_owned strategy u (View.to_host view targets))
-    new_targets
+    (fun (targets, old_cost, new_cost) ->
+      (Strategy.with_owned strategy u (View.to_host view targets), old_cost, new_cost))
+    improvement
+
+(* "buy" = only additions, "drop" = only removals, "swap" = both. *)
+let move_kind ~before ~after =
+  let added = List.exists (fun t -> not (List.mem t before)) after in
+  let removed = List.exists (fun t -> not (List.mem t after)) before in
+  match (added, removed) with
+  | true, false -> "buy"
+  | false, true -> "drop"
+  | true, true -> "swap"
+  | false, false -> "reorder"
 
 let run_untraced config strategy0 =
   let n = Strategy.n_players strategy0 in
@@ -92,43 +110,49 @@ let run_untraced config strategy0 =
   let round = ref 0 in
   while !outcome = None && !round < config.max_rounds do
     incr round;
-    (match sweep_rng with
-    | Some rng -> Ncg_prng.Rng.shuffle rng player_order
-    | None -> ());
-    let changes = ref 0 in
-    Array.iter
-      (fun u ->
-        match best_response_step config !strategy !g u with
-        | Some strategy' ->
-            moves :=
-              {
-                Trace.round = !round;
-                player = u;
-                before = Strategy.owned !strategy u;
-                after = Strategy.owned strategy' u;
-              }
-              :: !moves;
-            strategy := strategy';
-            g := Strategy.graph strategy';
-            incr changes;
-            incr total_moves
-        | None -> ())
-      player_order;
-    if config.collect_features then
-      features :=
-        Features.collect config.variant ~alpha:config.alpha ~k:config.k
-          ~round:!round ~changes:!changes !strategy !g
-        :: !features;
-    if !changes = 0 then outcome := Some (Converged !round)
-    else if detect_cycles then begin
-      let key = Strategy.to_key !strategy in
-      match Hashtbl.find_opt seen key with
-      | Some _ ->
-          (* Same end-of-round profile as before: under round-robin the
-             continuation is deterministic, so the dynamics cycles. *)
-          outcome := Some (Cycle_detected !round)
-      | None -> Hashtbl.replace seen key !round
-    end
+    Ncg_obs.Histogram.(time dynamics_round) (fun () ->
+        (match sweep_rng with
+        | Some rng -> Ncg_prng.Rng.shuffle rng player_order
+        | None -> ());
+        let changes = ref 0 in
+        Array.iter
+          (fun u ->
+            match best_response_step config !strategy !g u with
+            | Some (strategy', old_cost, new_cost) ->
+                let before = Strategy.owned !strategy u in
+                let after = Strategy.owned strategy' u in
+                moves :=
+                  { Trace.round = !round; player = u; before; after } :: !moves;
+                if Ncg_obs.Events.active () then
+                  Ncg_obs.Events.emit "dynamics.move"
+                    [
+                      ("round", Ncg_obs.Json.Int !round);
+                      ("player", Ncg_obs.Json.Int u);
+                      ("kind", Ncg_obs.Json.String (move_kind ~before ~after));
+                      ("old_cost", Ncg_obs.Json.Float old_cost);
+                      ("new_cost", Ncg_obs.Json.Float new_cost);
+                    ];
+                strategy := strategy';
+                g := Strategy.graph strategy';
+                incr changes;
+                incr total_moves
+            | None -> ())
+          player_order;
+        if config.collect_features then
+          features :=
+            Features.collect config.variant ~alpha:config.alpha ~k:config.k
+              ~round:!round ~changes:!changes !strategy !g
+            :: !features;
+        if !changes = 0 then outcome := Some (Converged !round)
+        else if detect_cycles then begin
+          let key = Strategy.to_key !strategy in
+          match Hashtbl.find_opt seen key with
+          | Some _ ->
+              (* Same end-of-round profile as before: under round-robin the
+                 continuation is deterministic, so the dynamics cycles. *)
+              outcome := Some (Cycle_detected !round)
+          | None -> Hashtbl.replace seen key !round
+        end)
   done;
   Ncg_obs.Metrics.(add dynamics_rounds !round);
   Ncg_obs.Metrics.(add dynamics_moves !total_moves);

@@ -55,8 +55,14 @@ type result = {
     paper assumes players start on a connected network). *)
 val run : config -> Strategy.t -> result
 
-(** [best_response_step config strategy g u] is [Some] updated profile if
-    player [u] has an improving deviation, [None] otherwise. Exposed for
-    step-by-step inspection in examples. *)
+(** [best_response_step config strategy g u] is
+    [Some (profile', old_cost, new_cost)] if player [u] has an improving
+    deviation — the updated profile with [u]'s view-local cost before and
+    after the move (what the [dynamics.move] event reports) — [None]
+    otherwise. Exposed for step-by-step inspection in examples. *)
 val best_response_step :
-  config -> Strategy.t -> Ncg_graph.Graph.t -> int -> Strategy.t option
+  config ->
+  Strategy.t ->
+  Ncg_graph.Graph.t ->
+  int ->
+  (Strategy.t * float * float) option

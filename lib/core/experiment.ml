@@ -137,43 +137,119 @@ type cell_result = {
   cell : cell;
   runs : run_stats list;
   counters : Ncg_obs.Metrics.snapshot;
+  histograms : Ncg_obs.Histogram.snapshot;
+  gc : Ncg_obs.Gc_stats.snapshot;
   spans : Ncg_obs.Span.t;
   wall_ns : int64;
+  started_ns : int64;
+  domain : int;
 }
 
 let grid ~alphas ~ks =
   List.concat_map (fun alpha -> List.map (fun k -> { alpha; k }) ks) alphas
 
+(* The live progress line: cells done/total, ETA extrapolated from the
+   average cell so far, and the just-finished cell's best-response p99.
+   Rendered only when stderr is an interactive TTY (or forced on), so
+   tests, pipes and CI never see it. *)
+let report_progress ~sweep_started ~finished ~total ~histograms =
+  let elapsed =
+    Ncg_obs.Clock.ns_to_s (Ncg_obs.Clock.elapsed_ns ~since:sweep_started)
+  in
+  let eta =
+    if finished = 0 then nan
+    else elapsed /. float_of_int finished *. float_of_int (total - finished)
+  in
+  let p99 =
+    match
+      List.assoc_opt
+        (Ncg_obs.Histogram.name Ncg_obs.Histogram.best_response)
+        histograms
+    with
+    | Some h when Ncg_obs.Histogram.count h > 0 ->
+        Ncg_obs.Histogram.(pp_ns (p99_ns h))
+    | Some _ | None -> "-"
+  in
+  Ncg_obs.Events.progress
+    (Printf.sprintf "sweep %d/%d cells  elapsed %.1fs  eta %s  p99(best_response) %s"
+       finished total elapsed
+       (if Float.is_nan eta then "-" else Printf.sprintf "%.1fs" eta)
+       p99)
+
 let sweep ?(domains = 1) ~make_initial ~make_config ~cells ~trials:count ~seed () =
   let cells = Array.of_list cells in
-  let cell_seeds = derive_seeds ~seed ~count:(Array.length cells) in
+  let total = Array.length cells in
+  let cell_seeds = derive_seeds ~seed ~count:total in
+  let sweep_started = Ncg_obs.Clock.now_ns () in
+  let finished = Atomic.make 0 in
   let run_cell i =
     let cell = cells.(i) in
     let started = Ncg_obs.Clock.now_ns () in
-    let (runs, spans), counters =
-      Ncg_obs.Metrics.collect (fun () ->
-          Ncg_obs.Span.trace
-            (Printf.sprintf "cell alpha=%g k=%d" cell.alpha cell.k)
-            (fun () ->
-              let config = make_config cell in
-              let seeds = derive_seeds ~seed:cell_seeds.(i) ~count in
-              List.init count (fun j ->
-                  Ncg_obs.Span.with_span
-                    (Printf.sprintf "trial %d" j)
-                    (fun () -> run_one config (make_initial ~seed:seeds.(j))))))
+    let ((runs, spans, gc, wall_ns), counters), histograms =
+      (* Histogram and counter collectors are installed in the domain
+         that runs the cell, so the snapshots depend only on the cell's
+         own work — the determinism contract under any fan-out. The GC
+         word delta likewise: Gc.counters is domain-local. *)
+      Ncg_obs.Histogram.collect (fun () ->
+          Ncg_obs.Metrics.collect (fun () ->
+              let gc_before = Ncg_obs.Gc_stats.capture () in
+              let runs, spans =
+                Ncg_obs.Span.trace
+                  (Printf.sprintf "cell alpha=%g k=%d" cell.alpha cell.k)
+                  (fun () ->
+                    let config = make_config cell in
+                    let seeds = derive_seeds ~seed:cell_seeds.(i) ~count in
+                    List.init count (fun j ->
+                        Ncg_obs.Span.with_span
+                          (Printf.sprintf "trial %d" j)
+                          (fun () -> run_one config (make_initial ~seed:seeds.(j)))))
+              in
+              let gc =
+                Ncg_obs.Gc_stats.diff ~before:gc_before
+                  ~after:(Ncg_obs.Gc_stats.capture ())
+              in
+              let wall_ns = Ncg_obs.Clock.elapsed_ns ~since:started in
+              Ncg_obs.Histogram.record_ns Ncg_obs.Histogram.sweep_cell wall_ns;
+              (runs, spans, gc, wall_ns)))
     in
+    let done_count = Atomic.fetch_and_add finished 1 + 1 in
+    if Ncg_obs.Events.active () then
+      Ncg_obs.Events.emit "sweep.cell"
+        [
+          ("index", Ncg_obs.Json.Int i);
+          ("alpha", Ncg_obs.Json.Float cell.alpha);
+          ("k", Ncg_obs.Json.Int cell.k);
+          ("trials", Ncg_obs.Json.Int count);
+          ("wall_seconds", Ncg_obs.Json.Float (Ncg_obs.Clock.ns_to_s wall_ns));
+          ( "gc_allocated_words",
+            Ncg_obs.Json.Float (Ncg_obs.Gc_stats.allocated_words gc) );
+          ("done", Ncg_obs.Json.Int done_count);
+          ("total", Ncg_obs.Json.Int total);
+        ];
+    report_progress ~sweep_started ~finished:done_count ~total ~histograms;
     {
       cell;
       runs;
       counters;
+      histograms;
+      gc;
       spans;
-      wall_ns = Ncg_obs.Clock.elapsed_ns ~since:started;
+      wall_ns;
+      started_ns = started;
+      domain = (Domain.self () :> int);
     }
   in
-  Ncg_util.Parallel.init ~domains (Array.length cells) run_cell
+  let results = Ncg_util.Parallel.init ~domains total run_cell in
+  Ncg_obs.Events.progress_done ();
+  results
 
 let sweep_counters results =
   Ncg_obs.Metrics.total (List.map (fun r -> r.counters) results)
+
+let sweep_histograms results =
+  Ncg_obs.Histogram.total (List.map (fun r -> r.histograms) results)
+
+let sweep_gc results = Ncg_obs.Gc_stats.total (List.map (fun r -> r.gc) results)
 
 let sweep_wall_ns results =
   List.fold_left (fun acc r -> Int64.add acc r.wall_ns) 0L results

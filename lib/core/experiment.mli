@@ -88,11 +88,19 @@ val trials_parallel :
     The engine behind [bin/ncg_experiment] and the bench harness: a grid
     of [(alpha, k)] cells fanned out over OCaml domains, each cell
     carrying its own telemetry. Determinism contract: for a fixed
-    [seed], [runs] and [counters] of every cell are identical whatever
-    [domains] is — cells draw their RNG streams from
-    {!derive_seeds} before the fan-out, and counters are collected
-    domain-locally ({!Ncg_obs.Metrics.collect}) inside the cell. Only
-    [wall_ns] and the span durations vary between runs. *)
+    [seed], [runs], [counters], the histogram {e sample counts}
+    ({!Ncg_obs.Histogram.counts_only} of [histograms]) and the GC
+    {e allocated words} ({!Ncg_obs.Gc_stats.allocated_words} of [gc])
+    of every cell are identical whatever [domains] is — cells draw
+    their RNG streams from {!derive_seeds} before the fan-out, and all
+    collectors are installed domain-locally inside the cell. Only
+    [wall_ns], [started_ns], [domain], span durations, histogram bucket
+    placement and GC collection counts vary between runs.
+
+    While a sweep runs, each finished cell emits a ["sweep.cell"]
+    structured event (when an {!Ncg_obs.Events} sink is installed) and
+    refreshes a live progress line on stderr (TTY only; see
+    {!Ncg_obs.Events.set_progress}). *)
 
 (** One sweep cell of the paper's Section 5 grids. *)
 type cell = { alpha : float; k : int }
@@ -102,8 +110,14 @@ type cell_result = {
   runs : run_stats list;  (** identical to a sequential run of the cell *)
   counters : Ncg_obs.Metrics.snapshot;
       (** per-cell counts: BFS calls, solver nodes, best responses, … *)
+  histograms : Ncg_obs.Histogram.snapshot;
+      (** per-cell latency histograms (best response, set cover, …) *)
+  gc : Ncg_obs.Gc_stats.snapshot;  (** GC delta across the cell *)
   spans : Ncg_obs.Span.t;  (** per-cell span tree (one child per trial) *)
   wall_ns : int64;  (** cell wall time on its domain *)
+  started_ns : int64;
+      (** monotonic start of the cell, for timeline export *)
+  domain : int;  (** id of the domain that ran the cell *)
 }
 
 (** [grid ~alphas ~ks] is the row-major cell list of the cross product. *)
@@ -124,6 +138,12 @@ val sweep :
 
 (** Pointwise sum of all per-cell counters. *)
 val sweep_counters : cell_result list -> Ncg_obs.Metrics.snapshot
+
+(** Bucket-wise merge of all per-cell histograms. *)
+val sweep_histograms : cell_result list -> Ncg_obs.Histogram.snapshot
+
+(** Pointwise sum of all per-cell GC deltas. *)
+val sweep_gc : cell_result list -> Ncg_obs.Gc_stats.snapshot
 
 (** Sum of per-cell wall times (CPU-ish aggregate; wall time of the whole
     sweep is shorter when [domains > 1]). *)

@@ -189,6 +189,7 @@ let branch_and_bound ?(max_candidates = 34) ~alpha (v : View.t) =
   !best
 
 let improving ?(epsilon = 1e-9) ~alpha ~mode v =
+  Ncg_obs.Histogram.(time sum_best_response) @@ fun () ->
   Ncg_obs.Metrics.(incr sum_best_response_calls);
   let best =
     match mode with

@@ -1,0 +1,102 @@
+(* Chrome trace-event JSON builder (the format Perfetto and
+   chrome://tracing load). We emit the JSON-object form
+   {"traceEvents": [...], "displayTimeUnit": "ms"} with:
+   - M (metadata) events naming the process and each thread track,
+   - B/E (duration begin/end) pairs for span trees,
+   - X (complete) events for flat intervals,
+   - C (counter) events for GC time series.
+   Timestamps are microseconds of monotonic time; tid is an OCaml domain
+   id, so a parallel sweep renders one track per domain. *)
+
+type t = {
+  process_name : string;
+  mutable events : Json.t list; (* reversed *)
+  mutable named_tids : int list;
+  mutable count : int;
+}
+
+let pid = 1
+
+let create ?(process_name = "ncg") () =
+  { process_name; events = []; named_tids = []; count = 0 }
+
+let push trace ev =
+  trace.events <- ev :: trace.events;
+  trace.count <- trace.count + 1
+
+let us_of_ns ns = Int64.to_float ns /. 1e3
+
+let metadata ~name ~tid args =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("ph", Json.String "M");
+       ("pid", Json.Int pid);
+     ]
+    @ (match tid with Some t -> [ ("tid", Json.Int t) ] | None -> [])
+    @ [ ("args", Json.Obj args) ])
+
+let set_thread_name trace ~tid name =
+  if not (List.mem tid trace.named_tids) then begin
+    trace.named_tids <- tid :: trace.named_tids;
+    push trace
+      (metadata ~name:"thread_name" ~tid:(Some tid) [ ("name", Json.String name) ])
+  end
+
+let ensure_thread trace ~tid =
+  set_thread_name trace ~tid (Printf.sprintf "domain %d" tid)
+
+let event ~ph ~tid ~ts_ns ?name ?dur_ns ?args () =
+  Json.Obj
+    ((match name with Some n -> [ ("name", Json.String n) ] | None -> [])
+    @ [
+        ("ph", Json.String ph);
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("ts", Json.Float (us_of_ns ts_ns));
+      ]
+    @ (match dur_ns with
+      | Some d -> [ ("dur", Json.Float (us_of_ns d)) ]
+      | None -> [])
+    @ match args with Some a -> [ ("args", Json.Obj a) ] | None -> [])
+
+let add_complete trace ~tid ~name ~start_ns ~dur_ns ?args () =
+  ensure_thread trace ~tid;
+  push trace (event ~ph:"X" ~tid ~ts_ns:start_ns ~name ~dur_ns:dur_ns ?args ())
+
+let add_counter trace ~tid ~ts_ns ~name values =
+  ensure_thread trace ~tid;
+  push trace
+    (event ~ph:"C" ~tid ~ts_ns ~name
+       ~args:(List.map (fun (k, v) -> (k, Json.Float v)) values)
+       ())
+
+(* Depth-first B/E pairs. Children of a span ran sequentially inside it in
+   one domain, so emission order is already timestamp order per tid. *)
+let add_span_tree trace ~tid span =
+  ensure_thread trace ~tid;
+  let rec go (s : Span.t) =
+    push trace (event ~ph:"B" ~tid ~ts_ns:s.Span.started_ns ~name:s.Span.span_name ());
+    List.iter go s.Span.children;
+    push trace
+      (event ~ph:"E" ~tid
+         ~ts_ns:(Int64.add s.Span.started_ns s.Span.elapsed_ns)
+         ~name:s.Span.span_name ())
+  in
+  go span
+
+(* +1: the process_name metadata record prepended at serialization. *)
+let event_count trace = trace.count + 1
+
+let to_json trace =
+  let process =
+    metadata ~name:"process_name" ~tid:None
+      [ ("name", Json.String trace.process_name) ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (process :: List.rev trace.events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_file path trace = Json.to_file path (to_json trace)

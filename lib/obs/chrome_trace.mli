@@ -1,0 +1,45 @@
+(** Chrome trace-event JSON export, loadable in Perfetto
+    ({{:https://ui.perfetto.dev}ui.perfetto.dev}) and [chrome://tracing].
+
+    A builder accumulates events and serializes to the JSON-object form
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}]. Timestamps are
+    monotonic-clock microseconds ({!Clock.now_ns} / 1000); [pid] is the
+    constant 1 (one process) and [tid] is an OCaml domain id, so a
+    parallel sweep renders one horizontal track per domain. Unnamed tids
+    are auto-labelled ["domain N"] on first use. *)
+
+type t
+
+val create : ?process_name:string -> unit -> t
+
+(** [set_thread_name t ~tid name] labels a track (first call per tid
+    wins; later calls are ignored). *)
+val set_thread_name : t -> tid:int -> string -> unit
+
+(** [add_span_tree t ~tid span] emits nested [B]/[E] (duration
+    begin/end) pairs for the whole tree, using each span's absolute
+    [started_ns]/[elapsed_ns]. Children nest correctly because they ran
+    sequentially inside their parent in one domain. *)
+val add_span_tree : t -> tid:int -> Span.t -> unit
+
+(** A flat [X] (complete) event. *)
+val add_complete :
+  t ->
+  tid:int ->
+  name:string ->
+  start_ns:int64 ->
+  dur_ns:int64 ->
+  ?args:(string * Json.t) list ->
+  unit ->
+  unit
+
+(** A [C] (counter) event: a named time series of float values, rendered
+    by Perfetto as a stacked area track (used for GC counters). *)
+val add_counter :
+  t -> tid:int -> ts_ns:int64 -> name:string -> (string * float) list -> unit
+
+(** Number of events {!to_json} will emit (metadata records included). *)
+val event_count : t -> int
+
+val to_json : t -> Json.t
+val to_file : string -> t -> unit

@@ -1,0 +1,88 @@
+(* Structured JSONL event log + TTY progress line.
+
+   One mutex-guarded global sink shared by every domain: events are rare
+   (accepted moves, cell completions) next to the hot paths, so a single
+   lock is fine, and interleaved lines stay whole. When no sink is
+   installed, emit is a single ref read — cheap enough to call
+   unconditionally from the dynamics loop.
+
+   Line ordering across domains is scheduling-dependent; each line
+   carries its own monotonic timestamp and domain id so consumers can
+   re-sort. Per-event *content* from a sweep cell is deterministic. *)
+
+type severity = Debug | Info | Warn | Error
+
+let severity_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let sink : out_channel option ref = ref None
+let sink_mutex = Mutex.create ()
+
+let set_sink oc =
+  Mutex.protect sink_mutex (fun () -> sink := oc)
+
+let active () = !sink <> None
+
+let emit ?(severity = Info) name fields =
+  match !sink with
+  | None -> ()
+  | Some _ ->
+      let line =
+        Json.to_string
+          (Json.Obj
+             ([
+                ("ts_ns", Json.Int (Int64.to_int (Clock.now_ns ())));
+                ("severity", Json.String (severity_to_string severity));
+                ("domain", Json.Int (Domain.self () :> int));
+                ("event", Json.String name);
+              ]
+             @ fields))
+      in
+      Mutex.protect sink_mutex (fun () ->
+          (* Re-check under the lock: the sink may have been closed. *)
+          match !sink with
+          | None -> ()
+          | Some oc ->
+              output_string oc line;
+              output_char oc '\n')
+
+let with_file path f =
+  let oc = open_out path in
+  set_sink (Some oc);
+  Fun.protect
+    ~finally:(fun () ->
+      set_sink None;
+      close_out oc)
+    f
+
+(* --- Progress line --------------------------------------------------------- *)
+
+(* Auto: only when stderr is an interactive terminal, so logs piped to
+   files or CI never see control characters. --quiet forces it off. *)
+let progress_override = ref None
+let set_progress enabled = progress_override := Some enabled
+
+let progress_enabled () =
+  match !progress_override with
+  | Some b -> b
+  | None -> ( try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false)
+
+let progress_mutex = Mutex.create ()
+let progress_dirty = ref false
+
+let progress line =
+  if progress_enabled () then
+    Mutex.protect progress_mutex (fun () ->
+        progress_dirty := true;
+        Printf.eprintf "\r%s\027[K%!" line)
+
+let progress_done () =
+  if progress_enabled () then
+    Mutex.protect progress_mutex (fun () ->
+        if !progress_dirty then begin
+          progress_dirty := false;
+          Printf.eprintf "\r\027[K%!"
+        end)

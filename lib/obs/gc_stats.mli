@@ -1,0 +1,49 @@
+(** GC telemetry: allocation and collection deltas over a window.
+
+    Distinguishes {e allocation churn} from {e algorithmic work}: a slow
+    sweep cell with huge [allocated_words] wants allocation fixes; one
+    with small allocation but big solver counters wants algorithmic ones.
+
+    Word counters come from [Gc.counters] and are domain-local, so a
+    delta captured inside the domain running a sweep cell measures
+    exactly that cell's allocations; {!allocated_words}
+    ([minor + major - promoted]) is deterministic for deterministic work
+    (promotion timing cancels out of the sum) and participates in the
+    sweep bit-identity test. Collection counts come from [Gc.quick_stat]
+    and are program-wide: they are telemetry, not reproducible numbers. *)
+
+type snapshot = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+}
+
+val zero : snapshot
+
+(** Current counter values. Flushes the minor heap ([Gc.minor], cheap at
+    window boundaries) first: without the flush the runtime's young-area
+    accounting is quantized at minor-heap-chunk granularity and word
+    deltas shift by chunk multiples depending on domain placement. *)
+val capture : unit -> snapshot
+
+(** Pointwise [after - before]. *)
+val diff : before:snapshot -> after:snapshot -> snapshot
+
+(** Pointwise sum, for aggregating per-cell deltas. *)
+val add : snapshot -> snapshot -> snapshot
+
+val total : snapshot list -> snapshot
+
+(** Total words allocated in the window: [minor + major - promoted].
+    The deterministic field — identical across [--domains] for a fixed
+    seed when the delta is captured inside the owning domain. *)
+val allocated_words : snapshot -> float
+
+(** [measure f] is [f ()] together with the GC delta across the call. *)
+val measure : (unit -> 'a) -> 'a * snapshot
+
+(** Object with [allocated_words] first, then the raw fields. *)
+val to_json : snapshot -> Json.t

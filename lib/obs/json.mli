@@ -23,3 +23,12 @@ val to_string_pretty : t -> string
 (** [to_file path json] writes the pretty rendering atomically enough for
     our purposes (plain [open_out]). *)
 val to_file : string -> t -> unit
+
+(** [of_string s] parses one JSON document (RFC 8259 grammar: escapes,
+    [\uXXXX] with surrogate pairs decoded to UTF-8, exponents). Numbers
+    containing ['.'], ['e'] or ['E'] parse as [Float], others as [Int]
+    (falling back to [Float] on overflow). Used by the test suite to
+    validate everything the emitters produce — escaping round-trips,
+    Chrome traces, JSONL events — without an external JSON dependency.
+    [Error msg] carries the failure offset. *)
+val of_string : string -> (t, string) result

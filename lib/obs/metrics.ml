@@ -1,21 +1,27 @@
 type counter = int
 
-let capacity = 64
+let capacity = 128
 let names = Array.make capacity ""
+let by_name : (string, int) Hashtbl.t = Hashtbl.create capacity
 let registered = ref 0
 
+(* Registration is init-time-only: the names array and hashtable are
+   plain unsynchronized state, safe exactly because every [register]
+   call happens in the main domain before any fan-out. Spawned domains
+   only read [names], which is frozen by then. *)
 let register name =
   if name = "" then invalid_arg "Metrics.register: empty name";
-  let rec find i =
-    if i >= !registered then -1 else if names.(i) = name then i else find (i + 1)
-  in
-  match find 0 with
-  | i when i >= 0 -> i
-  | _ ->
+  if not (Domain.is_main_domain ()) then
+    invalid_arg "Metrics.register: register at init time from the main domain only";
+  match Hashtbl.find_opt by_name name with
+  | Some c -> c
+  | None ->
       if !registered >= capacity then invalid_arg "Metrics.register: registry full";
-      names.(!registered) <- name;
+      let c = !registered in
+      names.(c) <- name;
+      Hashtbl.replace by_name name c;
       incr registered;
-      !registered - 1
+      c
 
 let name c = names.(c)
 

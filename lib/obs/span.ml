@@ -1,4 +1,9 @@
-type t = { span_name : string; elapsed_ns : int64; children : t list }
+type t = {
+  span_name : string;
+  started_ns : int64;
+  elapsed_ns : int64;
+  children : t list;
+}
 
 type frame = {
   frame_name : string;
@@ -14,6 +19,7 @@ let active () = Domain.DLS.get stack <> []
 let close frame =
   {
     span_name = frame.frame_name;
+    started_ns = frame.started;
     elapsed_ns = Clock.elapsed_ns ~since:frame.started;
     children = List.rev frame.completed;
   }

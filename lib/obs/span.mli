@@ -10,6 +10,9 @@
 
 type t = {
   span_name : string;
+  started_ns : int64;
+      (** absolute monotonic start ({!Clock.now_ns} origin) — comparable
+          across domains, so spans from a parallel sweep share a timeline *)
   elapsed_ns : int64;
   children : t list;  (** in execution order *)
 }

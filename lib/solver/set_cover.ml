@@ -157,6 +157,7 @@ let lower_bound candidates covers_elt uncovered =
   !lb
 
 let solve ?max_size ?(node_budget = max_int) inst =
+  Ncg_obs.Histogram.(time set_cover) @@ fun () ->
   Ncg_obs.Metrics.(incr set_cover_solves);
   let uncovered0 = initial_uncovered inst in
   if Bitset.is_empty uncovered0 then Some { chosen = []; cardinality = 0 }

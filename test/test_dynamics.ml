@@ -93,9 +93,10 @@ let test_best_response_step () =
   let cfg = config ~alpha:0.1 ~k:2 () in
   let g = Strategy.graph s in
   (match Dynamics.best_response_step cfg s g 1 with
-  | Some s' ->
+  | Some (s', old_cost, new_cost) ->
       check_bool "changed" false (Strategy.equal s s');
-      check_bool "player 1 now owns edges" true (Strategy.bought_count s' 1 > 0)
+      check_bool "player 1 now owns edges" true (Strategy.bought_count s' 1 > 0);
+      check_bool "move strictly improves" true (new_cost < old_cost)
   | None -> Alcotest.fail "leaf should move at alpha=0.1");
   (* The center has no improving move. *)
   check_bool "center stays" true (Dynamics.best_response_step cfg s g 0 = None)

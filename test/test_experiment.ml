@@ -135,29 +135,49 @@ let test_sweep_shape () =
     (List.assoc "best_response.calls" first.Experiment.counters > 0);
   check_int "trial spans" 3
     (List.length first.Experiment.spans.Ncg_obs.Span.children);
-  check_bool "wall time positive" true (first.Experiment.wall_ns > 0L)
+  check_bool "wall time positive" true (first.Experiment.wall_ns > 0L);
+  (* New telemetry: histograms sampled the oracles, the GC delta counted
+     the cell's allocations, and the cell knows where and when it ran. *)
+  let hist name =
+    List.assoc (Ncg_obs.Histogram.name name) first.Experiment.histograms
+  in
+  check_bool "best response latencies sampled" true
+    (Ncg_obs.Histogram.count (hist Ncg_obs.Histogram.best_response) > 0);
+  check_int "one sweep-cell sample" 1
+    (Ncg_obs.Histogram.count (hist Ncg_obs.Histogram.sweep_cell));
+  check_bool "cell allocated words" true
+    (Ncg_obs.Gc_stats.allocated_words first.Experiment.gc > 0.0);
+  check_bool "domain recorded" true (first.Experiment.domain >= 0);
+  check_bool "start before end" true
+    (first.Experiment.started_ns > 0L
+    && first.Experiment.wall_ns >= first.Experiment.spans.Ncg_obs.Span.elapsed_ns)
 
 let test_sweep_deterministic_across_domains () =
-  (* The tentpole contract: same seed => byte-identical run statistics
-     AND per-cell counters, whatever the fan-out. *)
+  (* The tentpole contract: same seed => byte-identical run statistics,
+     per-cell counters, histogram sample counts and GC allocated words,
+     whatever the fan-out. (Histogram bucket placement and GC collection
+     counts are timing-dependent and deliberately excluded.) *)
   let reference = sweep_fixture ~domains:1 in
   List.iter
     (fun domains ->
       let results = sweep_fixture ~domains in
       List.iter2
         (fun (a : Experiment.cell_result) (b : Experiment.cell_result) ->
-          check_bool
-            (Printf.sprintf "cell (%g,%d) runs identical at %d domains"
-               a.Experiment.cell.Experiment.alpha a.Experiment.cell.Experiment.k
-               domains)
-            true
-            (a.Experiment.runs = b.Experiment.runs);
-          check_bool
-            (Printf.sprintf "cell (%g,%d) counters identical at %d domains"
-               a.Experiment.cell.Experiment.alpha a.Experiment.cell.Experiment.k
-               domains)
-            true
-            (a.Experiment.counters = b.Experiment.counters))
+          let cell_check what ok =
+            check_bool
+              (Printf.sprintf "cell (%g,%d) %s identical at %d domains"
+                 a.Experiment.cell.Experiment.alpha
+                 a.Experiment.cell.Experiment.k what domains)
+              true ok
+          in
+          cell_check "runs" (a.Experiment.runs = b.Experiment.runs);
+          cell_check "counters" (a.Experiment.counters = b.Experiment.counters);
+          cell_check "histogram sample counts"
+            (Ncg_obs.Histogram.counts_only a.Experiment.histograms
+            = Ncg_obs.Histogram.counts_only b.Experiment.histograms);
+          cell_check "gc allocated words"
+            (Ncg_obs.Gc_stats.allocated_words a.Experiment.gc
+            = Ncg_obs.Gc_stats.allocated_words b.Experiment.gc))
         reference results)
     [ 2; 4 ]
 

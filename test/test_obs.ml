@@ -1,8 +1,13 @@
-(* Tests for the observability library: JSON emitter, counters, spans. *)
+(* Tests for the observability library: JSON emitter/parser, counters,
+   spans, latency histograms, GC deltas, Chrome traces, event log. *)
 
 module Json = Ncg_obs.Json
 module Metrics = Ncg_obs.Metrics
 module Span = Ncg_obs.Span
+module Histogram = Ncg_obs.Histogram
+module Gc_stats = Ncg_obs.Gc_stats
+module Chrome_trace = Ncg_obs.Chrome_trace
+module Events = Ncg_obs.Events
 
 let check_string = Alcotest.(check string)
 let check_int = Alcotest.(check int)
@@ -163,6 +168,400 @@ let test_span_export () =
   check_bool "markdown indents child" true
     (contains ~affix:"\n  - c:" md)
 
+(* --- Json.of_string ------------------------------------------------------ *)
+
+let parse_ok s =
+  match Json.of_string s with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "parse %S: %s" s msg
+
+let test_parse_scalars () =
+  check_bool "null" true (parse_ok "null" = Json.Null);
+  check_bool "true" true (parse_ok " true " = Json.Bool true);
+  check_bool "int" true (parse_ok "-42" = Json.Int (-42));
+  check_bool "float" true (parse_ok "1.5" = Json.Float 1.5);
+  check_bool "exponent is float" true (parse_ok "2e3" = Json.Float 2000.0);
+  check_bool "string" true (parse_ok {|"hi"|} = Json.String "hi")
+
+let test_parse_structures () =
+  check_bool "list" true (parse_ok "[1, 2]" = Json.List [ Json.Int 1; Json.Int 2 ]);
+  check_bool "empty obj" true (parse_ok " {} " = Json.Obj []);
+  check_bool "nested" true
+    (parse_ok {|{"a":[true,null],"b":{"c":1}}|}
+    = Json.Obj
+        [
+          ("a", Json.List [ Json.Bool true; Json.Null ]);
+          ("b", Json.Obj [ ("c", Json.Int 1) ]);
+        ])
+
+let test_parse_escapes () =
+  check_bool "simple escapes" true
+    (parse_ok {|"a\"b\\c\nd\te"|} = Json.String "a\"b\\c\nd\te");
+  check_bool "u escape" true (parse_ok {|"\u0041"|} = Json.String "A");
+  check_bool "u escape control" true (parse_ok {|"\u0001"|} = Json.String "\x01");
+  check_bool "2-byte utf8" true (parse_ok {|"\u00e9"|} = Json.String "\xc3\xa9");
+  check_bool "raw non-ascii bytes pass through" true
+    (parse_ok "\"\xc3\xa9\"" = Json.String "\xc3\xa9");
+  check_bool "surrogate pair" true
+    (parse_ok {|"\ud83d\ude00"|} = Json.String "\xf0\x9f\x98\x80")
+
+let test_parse_errors () =
+  let fails s = match Json.of_string s with Ok _ -> false | Error _ -> true in
+  check_bool "empty" true (fails "");
+  check_bool "garbage" true (fails "flase");
+  check_bool "trailing" true (fails "1 2");
+  check_bool "unterminated string" true (fails {|"abc|});
+  check_bool "raw control char" true (fails "\"a\x01b\"");
+  check_bool "lone surrogate" true (fails {|"\ud83d"|});
+  check_bool "unclosed list" true (fails "[1,")
+
+(* Any byte string survives emit -> parse: quotes, backslashes, control
+   chars (escaped as \u00XX) and non-ASCII bytes (passed through raw). *)
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"emitted strings round-trip through of_string"
+    ~count:1000
+    QCheck.(string_gen Gen.(map Char.chr (int_range 0 255)))
+    (fun s -> Json.of_string (Json.to_string (Json.String s)) = Ok (Json.String s))
+
+(* Whole documents round-trip too (floats kept finite and away from the
+   int/float rendering ambiguity by construction). *)
+let json_gen =
+  let open QCheck.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) int;
+        map (fun f -> Json.Float (Float.of_int f +. 0.5)) (int_range (-1000) 1000);
+        map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 12));
+      ]
+  in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then scalar
+          else
+            frequency
+              [
+                (2, scalar);
+                (1, map (fun l -> Json.List l) (list_size (int_range 0 4) (self (n / 2))));
+                ( 1,
+                  map
+                    (fun kvs ->
+                      (* Object keys must be unique for equality to hold. *)
+                      Json.Obj
+                        (List.mapi (fun i (k, v) -> (Printf.sprintf "%d%s" i k, v)) kvs)
+                      )
+                    (list_size (int_range 0 4)
+                       (pair (string_size ~gen:printable (int_range 0 6)) (self (n / 2))))
+                );
+              ])
+        (min n 6))
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"documents round-trip through of_string" ~count:500
+    (QCheck.make ~print:(fun v -> Json.to_string v) json_gen)
+    (fun v ->
+      Json.of_string (Json.to_string v) = Ok v
+      && Json.of_string (Json.to_string_pretty v) = Ok v)
+
+(* --- Histogram ----------------------------------------------------------- *)
+
+let us = 1_000L (* 1µs in ns *)
+
+let test_hist_noop_without_collector () =
+  check_bool "not recording" false (Histogram.recording ());
+  Histogram.record_ns Histogram.best_response 5_000L;
+  check_int "time is transparent" 9 (Histogram.(time set_cover) (fun () -> 9));
+  check_bool "still not recording" false (Histogram.recording ())
+
+let test_hist_buckets () =
+  check_int "zero in underflow" 0 (Histogram.bucket_of_ns 0L);
+  check_int "99ns in underflow" 0 (Histogram.bucket_of_ns 99L);
+  check_bool "100ns leaves underflow" true (Histogram.bucket_of_ns 100L > 0);
+  let b = Histogram.boundaries in
+  check_bool "boundaries strictly increase" true
+    (Array.for_all2 (fun x y -> Int64.compare x y < 0)
+       (Array.sub b 0 (Array.length b - 1))
+       (Array.sub b 1 (Array.length b - 1)));
+  (* ~2 buckets per octave: doubling a duration moves up exactly 2. *)
+  check_int "sqrt2 spacing" (Histogram.bucket_of_ns 3_200L)
+    (Histogram.bucket_of_ns 1_600L + 2);
+  check_bool "monotonic" true
+    (Histogram.bucket_of_ns 1_000_000L <= Histogram.bucket_of_ns 1_000_001L);
+  check_int "huge in overflow" (Histogram.bucket_count - 1)
+    (Histogram.bucket_of_ns Int64.max_int)
+
+let test_hist_collect_and_percentiles () =
+  let (), snap =
+    Histogram.collect (fun () ->
+        for _ = 1 to 99 do
+          Histogram.record_ns Histogram.best_response us
+        done;
+        Histogram.record_ns Histogram.best_response (Int64.mul 1_000L us))
+  in
+  let h = List.assoc (Histogram.name Histogram.best_response) snap in
+  check_int "count" 100 (Histogram.count h);
+  check_bool "max is the outlier" true (Histogram.max_ns h = Int64.mul 1_000L us);
+  check_bool "sum at least 199us" true (Histogram.sum_ns h >= Int64.mul 199L us);
+  (* Bucketed percentiles are conservative within one sqrt(2) bucket. *)
+  let p50 = Histogram.p50_ns h and p99 = Histogram.p99_ns h in
+  check_bool "p50 covers 1us" true (p50 >= 1_000. && p50 <= 1_500.);
+  check_bool "p99 still in the bulk" true (p99 >= 1_000. && p99 <= 1_500.);
+  check_bool "p100 is the outlier bucket" true
+    (Histogram.percentile_ns h 1.0 >= 1_000_000.);
+  check_bool "empty percentile is nan" true
+    (Float.is_nan (Histogram.p50_ns Histogram.empty_hist));
+  check_bool "mean between the modes" true
+    (Histogram.mean_ns h > 1_000. && Histogram.mean_ns h < 1_000_000.)
+
+let test_hist_time_and_nesting () =
+  let ((), inner), outer =
+    Histogram.collect (fun () ->
+        Histogram.(time set_cover) (fun () ->
+            Histogram.collect (fun () ->
+                Histogram.(time set_cover) (fun () -> ());
+                Histogram.(time best_response) (fun () -> ()))))
+  in
+  let count name snap = Histogram.count (List.assoc name snap) in
+  check_int "inner set_cover" 1 (count "set_cover.solve.latency" inner);
+  check_int "inner best_response" 1 (count "best_response.latency" inner);
+  (* Outer sees its own sample plus the folded inner ones. *)
+  check_int "outer set_cover" 2 (count "set_cover.solve.latency" outer);
+  check_int "outer best_response" 1 (count "best_response.latency" outer);
+  check_bool "collector uninstalled" false (Histogram.recording ())
+
+let test_hist_merge_total () =
+  let snap n v =
+    snd
+      (Histogram.collect (fun () ->
+           for _ = 1 to n do
+             Histogram.record_ns Histogram.dynamics_round v
+           done))
+  in
+  let a = snap 2 us and b = snap 3 (Int64.mul 8L us) in
+  let m = Histogram.merge a b in
+  let h = List.assoc "dynamics.round.latency" m in
+  check_int "merged count" 5 (Histogram.count h);
+  check_bool "merged max" true (Histogram.max_ns h = Int64.mul 8L us);
+  let t = Histogram.total [ a; b; a ] in
+  check_int "total count" 7 (Histogram.count (List.assoc "dynamics.round.latency" t));
+  check_int "total of none is empty" 0 (List.length (Histogram.total []));
+  check_bool "counts_only lists every histogram" true
+    (List.mem ("dynamics.round.latency", 5) (Histogram.counts_only m)
+    && List.mem ("best_response.latency", 0) (Histogram.counts_only m))
+
+let test_hist_exception_safety () =
+  (try
+     ignore (Histogram.collect (fun () -> raise Exit));
+     Alcotest.fail "expected Exit"
+   with Exit -> ());
+  check_bool "collector uninstalled after raise" false (Histogram.recording ())
+
+let test_hist_export () =
+  let (), snap =
+    Histogram.collect (fun () ->
+        Histogram.record_ns Histogram.sweep_cell (Int64.mul 2_000L us))
+  in
+  let json = Json.to_string (Histogram.to_json snap) in
+  check_bool "json parses" true (Json.of_string json = Ok (Histogram.to_json snap));
+  check_bool "json has the histogram" true
+    (contains ~affix:"\"experiment.sweep_cell.latency\"" json);
+  check_bool "zero-sample histograms dropped from json" false
+    (contains ~affix:"best_response.latency" json);
+  check_bool "markdown has a row" true
+    (contains ~affix:"experiment.sweep_cell.latency" (Histogram.to_markdown snap));
+  check_string "pp_ns ms" "2.00ms" (Histogram.pp_ns 2.0e6);
+  check_string "pp_ns nan" "-" (Histogram.pp_ns nan)
+
+(* --- Gc_stats ------------------------------------------------------------ *)
+
+let test_gc_measure () =
+  let xs, d = Gc_stats.measure (fun () -> List.init 10_000 (fun i -> (i, i))) in
+  check_int "work happened" 10_000 (List.length xs);
+  check_bool "allocated counted" true (Gc_stats.allocated_words d > 10_000.0);
+  check_bool "minor nonneg" true (d.Gc_stats.minor_words >= 0.0)
+
+let test_gc_arithmetic () =
+  let a =
+    {
+      Gc_stats.minor_words = 10.0;
+      promoted_words = 4.0;
+      major_words = 6.0;
+      minor_collections = 1;
+      major_collections = 0;
+      compactions = 0;
+    }
+  in
+  let sum = Gc_stats.add a a in
+  check_bool "add doubles" true (sum.Gc_stats.minor_words = 20.0);
+  check_bool "allocated = minor + major - promoted" true
+    (Gc_stats.allocated_words a = 12.0);
+  check_bool "diff inverts add" true (Gc_stats.diff ~before:a ~after:sum = a);
+  check_bool "total" true
+    ((Gc_stats.total [ a; a; a ]).Gc_stats.minor_collections = 3);
+  check_bool "zero is neutral" true (Gc_stats.add a Gc_stats.zero = a);
+  let json = Json.to_string (Gc_stats.to_json a) in
+  check_bool "json parses" true (Result.is_ok (Json.of_string json));
+  check_bool "json leads with allocated_words" true
+    (contains ~affix:{|{"allocated_words":12.0|} json)
+
+(* --- Chrome_trace -------------------------------------------------------- *)
+
+(* B/E events must balance like brackets per track, with matching names. *)
+let check_be_nesting events =
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Json.Obj fields -> (
+          let str k = match List.assoc_opt k fields with
+            | Some (Json.String s) -> s
+            | _ -> ""
+          in
+          let tid =
+            match List.assoc_opt "tid" fields with
+            | Some (Json.Int t) -> t
+            | _ -> -1
+          in
+          let stack = Option.value (Hashtbl.find_opt stacks tid) ~default:[] in
+          match str "ph" with
+          | "B" -> Hashtbl.replace stacks tid (str "name" :: stack)
+          | "E" -> (
+              match stack with
+              | top :: rest ->
+                  check_string "E matches innermost B" top (str "name");
+                  Hashtbl.replace stacks tid rest
+              | [] -> Alcotest.fail "E without matching B")
+          | _ -> ())
+      | _ -> Alcotest.fail "event is not an object")
+    events;
+  Hashtbl.iter
+    (fun tid stack ->
+      if stack <> [] then Alcotest.failf "unclosed B events on tid %d" tid)
+    stacks
+
+let test_chrome_trace () =
+  let (), root =
+    Span.trace "cell" (fun () ->
+        Span.with_span "trial 0" (fun () ->
+            Span.with_span "dynamics.run" (fun () -> ()));
+        Span.with_span "trial 1" (fun () -> ()))
+  in
+  let trace = Chrome_trace.create ~process_name:"test" () in
+  Chrome_trace.set_thread_name trace ~tid:7 "worker";
+  Chrome_trace.add_span_tree trace ~tid:7 root;
+  Chrome_trace.add_span_tree trace ~tid:3 root;
+  Chrome_trace.add_counter trace ~tid:7 ~ts_ns:123_000L ~name:"gc"
+    [ ("words", 42.0) ];
+  Chrome_trace.add_complete trace ~tid:7 ~name:"flat" ~start_ns:1_000L
+    ~dur_ns:2_000L ();
+  (* Serialized form parses back and is structurally sound. *)
+  let json = Chrome_trace.to_json trace in
+  check_bool "serialization parses" true
+    (Json.of_string (Json.to_string json) = Ok json);
+  let events =
+    match json with
+    | Json.Obj fields -> (
+        match List.assoc "traceEvents" fields with
+        | Json.List evs -> evs
+        | _ -> Alcotest.fail "traceEvents is not a list")
+    | _ -> Alcotest.fail "trace is not an object"
+  in
+  check_int "event_count matches serialization" (List.length events)
+    (Chrome_trace.event_count trace);
+  check_be_nesting events;
+  let has ph =
+    List.exists
+      (function
+        | Json.Obj fields -> List.assoc_opt "ph" fields = Some (Json.String ph)
+        | _ -> false)
+      events
+  in
+  check_bool "has metadata" true (has "M");
+  check_bool "has begin" true (has "B");
+  check_bool "has counter" true (has "C");
+  check_bool "has complete" true (has "X");
+  (* 4 spans x 2 tracks = 8 B and 8 E events. *)
+  let count ph =
+    List.length
+      (List.filter
+         (function
+           | Json.Obj fields -> List.assoc_opt "ph" fields = Some (Json.String ph)
+           | _ -> false)
+         events)
+  in
+  check_int "8 begins" 8 (count "B");
+  check_int "8 ends" 8 (count "E");
+  (* tid 7 was named explicitly, tid 3 auto-named. *)
+  let thread_names =
+    List.filter_map
+      (function
+        | Json.Obj fields
+          when List.assoc_opt "name" fields = Some (Json.String "thread_name") -> (
+            match List.assoc_opt "args" fields with
+            | Some (Json.Obj [ ("name", Json.String n) ]) -> Some n
+            | _ -> None)
+        | _ -> None)
+      events
+  in
+  check_bool "explicit name kept" true (List.mem "worker" thread_names);
+  check_bool "auto name for other tid" true (List.mem "domain 3" thread_names)
+
+(* --- Events -------------------------------------------------------------- *)
+
+let test_events_sink () =
+  check_bool "inactive by default" false (Events.active ());
+  Events.emit "ignored" [];
+  let path = Filename.temp_file "ncg_events" ".jsonl" in
+  Events.with_file path (fun () ->
+      check_bool "active inside" true (Events.active ());
+      Events.emit "alpha" [ ("x", Json.Int 1) ];
+      Events.emit ~severity:Events.Warn "beta" [ ("s", Json.String "q\"z") ]);
+  check_bool "inactive after" false (Events.active ());
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  check_int "two lines" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Ok (Json.Obj fields) ->
+          let keys = List.map fst fields in
+          (* Envelope first, in order, then the payload. *)
+          check_bool "envelope prefix" true
+            (match keys with
+            | "ts_ns" :: "severity" :: "domain" :: "event" :: _ -> true
+            | _ -> false)
+      | Ok _ -> Alcotest.fail "event line is not an object"
+      | Error msg -> Alcotest.failf "event line does not parse: %s" msg)
+    lines;
+  (match Json.of_string (List.nth lines 1) with
+  | Ok (Json.Obj fields) ->
+      check_bool "severity recorded" true
+        (List.assoc "severity" fields = Json.String "warn");
+      check_bool "payload recorded" true
+        (List.assoc "s" fields = Json.String "q\"z")
+  | _ -> Alcotest.fail "unreachable");
+  Sys.remove path
+
+let test_events_progress_toggle () =
+  (* Forced off: progress must be inert (we cannot assert TTY rendering
+     in a test harness, but the toggle and the no-op path must work). *)
+  Events.set_progress false;
+  check_bool "disabled" false (Events.progress_enabled ());
+  Events.progress "should not appear";
+  Events.progress_done ();
+  Events.set_progress true;
+  check_bool "forced on" true (Events.progress_enabled ());
+  Events.set_progress false
+
 let () =
   Alcotest.run "obs"
     [
@@ -191,5 +590,38 @@ let () =
           Alcotest.test_case "tree shape" `Quick test_trace_tree;
           Alcotest.test_case "exception safety" `Quick test_trace_exception_restores;
           Alcotest.test_case "export" `Quick test_span_export;
+        ] );
+      ( "json parser",
+        [
+          Alcotest.test_case "scalars" `Quick test_parse_scalars;
+          Alcotest.test_case "structures" `Quick test_parse_structures;
+          Alcotest.test_case "escapes" `Quick test_parse_escapes;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          QCheck_alcotest.to_alcotest prop_string_roundtrip;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "no-op without collector" `Quick
+            test_hist_noop_without_collector;
+          Alcotest.test_case "bucket scheme" `Quick test_hist_buckets;
+          Alcotest.test_case "collect and percentiles" `Quick
+            test_hist_collect_and_percentiles;
+          Alcotest.test_case "time and nesting" `Quick test_hist_time_and_nesting;
+          Alcotest.test_case "merge/total" `Quick test_hist_merge_total;
+          Alcotest.test_case "exception safety" `Quick test_hist_exception_safety;
+          Alcotest.test_case "export" `Quick test_hist_export;
+        ] );
+      ( "gc_stats",
+        [
+          Alcotest.test_case "measure" `Quick test_gc_measure;
+          Alcotest.test_case "arithmetic and export" `Quick test_gc_arithmetic;
+        ] );
+      ( "chrome_trace",
+        [ Alcotest.test_case "structure and nesting" `Quick test_chrome_trace ] );
+      ( "events",
+        [
+          Alcotest.test_case "jsonl sink" `Quick test_events_sink;
+          Alcotest.test_case "progress toggle" `Quick test_events_progress_toggle;
         ] );
     ]
