@@ -594,15 +594,15 @@ let experiment () =
   let seq, seq_wall = timed 1 in
   let fan_domains = max 2 (Domain.recommended_domain_count ()) in
   let par, par_wall = timed fan_domains in
-  let identical =
-    (* The full determinism contract: runs, counters, histogram sample
-       counts and GC allocated words (bucket placement and collection
-       counts are timing-dependent, so they are excluded). *)
+  (* The full determinism contract: runs, counters, histogram sample
+     counts and GC allocated words (bucket placement and collection
+     counts are timing-dependent, so they are excluded). *)
+  let same_results tag a b =
     List.for_all2
       (fun (a : Experiment.cell_result) (b : Experiment.cell_result) ->
         let check name ok =
           if not ok then
-            Printf.printf "  DIVERGED alpha=%g k=%d: %s\n%!"
+            Printf.printf "  DIVERGED (%s) alpha=%g k=%d: %s\n%!" tag
               a.Experiment.cell.Experiment.alpha a.Experiment.cell.Experiment.k
               name;
           ok
@@ -615,16 +615,53 @@ let experiment () =
         && check "gc allocated words"
              (Ncg_obs.Gc_stats.allocated_words a.Experiment.gc
              = Ncg_obs.Gc_stats.allocated_words b.Experiment.gc))
-      seq par
+      a b
   in
+  let identical = same_results "parallel vs sequential" seq par in
   let speedup = seq_wall /. par_wall in
+  (* Store round-trip: populate a fresh store (all misses), then rerun the
+     same sweep against it (all hits — no dynamics run at all) and check
+     the cached pass returns the very same results. *)
+  let store_dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "ncg_bench_store"
+  in
+  List.iter
+    (fun f ->
+      let p = Filename.concat store_dir f in
+      if Sys.file_exists p then Sys.remove p)
+    [ "records.log"; "MANIFEST.json" ];
+  let store_context = [ ("bench", Ncg_obs.Json.String "experiment") ] in
+  let store_pass () =
+    Ncg_store.Store.with_dir store_dir (fun store ->
+        let t0 = Ncg_obs.Clock.now_ns () in
+        let results =
+          Experiment.sweep ~domains:fan_domains ~store ~store_context
+            ~make_initial ~make_config ~cells ~trials ~seed:base_seed ()
+        in
+        ( results,
+          Ncg_obs.Clock.ns_to_s (Ncg_obs.Clock.elapsed_ns ~since:t0),
+          Ncg_store.Store.stats store ))
+  in
+  let populated, populate_wall, populate_stats = store_pass () in
+  let cached, cached_wall, cached_stats = store_pass () in
+  let store_ok =
+    same_results "store populate vs sequential" seq populated
+    && same_results "store cached vs sequential" seq cached
+    && populate_stats.Ncg_store.Store.misses = List.length cells
+    && cached_stats.Ncg_store.Store.hits = List.length cells
+    && cached_stats.Ncg_store.Store.misses = 0
+  in
   Printf.printf "%-30s %d cells x %d trials, n=%d%s\n" "grid"
     (List.length cells) trials n (if smoke then " (smoke)" else "");
   Printf.printf "%-30s %.2fs\n" "sequential (1 domain)" seq_wall;
   Printf.printf "%-30s %.2fs (%d domains, speedup %.2fx)\n" "parallel" par_wall
     fan_domains speedup;
   Printf.printf "%-30s %b\n" "parallel == sequential" identical;
+  Printf.printf "%-30s %.2fs populate, %.2fs cached (%d hits)\n" "store round-trip"
+    populate_wall cached_wall cached_stats.Ncg_store.Store.hits;
+  Printf.printf "%-30s %b\n" "store cached == sequential" store_ok;
   if not identical then failwith "experiment: parallel sweep diverged from sequential";
+  if not store_ok then failwith "experiment: store round-trip diverged";
   let module Json = Ncg_obs.Json in
   let cell_json (r : Experiment.cell_result) =
     let mean f = (Experiment.summarize f r.Experiment.runs).Summary.mean in
@@ -663,6 +700,15 @@ let experiment () =
                ("parallel_domains", Json.Int fan_domains);
                ("speedup", Json.Float speedup);
                ("deterministic", Json.Bool identical);
+               ( "store",
+                 Json.Obj
+                   [
+                     ("populate_wall_seconds", Json.Float populate_wall);
+                     ("cached_wall_seconds", Json.Float cached_wall);
+                     ("cached_matches", Json.Bool store_ok);
+                     ( "stats",
+                       Ncg_store.Store.stats_to_json cached_stats );
+                   ] );
                ("counters", Ncg_obs.Metrics.to_json (Experiment.sweep_counters par));
                ( "histograms",
                  Ncg_obs.Histogram.to_json (Experiment.sweep_histograms par) );

@@ -12,6 +12,14 @@
    ui.perfetto.dev); --events FILE logs one JSONL line per accepted
    dynamics move and per finished cell.
 
+   --store DIR keeps a crash-safe result cache (see docs/STORE.md): cells
+   already in the store are returned without recomputation, fresh cells
+   are appended (fsync'd) the moment they finish, so a killed sweep
+   resumes from where it died. --resume is --store plus a guard that DIR
+   already exists; --no-cache recomputes everything but still refreshes
+   the store. --only-cell ALPHA:K runs one cell of the grid with exactly
+   the seeds the full sweep would give it.
+
    Examples:
      # Figure 5 series (view sizes) on 50-vertex trees, 5 seeds per cell
      dune exec bin/ncg_experiment.exe -- --class tree -n 50 --trials 5
@@ -19,10 +27,20 @@
      # Figure 8/9 series on G(100, 0.1), 4 domains, with telemetry
      dune exec bin/ncg_experiment.exe -- --class gnp -n 100 -p 0.1 \
          --alphas 0.5,1,2 --ks 2,3,1000 --domains 4 --telemetry cells.json \
-         --trace-out trace.json --events events.jsonl *)
+         --trace-out trace.json --events events.jsonl
+
+     # Resumable sweep: kill it, rerun the same line, only missing cells run
+     dune exec bin/ncg_experiment.exe -- --class gnp -n 100 -p 0.1 \
+         --trials 5 --store results/gnp100
+
+     # Reproduce one cell of that sweep in isolation
+     dune exec bin/ncg_experiment.exe -- --class gnp -n 100 -p 0.1 \
+         --trials 5 --only-cell 2:1000 *)
 
 open Cmdliner
 module Experiment = Ncg.Experiment
+module Dynamics = Ncg.Dynamics
+module Store = Ncg_store.Store
 module Metrics = Ncg_obs.Metrics
 module Json = Ncg_obs.Json
 
@@ -70,8 +88,70 @@ let write_trace path (results : Experiment.cell_result list) =
     (Ncg_obs.Chrome_trace.event_count trace)
     path
 
-let run graph_class n p alphas ks trials seed budget domains telemetry trace_out
-    events quiet =
+(* Everything outside (seed, alpha, k, trials) that determines a cell's
+   output must appear in the cache key; Experiment adds the seed-derived
+   parts, this is the rest. Probing default_config means a change to the
+   defaults (max_rounds, epsilon, ...) invalidates old records instead of
+   silently replaying them. *)
+let store_context graph_class n p budget =
+  let probe =
+    {
+      (Dynamics.default_config ~alpha:1.0 ~k:2) with
+      Dynamics.solver = `Budgeted budget;
+      collect_features = false;
+    }
+  in
+  let solver =
+    match probe.Dynamics.solver with
+    | `Exact -> "exact"
+    | `Greedy -> "greedy"
+    | `Budgeted b -> Printf.sprintf "budgeted:%d" b
+  in
+  let response =
+    match probe.Dynamics.response with
+    | `Best -> "best"
+    | `Local_moves -> "local_moves"
+  in
+  let sum_mode =
+    match probe.Dynamics.sum_mode with
+    | `Exact b -> Printf.sprintf "exact:%d" b
+    | `Branch_and_bound b -> Printf.sprintf "branch_and_bound:%d" b
+    | `Local_search -> "local_search"
+  in
+  let order =
+    match probe.Dynamics.order with
+    | `Round_robin -> "round_robin"
+    | `Random_sweep s -> Printf.sprintf "random_sweep:%d" s
+  in
+  [
+    ("class", Json.String graph_class);
+    ("n", Json.Int n);
+    ("p", Json.Float p);
+    ("variant", Json.String (Ncg.Game.variant_to_string probe.Dynamics.variant));
+    ("solver", Json.String solver);
+    ("response", Json.String response);
+    ("sum_mode", Json.String sum_mode);
+    ("order", Json.String order);
+    ("max_rounds", Json.Int probe.Dynamics.max_rounds);
+    ("epsilon", Json.Float probe.Dynamics.epsilon);
+  ]
+
+let parse_only_cell s =
+  match String.index_opt s ':' with
+  | Some i -> (
+      let a = String.sub s 0 i in
+      let k = String.sub s (i + 1) (String.length s - i - 1) in
+      match (float_of_string_opt a, int_of_string_opt k) with
+      | Some alpha, Some k -> { Experiment.alpha; k }
+      | _ ->
+          Printf.eprintf "ncg_experiment: --only-cell: cannot parse %S as ALPHA:K\n%!" s;
+          exit 2)
+  | None ->
+      Printf.eprintf "ncg_experiment: --only-cell expects ALPHA:K, got %S\n%!" s;
+      exit 2
+
+let run graph_class n p alphas ks trials seed budget domains store_dir resume
+    no_cache only_cell telemetry trace_out events quiet =
   if quiet then Ncg_obs.Events.set_progress false;
   let alphas = if alphas = [] then default_alphas else alphas in
   let ks = if ks = [] then default_ks else ks in
@@ -85,15 +165,88 @@ let run graph_class n p alphas ks trials seed budget domains telemetry trace_out
   in
   let make_config (cell : Experiment.cell) =
     {
-      (Ncg.Dynamics.default_config ~alpha:cell.Experiment.alpha ~k:cell.Experiment.k) with
-      Ncg.Dynamics.solver = `Budgeted budget;
+      (Dynamics.default_config ~alpha:cell.Experiment.alpha ~k:cell.Experiment.k) with
+      Dynamics.solver = `Budgeted budget;
       collect_features = false;
     }
   in
   let cells = Experiment.grid ~alphas ~ks in
+  let total = List.length cells in
+  let cell_seeds = Experiment.derive_seeds ~seed ~count:total in
+  let context = store_context graph_class n p budget in
+  let key_of idx cell =
+    Experiment.cell_cache_key ~context ~seed ~trials ~cell_seed:cell_seeds.(idx)
+      cell
+  in
+  (if resume && store_dir = None then begin
+     Printf.eprintf "ncg_experiment: --resume requires --store DIR\n%!";
+     exit 2
+   end);
+  let store =
+    match store_dir with
+    | None -> None
+    | Some dir ->
+        if resume && not (Sys.file_exists dir) then begin
+          Printf.eprintf
+            "ncg_experiment: --resume: store %s does not exist (drop --resume \
+             to create it)\n%!"
+            dir;
+          exit 1
+        end;
+        Some (Store.open_dir dir)
+  in
+  (* Index of --only-cell in the full grid: the cell must be looked up in
+     the grid (not run standalone) so its derived seed — and therefore its
+     results and cache key — match the full sweep's. *)
+  let only_idx =
+    match only_cell with
+    | None -> None
+    | Some spec ->
+        let wanted = parse_only_cell spec in
+        let found = ref None in
+        List.iteri
+          (fun i (c : Experiment.cell) ->
+            if !found = None && c = wanted then found := Some i)
+          cells;
+        (match !found with
+        | Some _ -> ()
+        | None ->
+            Printf.eprintf
+              "ncg_experiment: --only-cell %s is not in the grid (alphas: %s; \
+               ks: %s)\n%!"
+              spec
+              (String.concat "," (List.map string_of_float alphas))
+              (String.concat "," (List.map string_of_int ks));
+            exit 1);
+        !found
+  in
   let started = Ncg_obs.Clock.now_ns () in
   let run_sweep () =
-    Experiment.sweep ~domains ~make_initial ~make_config ~cells ~trials ~seed ()
+    match only_idx with
+    | Some idx -> (
+        let cell = List.nth cells idx in
+        let cached =
+          if no_cache then None
+          else
+            Option.bind store (fun s ->
+                Experiment.store_lookup s (key_of idx cell))
+        in
+        match cached with
+        | Some r -> [ r ]
+        | None ->
+            let r =
+              Experiment.run_cell ~make_initial ~make_config ~trials
+                ~cell_seed:cell_seeds.(idx) cell
+            in
+            (match store with
+            | Some s when not no_cache -> Experiment.store_insert s (key_of idx cell) r
+            | _ -> ());
+            [ r ])
+    | None ->
+        Experiment.sweep ~domains
+          ?store:(if no_cache then None else store)
+          ~store_context:context ~make_initial ~make_config ~cells ~trials
+          ~seed ()
   in
   let results =
     match events with
@@ -104,6 +257,17 @@ let run graph_class n p alphas ks trials seed budget domains telemetry trace_out
           Printf.eprintf "ncg_experiment: cannot write events: %s\n%!" msg;
           exit 1)
   in
+  (* --no-cache recomputed everything; refresh the store afterwards so the
+     next cached run picks the new records up. *)
+  (if no_cache then
+     match store with
+     | Some s ->
+         List.iteri
+           (fun j (r : Experiment.cell_result) ->
+             let idx = match only_idx with Some i -> i | None -> j in
+             Experiment.store_insert s (key_of idx r.Experiment.cell) r)
+           results
+     | None -> ());
   let sweep_wall = Ncg_obs.Clock.elapsed_ns ~since:started in
   (match trace_out with
   | None -> ()
@@ -137,32 +301,58 @@ let run graph_class n p alphas ks trials seed budget domains telemetry trace_out
         (mean (fun r -> r.Ncg.Experiment.avg_view))
         (mean (fun r -> r.Ncg.Experiment.social_cost)))
     results;
-  match telemetry with
+  (match telemetry with
   | None -> ()
   | Some path -> (
+      let store_fields =
+        match store with
+        | None -> []
+        | Some s -> [ ("store", Store.stats_to_json (Store.stats s)) ]
+      in
       let doc =
         Json.Obj
-          [
-            ("schema", Json.String "ncg.experiment.telemetry/2");
-            ("seed", Json.Int seed);
-            ("domains", Json.Int domains);
-            ("wall_seconds", Json.Float (Ncg_obs.Clock.ns_to_s sweep_wall));
-            ( "cells_wall_seconds",
-              Json.Float
-                (Ncg_obs.Clock.ns_to_s (Experiment.sweep_wall_ns results)) );
-            ("counters_total", Metrics.to_json (Experiment.sweep_counters results));
-            ( "histograms_total",
-              Ncg_obs.Histogram.to_json (Experiment.sweep_histograms results) );
-            ("gc_total", Ncg_obs.Gc_stats.to_json (Experiment.sweep_gc results));
-            ("cells", Json.List (List.map (cell_json graph_class n p trials) results));
-          ]
+          ([
+             ("schema", Json.String "ncg.experiment.telemetry/2");
+             ("seed", Json.Int seed);
+             ("domains", Json.Int domains);
+             ("wall_seconds", Json.Float (Ncg_obs.Clock.ns_to_s sweep_wall));
+             ( "cells_wall_seconds",
+               Json.Float
+                 (Ncg_obs.Clock.ns_to_s (Experiment.sweep_wall_ns results)) );
+             ("counters_total", Metrics.to_json (Experiment.sweep_counters results));
+             ( "histograms_total",
+               Ncg_obs.Histogram.to_json (Experiment.sweep_histograms results) );
+             ("gc_total", Ncg_obs.Gc_stats.to_json (Experiment.sweep_gc results));
+           ]
+          @ store_fields
+          @ [
+              ( "cells",
+                Json.List (List.map (cell_json graph_class n p trials) results) );
+            ])
       in
       try
         Json.to_file path doc;
         Printf.eprintf "telemetry written to %s\n%!" path
       with Sys_error msg ->
         Printf.eprintf "ncg_experiment: cannot write telemetry: %s\n%!" msg;
-        exit 1)
+        exit 1));
+  match store with
+  | None -> ()
+  | Some s ->
+      let st = Store.stats s in
+      Printf.eprintf
+          "store %s: %d hit%s, %d miss%s, %d inserted, %d live record%s%s\n%!"
+          (Option.value store_dir ~default:"?")
+          st.Store.hits
+          (if st.Store.hits = 1 then "" else "s")
+          st.Store.misses
+          (if st.Store.misses = 1 then "" else "es")
+          st.Store.inserts st.Store.live
+          (if st.Store.live = 1 then "" else "s")
+          (if st.Store.superseded > 0 then
+             Printf.sprintf " (%d superseded)" st.Store.superseded
+           else "");
+      Store.close s
 
 let graph_class =
   Arg.(value & opt string "tree" & info [ "class" ] ~docv:"CLASS"
@@ -184,6 +374,27 @@ let budget =
 let domains =
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"D"
          ~doc:"Domains to fan sweep cells over; output is identical for any value.")
+
+let store_dir =
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+         ~doc:"Crash-safe result store: cells already present are served from \
+               it, fresh cells are appended (fsync'd) as they finish. See \
+               docs/STORE.md.")
+
+let resume =
+  Arg.(value & flag & info [ "resume" ]
+         ~doc:"Require the --store directory to already exist — a guard \
+               against silently starting from scratch on a mistyped path.")
+
+let no_cache =
+  Arg.(value & flag & info [ "no-cache" ]
+         ~doc:"Recompute every cell even when cached, then refresh the store \
+               with the new results.")
+
+let only_cell =
+  Arg.(value & opt (some string) None & info [ "only-cell" ] ~docv:"ALPHA:K"
+         ~doc:"Run a single cell of the grid, with exactly the seeds the full \
+               sweep would derive for it (the cell must be on the grid).")
 
 let telemetry =
   Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE"
@@ -209,6 +420,7 @@ let cmd =
   Cmd.v
     (Cmd.info "ncg_experiment" ~doc)
     Term.(const run $ graph_class $ n $ p $ alphas $ ks $ trials $ seed $ budget
-          $ domains $ telemetry $ trace_out $ events $ quiet)
+          $ domains $ store_dir $ resume $ no_cache $ only_cell $ telemetry
+          $ trace_out $ events $ quiet)
 
 let () = exit (Cmd.eval cmd)

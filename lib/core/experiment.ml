@@ -176,70 +176,256 @@ let report_progress ~sweep_started ~finished ~total ~histograms =
        (if Float.is_nan eta then "-" else Printf.sprintf "%.1fs" eta)
        p99)
 
-let sweep ?(domains = 1) ~make_initial ~make_config ~cells ~trials:count ~seed () =
+let run_cell ~make_initial ~make_config ~trials:count ~cell_seed (cell : cell) =
+  let started = Ncg_obs.Clock.now_ns () in
+  let ((runs, spans, gc, wall_ns), counters), histograms =
+    (* Histogram and counter collectors are installed in the domain
+       that runs the cell, so the snapshots depend only on the cell's
+       own work — the determinism contract under any fan-out. The GC
+       word delta likewise: Gc.counters is domain-local. *)
+    Ncg_obs.Histogram.collect (fun () ->
+        Ncg_obs.Metrics.collect (fun () ->
+            let gc_before = Ncg_obs.Gc_stats.capture () in
+            let runs, spans =
+              Ncg_obs.Span.trace
+                (Printf.sprintf "cell alpha=%g k=%d" cell.alpha cell.k)
+                (fun () ->
+                  let config = make_config cell in
+                  let seeds = derive_seeds ~seed:cell_seed ~count in
+                  List.init count (fun j ->
+                      Ncg_obs.Span.with_span
+                        (Printf.sprintf "trial %d" j)
+                        (fun () -> run_one config (make_initial ~seed:seeds.(j)))))
+            in
+            let gc =
+              Ncg_obs.Gc_stats.diff ~before:gc_before
+                ~after:(Ncg_obs.Gc_stats.capture ())
+            in
+            let wall_ns = Ncg_obs.Clock.elapsed_ns ~since:started in
+            Ncg_obs.Histogram.record_ns Ncg_obs.Histogram.sweep_cell wall_ns;
+            (runs, spans, gc, wall_ns)))
+  in
+  {
+    cell;
+    runs;
+    counters;
+    histograms;
+    gc;
+    spans;
+    wall_ns;
+    started_ns = started;
+    domain = (Domain.self () :> int);
+  }
+
+(* --- Persistent cell cache (lib/store) ---------------------------------- *)
+
+module Json = Ncg_obs.Json
+
+(* Bumped on any change to the cell_result serialization below. Distinct
+   from Cache_key.schema_version (the key layout); both participate in
+   the key, so either bump invalidates old records. *)
+let cell_payload_schema = "ncg.store.cell/1"
+
+let bool_of_json name = function
+  | Json.Bool b -> b
+  | _ -> failwith (Printf.sprintf "field %S: expected a bool" name)
+
+let int_of_json name = function
+  | Json.Int i -> i
+  | _ -> failwith (Printf.sprintf "field %S: expected an int" name)
+
+let float_of_json name = function
+  | Json.Float f -> f
+  | Json.Int i -> float_of_int i
+  | Json.Null -> nan (* NaN serializes as null; restore it *)
+  | _ -> failwith (Printf.sprintf "field %S: expected a number" name)
+
+let field fields name =
+  match List.assoc_opt name fields with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "missing field %S" name)
+
+let run_stats_to_json (r : run_stats) =
+  Json.Obj
+    [
+      ("converged", Json.Bool r.converged);
+      ("cycled", Json.Bool r.cycled);
+      ("rounds", Json.Int r.rounds);
+      ("total_moves", Json.Int r.total_moves);
+      ("quality", Json.Float r.quality);
+      ("unfairness", Json.Float r.unfairness);
+      ("diameter", Json.Int r.diameter);
+      ("max_degree", Json.Int r.max_degree);
+      ("max_bought", Json.Int r.max_bought);
+      ("min_view", Json.Int r.min_view);
+      ("avg_view", Json.Float r.avg_view);
+      ("social_cost", Json.Float r.social_cost);
+    ]
+
+let run_stats_of_json = function
+  | Json.Obj fields ->
+      let f = field fields in
+      {
+        converged = bool_of_json "converged" (f "converged");
+        cycled = bool_of_json "cycled" (f "cycled");
+        rounds = int_of_json "rounds" (f "rounds");
+        total_moves = int_of_json "total_moves" (f "total_moves");
+        quality = float_of_json "quality" (f "quality");
+        unfairness = float_of_json "unfairness" (f "unfairness");
+        diameter = int_of_json "diameter" (f "diameter");
+        max_degree = int_of_json "max_degree" (f "max_degree");
+        max_bought = int_of_json "max_bought" (f "max_bought");
+        min_view = int_of_json "min_view" (f "min_view");
+        avg_view = float_of_json "avg_view" (f "avg_view");
+        social_cost = float_of_json "social_cost" (f "social_cost");
+      }
+  | _ -> failwith "run_stats: expected an object"
+
+let cell_result_to_json (r : cell_result) =
+  Json.Obj
+    [
+      ("schema", Json.String cell_payload_schema);
+      ("alpha", Json.Float r.cell.alpha);
+      ("k", Json.Int r.cell.k);
+      ("runs", Json.List (List.map run_stats_to_json r.runs));
+      ("counters", Ncg_obs.Metrics.to_json r.counters);
+      ("histograms", Ncg_obs.Histogram.to_json_exact r.histograms);
+      ("gc", Ncg_obs.Gc_stats.to_json r.gc);
+      ("spans", Ncg_obs.Span.to_json_exact r.spans);
+      ("wall_ns", Json.Int (Int64.to_int r.wall_ns));
+      ("started_ns", Json.Int (Int64.to_int r.started_ns));
+      ("domain", Json.Int r.domain);
+    ]
+
+let cell_result_of_json = function
+  | Json.Obj fields -> (
+      let f = field fields in
+      let sub name decode =
+        match decode (f name) with
+        | Ok v -> v
+        | Error msg -> failwith (Printf.sprintf "field %S: %s" name msg)
+      in
+      try
+        (match f "schema" with
+        | Json.String s when s = cell_payload_schema -> ()
+        | Json.String s -> failwith (Printf.sprintf "unknown schema %S" s)
+        | _ -> failwith "missing schema");
+        let runs =
+          match f "runs" with
+          | Json.List items -> List.map run_stats_of_json items
+          | _ -> failwith "field \"runs\": expected a list"
+        in
+        Ok
+          {
+            cell =
+              {
+                alpha = float_of_json "alpha" (f "alpha");
+                k = int_of_json "k" (f "k");
+              };
+            runs;
+            counters = sub "counters" Ncg_obs.Metrics.of_json;
+            histograms = sub "histograms" Ncg_obs.Histogram.of_json_exact;
+            gc = sub "gc" Ncg_obs.Gc_stats.of_json;
+            spans = sub "spans" Ncg_obs.Span.of_json_exact;
+            wall_ns = Int64.of_int (int_of_json "wall_ns" (f "wall_ns"));
+            started_ns = Int64.of_int (int_of_json "started_ns" (f "started_ns"));
+            domain = int_of_json "domain" (f "domain");
+          }
+      with Failure msg -> Error ("cell_result_of_json: " ^ msg))
+  | _ -> Error "cell_result_of_json: expected an object"
+
+let cell_cache_key ~context ~seed ~trials ~cell_seed (cell : cell) =
+  Ncg_store.Cache_key.make
+    (context
+    @ [
+        ("payload_schema", Json.String cell_payload_schema);
+        ("seed", Json.Int seed);
+        ("alpha", Json.Float cell.alpha);
+        ("k", Json.Int cell.k);
+        ("trials", Json.Int trials);
+        ("cell_seed", Json.Int cell_seed);
+      ])
+
+(* A record that fails to parse (schema drift, hand-edited store) is
+   treated as a miss: the cell recomputes and the fresh insert
+   supersedes the bad record. *)
+let store_lookup store key =
+  match Ncg_store.Store.lookup store key with
+  | None -> None
+  | Some payload -> (
+      match Json.of_string payload with
+      | Error _ -> None
+      | Ok json -> (
+          match cell_result_of_json json with Ok r -> Some r | Error _ -> None))
+
+let store_insert store key r =
+  Ncg_store.Store.insert store key (Json.to_string (cell_result_to_json r))
+
+let sweep ?(domains = 1) ?store ?(store_context = []) ~make_initial ~make_config
+    ~cells ~trials:count ~seed () =
   let cells = Array.of_list cells in
   let total = Array.length cells in
   let cell_seeds = derive_seeds ~seed ~count:total in
+  let keys =
+    match store with
+    | None -> [||]
+    | Some _ ->
+        Array.init total (fun i ->
+            cell_cache_key ~context:store_context ~seed ~trials:count
+              ~cell_seed:cell_seeds.(i) cells.(i))
+  in
+  (* Cached cells are resolved up front on the calling domain, before the
+     fan-out: domains then only ever run cells that truly need computing,
+     and hit/miss metrics land in the caller's collector. *)
+  let cached =
+    match store with
+    | None -> [||]
+    | Some s -> Array.init total (fun i -> store_lookup s keys.(i))
+  in
   let sweep_started = Ncg_obs.Clock.now_ns () in
   let finished = Atomic.make 0 in
-  let run_cell i =
-    let cell = cells.(i) in
-    let started = Ncg_obs.Clock.now_ns () in
-    let ((runs, spans, gc, wall_ns), counters), histograms =
-      (* Histogram and counter collectors are installed in the domain
-         that runs the cell, so the snapshots depend only on the cell's
-         own work — the determinism contract under any fan-out. The GC
-         word delta likewise: Gc.counters is domain-local. *)
-      Ncg_obs.Histogram.collect (fun () ->
-          Ncg_obs.Metrics.collect (fun () ->
-              let gc_before = Ncg_obs.Gc_stats.capture () in
-              let runs, spans =
-                Ncg_obs.Span.trace
-                  (Printf.sprintf "cell alpha=%g k=%d" cell.alpha cell.k)
-                  (fun () ->
-                    let config = make_config cell in
-                    let seeds = derive_seeds ~seed:cell_seeds.(i) ~count in
-                    List.init count (fun j ->
-                        Ncg_obs.Span.with_span
-                          (Printf.sprintf "trial %d" j)
-                          (fun () -> run_one config (make_initial ~seed:seeds.(j)))))
-              in
-              let gc =
-                Ncg_obs.Gc_stats.diff ~before:gc_before
-                  ~after:(Ncg_obs.Gc_stats.capture ())
-              in
-              let wall_ns = Ncg_obs.Clock.elapsed_ns ~since:started in
-              Ncg_obs.Histogram.record_ns Ncg_obs.Histogram.sweep_cell wall_ns;
-              (runs, spans, gc, wall_ns)))
-    in
-    let done_count = Atomic.fetch_and_add finished 1 + 1 in
+  let emit_cell_event ~index ~cell ~wall_ns ~gc ~was_cached ~done_count =
     if Ncg_obs.Events.active () then
       Ncg_obs.Events.emit "sweep.cell"
         [
-          ("index", Ncg_obs.Json.Int i);
-          ("alpha", Ncg_obs.Json.Float cell.alpha);
-          ("k", Ncg_obs.Json.Int cell.k);
-          ("trials", Ncg_obs.Json.Int count);
-          ("wall_seconds", Ncg_obs.Json.Float (Ncg_obs.Clock.ns_to_s wall_ns));
+          ("index", Json.Int index);
+          ("alpha", Json.Float cell.alpha);
+          ("k", Json.Int cell.k);
+          ("trials", Json.Int count);
+          ("cached", Json.Bool was_cached);
+          ("wall_seconds", Json.Float (Ncg_obs.Clock.ns_to_s wall_ns));
           ( "gc_allocated_words",
-            Ncg_obs.Json.Float (Ncg_obs.Gc_stats.allocated_words gc) );
-          ("done", Ncg_obs.Json.Int done_count);
-          ("total", Ncg_obs.Json.Int total);
-        ];
-    report_progress ~sweep_started ~finished:done_count ~total ~histograms;
-    {
-      cell;
-      runs;
-      counters;
-      histograms;
-      gc;
-      spans;
-      wall_ns;
-      started_ns = started;
-      domain = (Domain.self () :> int);
-    }
+            Json.Float (Ncg_obs.Gc_stats.allocated_words gc) );
+          ("done", Json.Int done_count);
+          ("total", Json.Int total);
+        ]
   in
-  let results = Ncg_util.Parallel.init ~domains total run_cell in
+  let run i =
+    let cell = cells.(i) in
+    match if i < Array.length cached then cached.(i) else None with
+    | Some r ->
+        let done_count = Atomic.fetch_and_add finished 1 + 1 in
+        emit_cell_event ~index:i ~cell ~wall_ns:r.wall_ns ~gc:r.gc
+          ~was_cached:true ~done_count;
+        report_progress ~sweep_started ~finished:done_count ~total
+          ~histograms:r.histograms;
+        r
+    | None ->
+        let r =
+          run_cell ~make_initial ~make_config ~trials:count
+            ~cell_seed:cell_seeds.(i) cell
+        in
+        (* Persist as soon as the cell finishes, on the domain that ran
+           it: a SIGKILL later in the sweep loses only in-flight cells. *)
+        (match store with Some s -> store_insert s keys.(i) r | None -> ());
+        let done_count = Atomic.fetch_and_add finished 1 + 1 in
+        emit_cell_event ~index:i ~cell ~wall_ns:r.wall_ns ~gc:r.gc
+          ~was_cached:false ~done_count;
+        report_progress ~sweep_started ~finished:done_count ~total
+          ~histograms:r.histograms;
+        r
+  in
+  let results = Ncg_util.Parallel.init ~domains total run in
   Ncg_obs.Events.progress_done ();
   results
 

@@ -123,11 +123,39 @@ type cell_result = {
 (** [grid ~alphas ~ks] is the row-major cell list of the cross product. *)
 val grid : alphas:float list -> ks:int list -> cell list
 
-(** [sweep ?domains ~make_initial ~make_config ~cells ~trials ~seed ()]
-    runs every cell ([trials] dynamics each) fanned out over [domains]
-    (default 1), returning results in cell order. *)
+(** [run_cell ~make_initial ~make_config ~trials ~cell_seed cell] runs a
+    single instrumented cell exactly as {!sweep} would: [cell_seed] must
+    be the cell's entry in [derive_seeds ~seed ~count:(List.length
+    cells)] for the sweep being reproduced. This is the engine behind
+    [ncg_experiment --only-cell]. *)
+val run_cell :
+  make_initial:(seed:int -> Strategy.t) ->
+  make_config:(cell -> Dynamics.config) ->
+  trials:int ->
+  cell_seed:int ->
+  cell ->
+  cell_result
+
+(** [sweep ?domains ?store ?store_context ~make_initial ~make_config
+    ~cells ~trials ~seed ()] runs every cell ([trials] dynamics each)
+    fanned out over [domains] (default 1), returning results in cell
+    order.
+
+    With [?store], each cell is looked up by its {!cell_cache_key}
+    before the fan-out; hits are returned without recomputation
+    (their ["sweep.cell"] event carries ["cached": true]) and misses are
+    appended to the store as soon as they finish, on the domain that ran
+    them — killing the process mid-sweep loses at most the in-flight
+    cells. [store_context] must fingerprint everything outside
+    [(seed, cells, trials)] that determines a cell's output: graph
+    class and parameters, solver budget, dynamics settings. Store
+    traffic happens outside the per-cell collectors, so a cell's
+    [counters]/[histograms]/[gc] are identical whether it was computed
+    or restored. *)
 val sweep :
   ?domains:int ->
+  ?store:Ncg_store.Store.t ->
+  ?store_context:(string * Ncg_obs.Json.t) list ->
   make_initial:(seed:int -> Strategy.t) ->
   make_config:(cell -> Dynamics.config) ->
   cells:cell list ->
@@ -135,6 +163,42 @@ val sweep :
   seed:int ->
   unit ->
   cell_result list
+
+(** {1 Cell persistence}
+
+    The codec and key schema behind [?store]. Exposed so tools
+    ([ncg_experiment --store], the bench harness, tests) can inspect or
+    pre-seed a store. *)
+
+(** Lossless cell codec: [cell_result_of_json (cell_result_to_json r)]
+    restores [r] exactly (including wall times, span tree and domain id —
+    a cached cell reports the telemetry of the run that produced it).
+    The payload embeds a schema tag; decoding a record written under a
+    different tag fails. *)
+val cell_result_to_json : cell_result -> Ncg_obs.Json.t
+
+val cell_result_of_json : Ncg_obs.Json.t -> (cell_result, string) result
+
+(** [cell_cache_key ~context ~seed ~trials ~cell_seed cell] is the
+    content-addressed key {!sweep} uses: [context] (caller-supplied
+    fingerprint of the graph class and dynamics config) plus the sweep
+    seed, the cell's [(alpha, k)], the trial count, the cell's derived
+    seed, and the store + payload schema versions. *)
+val cell_cache_key :
+  context:(string * Ncg_obs.Json.t) list ->
+  seed:int ->
+  trials:int ->
+  cell_seed:int ->
+  cell ->
+  Ncg_store.Cache_key.t
+
+(** [store_lookup store key] decodes a cached cell; any failure
+    (missing, corrupt JSON, schema drift) reads as a miss. *)
+val store_lookup : Ncg_store.Store.t -> Ncg_store.Cache_key.t -> cell_result option
+
+(** [store_insert store key result] persists a cell (fsync'd append when
+    the store is sync). *)
+val store_insert : Ncg_store.Store.t -> Ncg_store.Cache_key.t -> cell_result -> unit
 
 (** Pointwise sum of all per-cell counters. *)
 val sweep_counters : cell_result list -> Ncg_obs.Metrics.snapshot

@@ -47,15 +47,25 @@ let emit ?(severity = Info) name fields =
           | None -> ()
           | Some oc ->
               output_string oc line;
-              output_char oc '\n')
+              output_char oc '\n';
+              (* Events are rare; flushing per line keeps the file valid
+                 JSONL at every instant (tail -f, post-crash reads). *)
+              flush oc)
 
+(* The log is written to a same-directory temp file and renamed into
+   place when the sink closes, so [path] only ever holds a complete log:
+   a crash mid-run leaves the temp file behind, never a half-written
+   [path]. (Each line is flushed whole, so the temp file itself is valid
+   JSONL for post-mortem reading.) *)
 let with_file path f =
-  let oc = open_out path in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
   set_sink (Some oc);
   Fun.protect
     ~finally:(fun () ->
       set_sink None;
-      close_out oc)
+      close_out oc;
+      Sys.rename tmp path)
     f
 
 (* --- Progress line --------------------------------------------------------- *)

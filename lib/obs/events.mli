@@ -28,8 +28,10 @@ val active : unit -> bool
     any. [severity] defaults to [Info]. *)
 val emit : ?severity:severity -> string -> (string * Json.t) list -> unit
 
-(** [with_file path f] opens [path], installs it as the sink for the
-    duration of [f], then closes it (exception-safe). *)
+(** [with_file path f] installs a file sink for the duration of [f],
+    then closes it (exception-safe). The log is written to a
+    same-directory temp file and renamed to [path] on close, so [path]
+    never holds a partial log; a crash leaves only the temp file. *)
 val with_file : string -> (unit -> 'a) -> 'a
 
 (** {1 Progress line}

@@ -90,3 +90,40 @@ let to_json s =
       ("major_collections", Json.Int s.major_collections);
       ("compactions", Json.Int s.compactions);
     ]
+
+(* Inverse of to_json over the raw fields (allocated_words is derived
+   and ignored on read). Float serialization round-trips exactly, so
+   decode (encode s) = s; [null] (a NaN that slipped into a file) reads
+   back as [nan]. *)
+let of_json = function
+  | Json.Obj fields -> (
+      let exception Bad of string in
+      let get name =
+        match List.assoc_opt name fields with
+        | Some v -> v
+        | None -> raise (Bad (Printf.sprintf "missing field %S" name))
+      in
+      let number name =
+        match get name with
+        | Json.Float f -> f
+        | Json.Int i -> float_of_int i
+        | Json.Null -> nan
+        | _ -> raise (Bad (Printf.sprintf "field %S: expected a number" name))
+      in
+      let int name =
+        match get name with
+        | Json.Int i -> i
+        | _ -> raise (Bad (Printf.sprintf "field %S: expected an int" name))
+      in
+      try
+        Ok
+          {
+            minor_words = number "minor_words";
+            promoted_words = number "promoted_words";
+            major_words = number "major_words";
+            minor_collections = int "minor_collections";
+            major_collections = int "major_collections";
+            compactions = int "compactions";
+          }
+      with Bad msg -> Error ("Gc_stats.of_json: " ^ msg))
+  | _ -> Error "Gc_stats.of_json: expected an object"

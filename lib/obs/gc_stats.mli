@@ -47,3 +47,8 @@ val measure : (unit -> 'a) -> 'a * snapshot
 
 (** Object with [allocated_words] first, then the raw fields. *)
 val to_json : snapshot -> Json.t
+
+(** Inverse of {!to_json} (the derived [allocated_words] is ignored on
+    read): [of_json (to_json s) = Ok s]. Used to restore cached sweep
+    cells from {!Ncg_store}. *)
+val of_json : Json.t -> (snapshot, string) result

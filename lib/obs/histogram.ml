@@ -268,3 +268,74 @@ let to_markdown snap =
 (* Sample counts only — the deterministic projection of a snapshot (bucket
    placement depends on wall time; how many samples were recorded does not). *)
 let counts_only (snap : snapshot) = List.map (fun (k, h) -> (k, h.total)) snap
+
+(* --- Exact (lossless) codec ------------------------------------------------ *)
+
+(* Unlike to_json (a human-oriented export that drops empty histograms,
+   zero buckets and exact bucket indices), the exact codec preserves a
+   snapshot bit-for-bit — every histogram, the full bucket array — so
+   cached sweep cells restore to exactly what the original run recorded. *)
+
+let hist_to_json_exact (h : hist) =
+  Json.Obj
+    [
+      ( "counts",
+        Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.counts)) );
+      ("total", Json.Int h.total);
+      ("sum_ns", Json.Int (Int64.to_int h.sum_ns));
+      ("max_ns", Json.Int (Int64.to_int h.max_ns));
+    ]
+
+let to_json_exact (snap : snapshot) =
+  Json.Obj (List.map (fun (k, h) -> (k, hist_to_json_exact h)) snap)
+
+let hist_of_json_exact = function
+  | Json.Obj fields -> (
+      let exception Bad of string in
+      let int name =
+        match List.assoc_opt name fields with
+        | Some (Json.Int i) -> i
+        | _ -> raise (Bad (Printf.sprintf "field %S: expected an int" name))
+      in
+      try
+        let counts =
+          match List.assoc_opt "counts" fields with
+          | Some (Json.List items) ->
+              let counts =
+                Array.of_list
+                  (List.map
+                     (function
+                       | Json.Int i -> i
+                       | _ -> raise (Bad "non-integer bucket count"))
+                     items)
+              in
+              if Array.length counts <> bucket_count then
+                raise
+                  (Bad
+                     (Printf.sprintf "expected %d buckets, got %d" bucket_count
+                        (Array.length counts)));
+              counts
+          | _ -> raise (Bad "missing bucket counts")
+        in
+        Ok
+          {
+            counts;
+            total = int "total";
+            sum_ns = Int64.of_int (int "sum_ns");
+            max_ns = Int64.of_int (int "max_ns");
+          }
+      with Bad msg -> Error msg)
+  | _ -> Error "expected an object"
+
+let of_json_exact = function
+  | Json.Obj fields ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (name, v) :: rest -> (
+            match hist_of_json_exact v with
+            | Ok h -> go ((name, h) :: acc) rest
+            | Error msg ->
+                Error (Printf.sprintf "Histogram.of_json_exact: %S: %s" name msg))
+      in
+      go [] fields
+  | _ -> Error "Histogram.of_json_exact: expected an object"

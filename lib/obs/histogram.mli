@@ -123,3 +123,16 @@ val to_markdown : snapshot -> string
     every registered histogram. Equal across [--domains] values for a
     fixed seed (bucket placement is not). *)
 val counts_only : snapshot -> (string * int) list
+
+(** {1 Exact codec}
+
+    {!to_json} is a human-oriented export: it drops empty histograms and
+    zero buckets. The exact codec is lossless —
+    [of_json_exact (to_json_exact snap) = Ok snap] for any snapshot —
+    and is what {!Ncg_store} cell records use, so a cached sweep cell
+    restores bit-for-bit. [of_json_exact] rejects bucket arrays whose
+    length differs from {!bucket_count} (a bucket-scheme change
+    invalidates old records rather than misreading them). *)
+
+val to_json_exact : snapshot -> Json.t
+val of_json_exact : Json.t -> (snapshot, string) result

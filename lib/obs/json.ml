@@ -90,11 +90,23 @@ let to_string_pretty t =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
+(* Atomic write: render to a same-directory temp file, fsync, then
+   rename over the target. A crash at any point leaves either the old
+   file or the new one — never a partial/invalid JSON document. *)
 let to_file path t =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string_pretty t))
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  (match
+     output_string oc (to_string_pretty t);
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc)
+   with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path
 
 (* --- Parsing --------------------------------------------------------------- *)
 
@@ -290,3 +302,7 @@ let of_string s =
   with
   | v -> Ok v
   | exception Parse_failure msg -> Error msg
+  | exception e ->
+      (* Belt and braces: of_string promises to never raise, whatever
+         bytes arrive (the qcheck fuzz tests hold it to that). *)
+      Error (Printf.sprintf "unexpected parser failure: %s" (Printexc.to_string e))

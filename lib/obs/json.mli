@@ -20,8 +20,10 @@ val to_string : t -> string
 (** Two-space indented rendering, ending in a newline. *)
 val to_string_pretty : t -> string
 
-(** [to_file path json] writes the pretty rendering atomically enough for
-    our purposes (plain [open_out]). *)
+(** [to_file path json] writes the pretty rendering {e atomically}: the
+    document is written to a same-directory temp file, fsync'd, and
+    renamed over [path] — a crash at any point leaves either the old
+    file or the complete new one, never a partial JSON artifact. *)
 val to_file : string -> t -> unit
 
 (** [of_string s] parses one JSON document (RFC 8259 grammar: escapes,
@@ -30,5 +32,6 @@ val to_file : string -> t -> unit
     (falling back to [Float] on overflow). Used by the test suite to
     validate everything the emitters produce — escaping round-trips,
     Chrome traces, JSONL events — without an external JSON dependency.
-    [Error msg] carries the failure offset. *)
+    [Error msg] carries the failure offset. Never raises, whatever the
+    input bytes (fuzz-tested on arbitrary and truncated strings). *)
 val of_string : string -> (t, string) result

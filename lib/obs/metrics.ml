@@ -105,6 +105,36 @@ let nonzero snap = List.filter (fun (_, v) -> v <> 0) snap
 let to_json snap =
   Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (nonzero snap))
 
+(* Inverse of to_json: re-expands the dropped zeros over the registered
+   counters (registration order), then appends unknown names in input
+   order — so decode (encode snap) = snap for any snapshot produced by
+   [collect] in the same binary. *)
+let of_json = function
+  | Json.Obj fields -> (
+      let exception Bad of string in
+      try
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun (k, v) ->
+            match v with
+            | Json.Int n -> Hashtbl.replace tbl k n
+            | _ -> raise (Bad (Printf.sprintf "counter %S: expected an int" k)))
+          fields;
+        let base =
+          List.init !registered (fun i ->
+              (names.(i), Option.value ~default:0 (Hashtbl.find_opt tbl names.(i))))
+        in
+        let extras =
+          List.filter_map
+            (fun (k, v) ->
+              if Hashtbl.mem by_name k then None
+              else match v with Json.Int n -> Some (k, n) | _ -> None)
+            fields
+        in
+        Ok (base @ extras)
+      with Bad msg -> Error ("Metrics.of_json: " ^ msg))
+  | _ -> Error "Metrics.of_json: expected an object"
+
 let to_markdown snap =
   let buf = Buffer.create 128 in
   Buffer.add_string buf "| counter | count |\n|---|---:|\n";

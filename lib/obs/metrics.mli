@@ -91,5 +91,12 @@ val total : snapshot list -> snapshot
 (** Snapshot as a JSON object, counter name to count, zeros dropped. *)
 val to_json : snapshot -> Json.t
 
+(** Inverse of {!to_json}: dropped zeros are re-expanded over the
+    registered counters in registration order (then unknown names in
+    input order), so within one binary
+    [of_json (to_json snap) = Ok snap] for any [collect] snapshot. Used
+    to restore cached sweep cells from {!Ncg_store}. *)
+val of_json : Json.t -> (snapshot, string) result
+
 (** Two-column markdown table, zeros dropped. *)
 val to_markdown : snapshot -> string

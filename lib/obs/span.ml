@@ -86,6 +86,54 @@ let rec to_json span =
   | [] -> Json.Obj base
   | children -> Json.Obj (base @ [ ("children", Json.List (List.map to_json children)) ])
 
+(* Lossless variant of to_json: also carries started_ns (needed to
+   rebuild Chrome-trace timelines from cached cells) and round-trips
+   through of_json_exact. *)
+let rec to_json_exact span =
+  let base =
+    [
+      ("name", Json.String span.span_name);
+      ("started_ns", Json.Int (Int64.to_int span.started_ns));
+      ("elapsed_ns", Json.Int (Int64.to_int span.elapsed_ns));
+    ]
+  in
+  match span.children with
+  | [] -> Json.Obj base
+  | children ->
+      Json.Obj (base @ [ ("children", Json.List (List.map to_json_exact children)) ])
+
+let of_json_exact json =
+  let exception Bad of string in
+  let rec decode = function
+    | Json.Obj fields ->
+        let name =
+          match List.assoc_opt "name" fields with
+          | Some (Json.String s) -> s
+          | _ -> raise (Bad "missing span name")
+        in
+        let int field =
+          match List.assoc_opt field fields with
+          | Some (Json.Int i) -> Int64.of_int i
+          | _ -> raise (Bad (Printf.sprintf "span %S: expected int %S" name field))
+        in
+        let children =
+          match List.assoc_opt "children" fields with
+          | None -> []
+          | Some (Json.List items) -> List.map decode items
+          | Some _ -> raise (Bad (Printf.sprintf "span %S: bad children" name))
+        in
+        {
+          span_name = name;
+          started_ns = int "started_ns";
+          elapsed_ns = int "elapsed_ns";
+          children;
+        }
+    | _ -> raise (Bad "expected an object")
+  in
+  match decode json with
+  | span -> Ok span
+  | exception Bad msg -> Error ("Span.of_json_exact: " ^ msg)
+
 let to_markdown span =
   let buf = Buffer.create 128 in
   let rec go depth span =

@@ -1,0 +1,26 @@
+module Json = Ncg_obs.Json
+
+type t = string (* the canonical compact-JSON form *)
+
+let schema_version = 1
+
+let make fields =
+  Json.to_string (Json.Obj (("store_schema", Json.Int schema_version) :: fields))
+
+let to_string t = t
+let equal = String.equal
+let compare = String.compare
+
+(* FNV-1a, 64-bit: offset basis 14695981039346656037, prime 1099511628211. *)
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let fingerprint t =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    t;
+  !h
+
+let fingerprint_hex t = Printf.sprintf "%016Lx" (fingerprint t)

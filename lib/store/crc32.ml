@@ -1,0 +1,33 @@
+(* CRC-32, reflected form, polynomial 0xEDB88320 (zlib/PNG/IEEE 802.3).
+   The running state is the ones-complemented register, so [empty] is
+   0xFFFFFFFF and [finalize] flips it back. All arithmetic stays within
+   OCaml's native int (the register is 32 bits). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let empty = 0xFFFFFFFF
+
+let update_sub crc s pos len =
+  let table = Lazy.force table in
+  let c = ref crc in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c
+
+let update crc s = update_sub crc s 0 (String.length s)
+let finalize crc = crc lxor 0xFFFFFFFF
+
+let digest_sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.digest_sub";
+  finalize (update_sub empty s pos len)
+
+let digest s = finalize (update empty s)

@@ -1,0 +1,20 @@
+(** CRC-32 (IEEE 802.3 / zlib polynomial 0xEDB88320), table-driven.
+
+    Used by {!Record_log} to frame records: a mismatch between the stored
+    and recomputed checksum marks a torn or corrupted record. Pure OCaml,
+    no dependency — the whole digest fits in an OCaml [int]
+    ([0 .. 0xFFFFFFFF]). *)
+
+(** [digest s] is the CRC-32 of the whole string. *)
+val digest : string -> int
+
+(** [digest_sub s ~pos ~len] checksums a substring without copying.
+    @raise Invalid_argument on an invalid range. *)
+val digest_sub : string -> pos:int -> len:int -> int
+
+(** Incremental interface: [update crc s] extends a running checksum
+    (start from {!empty}, finish with {!finalize}). *)
+val empty : int
+
+val update : int -> string -> int
+val finalize : int -> int

@@ -1,0 +1,247 @@
+module Json = Ncg_obs.Json
+module Metrics = Ncg_obs.Metrics
+
+(* Registered at module init from the main domain (the Metrics
+   contract); linking ncg_store is enough to make these visible. *)
+let m_hits = Metrics.register "store.hits"
+let m_misses = Metrics.register "store.misses"
+let m_inserts = Metrics.register "store.inserts"
+let m_evictions = Metrics.register "store.evictions"
+
+let manifest_name = "MANIFEST.json"
+let records_name = "records.log"
+
+type t = {
+  dir : string;
+  sync : bool;
+  mutable log : Record_log.t;
+  index : (string, string) Hashtbl.t; (* canonical key -> latest payload *)
+  mutable order : string list; (* reverse first-insertion order of live keys *)
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable inserts : int;
+  mutable superseded : int; (* dead records currently in the log *)
+  mutable replayed : int;
+  mutable dropped_bytes : int;
+  mutable compactions : int; (* whole-history count, persisted in the manifest *)
+  mutable closed : bool;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  inserts : int;
+  superseded : int;
+  live : int;
+  replayed : int;
+  dropped_bytes : int;
+  compactions : int;
+}
+
+(* Record payload layout: u32 LE key length, key bytes, value bytes.
+   The Record_log CRC covers the whole payload, key included. *)
+let encode_record key value =
+  let klen = String.length key in
+  let buf = Bytes.create (4 + klen + String.length value) in
+  Bytes.set_int32_le buf 0 (Int32.of_int klen);
+  Bytes.blit_string key 0 buf 4 klen;
+  Bytes.blit_string value 0 buf (4 + klen) (String.length value);
+  Bytes.unsafe_to_string buf
+
+let decode_record payload =
+  if String.length payload < 4 then None
+  else begin
+    let klen = Int32.to_int (String.get_int32_le payload 0) land 0xFFFFFFFF in
+    if klen < 0 || 4 + klen > String.length payload then None
+    else
+      Some
+        ( String.sub payload 4 klen,
+          String.sub payload (4 + klen) (String.length payload - 4 - klen) )
+  end
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let manifest_json t =
+  Json.Obj
+    [
+      ("schema", Json.String "ncg.store/1");
+      ("key_schema", Json.Int Cache_key.schema_version);
+      ("records_file", Json.String records_name);
+      ("live", Json.Int (Hashtbl.length t.index));
+      ("superseded", Json.Int t.superseded);
+      ("log_bytes", Json.Int (Record_log.size t.log));
+      ("last_open_replayed", Json.Int t.replayed);
+      ("last_open_dropped_bytes", Json.Int t.dropped_bytes);
+      ("compactions", Json.Int t.compactions);
+    ]
+
+(* Json.to_file is atomic (temp file + rename), so a crash mid-write
+   never leaves a partial manifest. *)
+let write_manifest t = Json.to_file (Filename.concat t.dir manifest_name) (manifest_json t)
+
+let read_manifest_compactions dir =
+  let path = Filename.concat dir manifest_name in
+  if not (Sys.file_exists path) then 0
+  else begin
+    let contents =
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.of_string contents with
+    | Ok (Json.Obj fields) -> (
+        match List.assoc_opt "compactions" fields with
+        | Some (Json.Int n) -> n
+        | _ -> 0)
+    | Ok _ | Error _ -> 0
+  end
+
+let open_dir ?(sync = true) dir =
+  mkdir_p dir;
+  let index = Hashtbl.create 64 in
+  let order = ref [] in
+  let superseded = ref 0 in
+  let replay payload =
+    match decode_record payload with
+    | None -> () (* valid frame, unintelligible payload: skip, keep scanning *)
+    | Some (key, value) ->
+        if Hashtbl.mem index key then incr superseded
+        else order := key :: !order;
+        Hashtbl.replace index key value
+  in
+  let log, { Record_log.replayed; dropped_bytes } =
+    Record_log.openfile ~sync (Filename.concat dir records_name) ~replay
+  in
+  let t =
+    {
+      dir;
+      sync;
+      log;
+      index;
+      order = !order;
+      mutex = Mutex.create ();
+      hits = 0;
+      misses = 0;
+      inserts = 0;
+      superseded = !superseded;
+      replayed;
+      dropped_bytes;
+      compactions = read_manifest_compactions dir;
+      closed = false;
+    }
+  in
+  write_manifest t;
+  t
+
+let check_open t = if t.closed then invalid_arg "Ncg_store.Store: closed"
+
+let lookup t key =
+  Mutex.protect t.mutex (fun () ->
+      check_open t;
+      match Hashtbl.find_opt t.index (Cache_key.to_string key) with
+      | Some payload ->
+          t.hits <- t.hits + 1;
+          Metrics.incr m_hits;
+          Some payload
+      | None ->
+          t.misses <- t.misses + 1;
+          Metrics.incr m_misses;
+          None)
+
+let mem t key =
+  Mutex.protect t.mutex (fun () ->
+      check_open t;
+      Hashtbl.mem t.index (Cache_key.to_string key))
+
+let insert t key payload =
+  Mutex.protect t.mutex (fun () ->
+      check_open t;
+      let key = Cache_key.to_string key in
+      Record_log.append t.log (encode_record key payload);
+      if Hashtbl.mem t.index key then t.superseded <- t.superseded + 1
+      else t.order <- key :: t.order;
+      Hashtbl.replace t.index key payload;
+      t.inserts <- t.inserts + 1;
+      Metrics.incr m_inserts)
+
+let live_count t = Mutex.protect t.mutex (fun () -> Hashtbl.length t.index)
+let log_size t = Mutex.protect t.mutex (fun () -> Record_log.size t.log)
+
+let compact t =
+  Mutex.protect t.mutex (fun () ->
+      check_open t;
+      if t.superseded > 0 then begin
+        let evicted = t.superseded in
+        let live_path = Filename.concat t.dir records_name in
+        let tmp_path = live_path ^ ".compact" in
+        if Sys.file_exists tmp_path then Sys.remove tmp_path;
+        let fresh, _ = Record_log.openfile ~sync:false tmp_path ~replay:ignore in
+        (match
+           List.iter
+             (fun key ->
+               Record_log.append fresh
+                 (encode_record key (Hashtbl.find t.index key)))
+             (List.rev t.order);
+           Record_log.sync fresh
+         with
+        | () -> Record_log.close fresh
+        | exception e ->
+            Record_log.close fresh;
+            (try Sys.remove tmp_path with Sys_error _ -> ());
+            raise e);
+        (* The swap point: rename is atomic, so a crash leaves either the
+           old log (with dead records) or the new one — never a mix. *)
+        Record_log.close t.log;
+        Sys.rename tmp_path live_path;
+        let log, _ = Record_log.openfile ~sync:t.sync live_path ~replay:ignore in
+        t.log <- log;
+        t.superseded <- 0;
+        t.compactions <- t.compactions + 1;
+        Metrics.add m_evictions evicted;
+        write_manifest t
+      end)
+
+let stats t =
+  Mutex.protect t.mutex (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        inserts = t.inserts;
+        superseded = t.superseded;
+        live = Hashtbl.length t.index;
+        replayed = t.replayed;
+        dropped_bytes = t.dropped_bytes;
+        compactions = t.compactions;
+      })
+
+let close t =
+  Mutex.protect t.mutex (fun () ->
+      if not t.closed then begin
+        write_manifest t;
+        Record_log.close t.log;
+        t.closed <- true
+      end)
+
+let with_dir ?sync dir f =
+  let t = open_dir ?sync dir in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let stats_to_json s =
+  Json.Obj
+    [
+      ("hits", Json.Int s.hits);
+      ("misses", Json.Int s.misses);
+      ("inserts", Json.Int s.inserts);
+      ("superseded", Json.Int s.superseded);
+      ("live", Json.Int s.live);
+      ("replayed", Json.Int s.replayed);
+      ("dropped_bytes", Json.Int s.dropped_bytes);
+      ("compactions", Json.Int s.compactions);
+    ]

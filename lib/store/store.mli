@@ -1,0 +1,85 @@
+(** Persistent, crash-safe key/value store for sweep-cell results.
+
+    A store is a directory:
+
+    {v
+    DIR/
+      MANIFEST.json    small human-readable summary, rewritten atomically
+      records.log      CRC-framed append-only record log (Record_log)
+    v}
+
+    Records map a {!Cache_key} to an opaque payload (the serialized cell
+    result). Appends are framed, written in one [write] and fsync'd, so
+    a SIGKILL at any byte offset loses at most the record being written;
+    on the next {!open_dir} the torn tail is truncated and every
+    completed record is recovered. Re-inserting an existing key appends
+    a new record that {e supersedes} the old one (last write wins on
+    replay); {!compact} rewrites the log with only live records and
+    atomically swaps it in.
+
+    Lookups are exact-match on the key's canonical bytes. All operations
+    are serialized by an internal mutex, so a parallel sweep may insert
+    from several domains concurrently.
+
+    Hits, misses, inserts and compaction evictions are counted both in
+    {!stats} (always) and into the {!Ncg_obs.Metrics} counters
+    [store.hits] / [store.misses] / [store.inserts] / [store.evictions]
+    (observed while a Metrics collector is installed in the calling
+    domain). *)
+
+type t
+
+(** Lifetime-of-this-handle operation counts plus recovery facts. *)
+type stats = {
+  hits : int;
+  misses : int;
+  inserts : int;
+  superseded : int;  (** dead records in the log (re-inserted keys) *)
+  live : int;  (** distinct keys *)
+  replayed : int;  (** records recovered at open *)
+  dropped_bytes : int;  (** torn-tail bytes truncated at open *)
+  compactions : int;  (** over the store's whole history (from manifest) *)
+}
+
+(** [open_dir ?sync dir] opens (creating directories as needed) the
+    store at [dir], replays the record log (repairing a torn tail) and
+    rewrites the manifest. [sync] (default [true]) is passed to
+    {!Record_log.openfile}. At most one handle per directory.
+
+    @raise Sys_error when [dir/records.log] exists but is not a record
+    log. *)
+val open_dir : ?sync:bool -> string -> t
+
+(** [lookup t key] is the most recently inserted payload for [key]. *)
+val lookup : t -> Cache_key.t -> string option
+
+(** [insert t key payload] durably appends the record; visible to
+    {!lookup} immediately, and to future opens as soon as the append
+    completed. *)
+val insert : t -> Cache_key.t -> string -> unit
+
+val mem : t -> Cache_key.t -> bool
+
+(** Number of distinct live keys. *)
+val live_count : t -> int
+
+(** Bytes currently occupied by the record log. *)
+val log_size : t -> int
+
+(** [compact t] rewrites the log keeping only live records (in first-
+    insertion order), fsyncs the replacement and atomically renames it
+    over the old log. A crash during compaction leaves the old log
+    intact. No-op when nothing is superseded. *)
+val compact : t -> unit
+
+val stats : t -> stats
+
+(** Rewrite the manifest and close the log. Further operations raise. *)
+val close : t -> unit
+
+(** [with_dir ?sync dir f] opens, runs [f], and closes (also on
+    exceptions). *)
+val with_dir : ?sync:bool -> string -> (t -> 'a) -> 'a
+
+(** [stats_to_json] for telemetry export. *)
+val stats_to_json : stats -> Ncg_obs.Json.t

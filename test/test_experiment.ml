@@ -109,6 +109,36 @@ let test_derive_seeds () =
   let distinct = List.sort_uniq compare (Array.to_list a) in
   check_int "all distinct" 8 (List.length distinct)
 
+let test_derive_seeds_golden () =
+  (* Frozen snapshot of the SplitMix64 stream. These values are load-
+     bearing: every published sweep, every store cache key and every
+     --only-cell reproduction assumes seed derivation never changes. If
+     this test fails, the change breaks all existing result stores. *)
+  let golden_2014 =
+    [|
+      -4192831650131979260;
+      195712523871778755;
+      2363781521631100635;
+      1407460852654598280;
+      1403179157520910089;
+      4283057755417690474;
+      1039990551353643555;
+      890011278414683468;
+    |]
+  in
+  check_bool "seed 2014 stream frozen" true
+    (Experiment.derive_seeds ~seed:2014 ~count:8 = golden_2014);
+  let golden_0 =
+    [|
+      -2152535657050944081;
+      -1263085514660420108;
+      487617019471545679;
+      -537132696929009172;
+    |]
+  in
+  check_bool "seed 0 stream frozen" true
+    (Experiment.derive_seeds ~seed:0 ~count:4 = golden_0)
+
 let sweep_fixture ~domains =
   Experiment.sweep ~domains
     ~make_initial:(fun ~seed -> Experiment.initial_tree ~seed ~n:12)
@@ -239,6 +269,8 @@ let () =
       ( "sweep",
         [
           Alcotest.test_case "seed derivation" `Quick test_derive_seeds;
+          Alcotest.test_case "seed derivation golden snapshot" `Quick
+            test_derive_seeds_golden;
           Alcotest.test_case "shape + telemetry" `Quick test_sweep_shape;
           Alcotest.test_case "deterministic across domains" `Quick
             test_sweep_deterministic_across_domains;

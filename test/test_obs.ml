@@ -119,6 +119,22 @@ let test_instrumented_code_counts () =
   check_bool "json has the counter" true
     (contains ~affix:"\"bfs.calls\":1" json)
 
+let test_metrics_codec_roundtrip () =
+  (* to_json drops zero counters; of_json re-expands them over the
+     registry, so snapshots restore exactly — the property store-cached
+     sweep cells rely on. *)
+  let (), snap =
+    Metrics.collect (fun () ->
+        Metrics.incr Metrics.bfs_calls;
+        Metrics.add Metrics.dynamics_moves 7)
+  in
+  check_bool "snapshot round-trips" true (Metrics.of_json (Metrics.to_json snap) = Ok snap);
+  check_bool "empty snapshot round-trips" true
+    (let (), z = Metrics.collect (fun () -> ()) in
+     Metrics.of_json (Metrics.to_json z) = Ok z);
+  check_bool "non-object rejected" true
+    (match Metrics.of_json (Json.List []) with Error _ -> true | Ok _ -> false)
+
 (* --- Span ---------------------------------------------------------------- *)
 
 let test_span_noop_outside_trace () =
@@ -167,6 +183,19 @@ let test_span_export () =
   let md = Span.to_markdown root in
   check_bool "markdown indents child" true
     (contains ~affix:"\n  - c:" md)
+
+let test_span_exact_codec () =
+  let (), root =
+    Span.trace "r" (fun () ->
+        Span.with_span "a" (fun () -> Span.with_span "a.1" (fun () -> ()));
+        Span.with_span "b" (fun () -> ()))
+  in
+  check_bool "tree round-trips with timings" true
+    (Span.of_json_exact (Span.to_json_exact root) = Ok root);
+  check_bool "plain to_json is lossy (no started_ns) and is rejected" true
+    (match Span.of_json_exact (Span.to_json root) with
+    | Error _ -> true
+    | Ok _ -> false)
 
 (* --- Json.of_string ------------------------------------------------------ *)
 
@@ -265,6 +294,29 @@ let prop_json_roundtrip =
     (fun v ->
       Json.of_string (Json.to_string v) = Ok v
       && Json.of_string (Json.to_string_pretty v) = Ok v)
+
+(* of_string is total: any byte string — valid, garbage, or binary — comes
+   back as Ok or Error, never an exception. The store treats a parse
+   failure as a cache miss, so an exception here would crash a resume on
+   a half-written record instead of recomputing the cell. *)
+let never_raises s =
+  match Json.of_string s with Ok _ -> true | Error _ -> true | exception _ -> false
+
+let prop_of_string_never_raises =
+  QCheck.Test.make ~name:"of_string never raises on arbitrary bytes" ~count:2000
+    QCheck.(string_gen Gen.(map Char.chr (int_range 0 255)))
+    never_raises
+
+(* Truncations of well-formed documents are the shapes a torn record log
+   tail actually produces. *)
+let prop_of_string_never_raises_truncated =
+  QCheck.Test.make ~name:"of_string never raises on truncated documents"
+    ~count:500
+    QCheck.(
+      pair (make ~print:(fun v -> Json.to_string v) json_gen) (int_range 0 1000))
+    (fun (v, cut) ->
+      let s = Json.to_string v in
+      never_raises (String.sub s 0 (min cut (String.length s))))
 
 (* --- Histogram ----------------------------------------------------------- *)
 
@@ -375,6 +427,32 @@ let test_hist_export () =
   check_string "pp_ns ms" "2.00ms" (Histogram.pp_ns 2.0e6);
   check_string "pp_ns nan" "-" (Histogram.pp_ns nan)
 
+let test_hist_exact_codec () =
+  let (), snap =
+    Histogram.collect (fun () ->
+        Histogram.record_ns Histogram.best_response 1_500L;
+        Histogram.record_ns Histogram.best_response 3_000_000L;
+        Histogram.record_ns Histogram.sweep_cell 42L)
+  in
+  check_bool "snapshot round-trips including empty histograms" true
+    (Histogram.of_json_exact (Histogram.to_json_exact snap) = Ok snap);
+  (* A bucket-scheme change must invalidate, not misread. *)
+  let truncated =
+    match Histogram.to_json_exact snap with
+    | Json.Obj ((name, Json.Obj fields) :: rest) ->
+        let fields =
+          List.map
+            (function
+              | "counts", Json.List (_ :: tl) -> ("counts", Json.List tl)
+              | kv -> kv)
+            fields
+        in
+        Json.Obj ((name, Json.Obj fields) :: rest)
+    | _ -> Alcotest.fail "unexpected exact-export shape"
+  in
+  check_bool "wrong bucket count rejected" true
+    (match Histogram.of_json_exact truncated with Error _ -> true | Ok _ -> false)
+
 (* --- Gc_stats ------------------------------------------------------------ *)
 
 let test_gc_measure () =
@@ -405,7 +483,11 @@ let test_gc_arithmetic () =
   let json = Json.to_string (Gc_stats.to_json a) in
   check_bool "json parses" true (Result.is_ok (Json.of_string json));
   check_bool "json leads with allocated_words" true
-    (contains ~affix:{|{"allocated_words":12.0|} json)
+    (contains ~affix:{|{"allocated_words":12.0|} json);
+  (* The codec restores the raw fields (allocated_words is derived). *)
+  check_bool "snapshot round-trips" true (Gc_stats.of_json (Gc_stats.to_json a) = Ok a);
+  check_bool "non-object rejected" true
+    (match Gc_stats.of_json Json.Null with Error _ -> true | Ok _ -> false)
 
 (* --- Chrome_trace -------------------------------------------------------- *)
 
@@ -583,6 +665,8 @@ let () =
           Alcotest.test_case "merge/total" `Quick test_merge_and_total;
           Alcotest.test_case "instrumented code counts" `Quick
             test_instrumented_code_counts;
+          Alcotest.test_case "exact codec round-trip" `Quick
+            test_metrics_codec_roundtrip;
         ] );
       ( "span",
         [
@@ -590,6 +674,7 @@ let () =
           Alcotest.test_case "tree shape" `Quick test_trace_tree;
           Alcotest.test_case "exception safety" `Quick test_trace_exception_restores;
           Alcotest.test_case "export" `Quick test_span_export;
+          Alcotest.test_case "exact codec round-trip" `Quick test_span_exact_codec;
         ] );
       ( "json parser",
         [
@@ -599,6 +684,8 @@ let () =
           Alcotest.test_case "errors" `Quick test_parse_errors;
           QCheck_alcotest.to_alcotest prop_string_roundtrip;
           QCheck_alcotest.to_alcotest prop_json_roundtrip;
+          QCheck_alcotest.to_alcotest prop_of_string_never_raises;
+          QCheck_alcotest.to_alcotest prop_of_string_never_raises_truncated;
         ] );
       ( "histogram",
         [
@@ -611,6 +698,7 @@ let () =
           Alcotest.test_case "merge/total" `Quick test_hist_merge_total;
           Alcotest.test_case "exception safety" `Quick test_hist_exception_safety;
           Alcotest.test_case "export" `Quick test_hist_export;
+          Alcotest.test_case "exact codec round-trip" `Quick test_hist_exact_codec;
         ] );
       ( "gc_stats",
         [
