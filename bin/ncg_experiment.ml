@@ -20,6 +20,19 @@
    the store. --only-cell ALPHA:K runs one cell of the grid with exactly
    the seeds the full sweep would give it.
 
+   Sweeps run under a supervised executor (see docs/ROBUSTNESS.md): a
+   failing cell is retried up to --max-retries times (backing off
+   --retry-backoff-ms * attempt), then quarantined while every other
+   cell completes; quarantines are listed on stderr and in the
+   telemetry failure report ("sweep.failures") and make the exit code 3.
+   --cell-deadline-ms bounds each attempt (watchdog + cooperative
+   cancellation); --move-budget bounds a single player move's search
+   steps so a pathological cell times out instead of hanging.
+   --fault-plan SPEC (with --fault-seed) injects deterministic faults —
+   raises, delays, short store writes — for testing that machinery;
+   see docs/ROBUSTNESS.md for the plan syntax. SIGINT/SIGTERM flush the
+   store, telemetry and event log before exiting 128+signal.
+
    Examples:
      # Figure 5 series (view sizes) on 50-vertex trees, 5 seeds per cell
      dune exec bin/ncg_experiment.exe -- --class tree -n 50 --trials 5
@@ -93,12 +106,13 @@ let write_trace path (results : Experiment.cell_result list) =
    parts, this is the rest. Probing default_config means a change to the
    defaults (max_rounds, epsilon, ...) invalidates old records instead of
    silently replaying them. *)
-let store_context graph_class n p budget =
+let store_context graph_class n p budget move_budget =
   let probe =
     {
       (Dynamics.default_config ~alpha:1.0 ~k:2) with
       Dynamics.solver = `Budgeted budget;
       collect_features = false;
+      move_budget;
     }
   in
   let solver =
@@ -134,6 +148,7 @@ let store_context graph_class n p budget =
     ("order", Json.String order);
     ("max_rounds", Json.Int probe.Dynamics.max_rounds);
     ("epsilon", Json.Float probe.Dynamics.epsilon);
+    ("move_budget", Json.Int probe.Dynamics.move_budget);
   ]
 
 let parse_only_cell s =
@@ -150,9 +165,41 @@ let parse_only_cell s =
       Printf.eprintf "ncg_experiment: --only-cell expects ALPHA:K, got %S\n%!" s;
       exit 2
 
+(* Sys.sigint / Sys.sigterm are OCaml-internal numbers; exit codes and
+   logs want the POSIX ones. *)
+let posix_signal s =
+  if s = Sys.sigint then 2 else if s = Sys.sigterm then 15 else 0
+
+let install_signal_handlers () =
+  let handle s = Ncg_fault.Cancel.request_shutdown (posix_signal s) in
+  List.iter
+    (fun s ->
+      try ignore (Sys.signal s (Sys.Signal_handle handle))
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
 let run graph_class n p alphas ks trials seed budget domains store_dir resume
-    no_cache only_cell telemetry trace_out events quiet =
+    no_cache only_cell telemetry trace_out events quiet fault_plan_spec
+    fault_seed max_retries retry_backoff_ms cell_deadline_ms move_budget =
   if quiet then Ncg_obs.Events.set_progress false;
+  let fault_plan =
+    match fault_plan_spec with
+    | None -> None
+    | Some spec -> (
+        match Ncg_fault.Inject.parse_plan ~seed:fault_seed spec with
+        | Ok plan ->
+            Ncg_fault.Inject.install plan;
+            Some plan
+        | Error msg ->
+            Printf.eprintf "ncg_experiment: --fault-plan: %s\n%!" msg;
+            exit 2)
+  in
+  let retry_backoff_ns = Int64.of_float (retry_backoff_ms *. 1e6) in
+  let cell_deadline_ns =
+    if cell_deadline_ms <= 0. then None
+    else Some (Int64.of_float (cell_deadline_ms *. 1e6))
+  in
+  install_signal_handlers ();
   let alphas = if alphas = [] then default_alphas else alphas in
   let ks = if ks = [] then default_ks else ks in
   let make_initial =
@@ -168,12 +215,13 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
       (Dynamics.default_config ~alpha:cell.Experiment.alpha ~k:cell.Experiment.k) with
       Dynamics.solver = `Budgeted budget;
       collect_features = false;
+      move_budget;
     }
   in
   let cells = Experiment.grid ~alphas ~ks in
   let total = List.length cells in
   let cell_seeds = Experiment.derive_seeds ~seed ~count:total in
-  let context = store_context graph_class n p budget in
+  let context = store_context graph_class n p budget move_budget in
   let key_of idx cell =
     Experiment.cell_cache_key ~context ~seed ~trials ~cell_seed:cell_seeds.(idx)
       cell
@@ -193,7 +241,14 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
             dir;
           exit 1
         end;
-        Some (Store.open_dir dir)
+        Some
+          (try Store.open_dir dir
+           with Store.Locked { dir; pid } ->
+             Printf.eprintf
+               "ncg_experiment: store %s is locked by a running sweep (pid \
+                %d); wait for it or pick another --store\n%!"
+               dir pid;
+             exit 1)
   in
   (* Index of --only-cell in the full grid: the cell must be looked up in
      the grid (not run standalone) so its derived seed — and therefore its
@@ -232,7 +287,7 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
                 Experiment.store_lookup s (key_of idx cell))
         in
         match cached with
-        | Some r -> [ r ]
+        | Some r -> [ Ok r ]
         | None ->
             let r =
               Experiment.run_cell ~make_initial ~make_config ~trials
@@ -241,14 +296,15 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
             (match store with
             | Some s when not no_cache -> Experiment.store_insert s (key_of idx cell) r
             | _ -> ());
-            [ r ])
+            [ Ok r ])
     | None ->
-        Experiment.sweep ~domains
+        Experiment.sweep_supervised ~domains ~max_retries ~retry_backoff_ns
+          ?cell_deadline_ns
           ?store:(if no_cache then None else store)
           ~store_context:context ~make_initial ~make_config ~cells ~trials
           ~seed ()
   in
-  let results =
+  let outcomes =
     match events with
     | None -> run_sweep ()
     | Some path -> (
@@ -257,16 +313,22 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
           Printf.eprintf "ncg_experiment: cannot write events: %s\n%!" msg;
           exit 1)
   in
+  let results = List.filter_map Result.to_option outcomes in
+  let failures = Experiment.sweep_failures outcomes in
+  let interrupted = Ncg_fault.Cancel.shutdown_requested () in
   (* --no-cache recomputed everything; refresh the store afterwards so the
      next cached run picks the new records up. *)
   (if no_cache then
      match store with
      | Some s ->
          List.iteri
-           (fun j (r : Experiment.cell_result) ->
-             let idx = match only_idx with Some i -> i | None -> j in
-             Experiment.store_insert s (key_of idx r.Experiment.cell) r)
-           results
+           (fun j outcome ->
+             match outcome with
+             | Error (_ : Experiment.cell_failure) -> ()
+             | Ok (r : Experiment.cell_result) ->
+                 let idx = match only_idx with Some i -> i | None -> j in
+                 Experiment.store_insert s (key_of idx r.Experiment.cell) r)
+           outcomes
      | None -> ());
   let sweep_wall = Ncg_obs.Clock.elapsed_ns ~since:started in
   (match trace_out with
@@ -312,9 +374,40 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
       let doc =
         Json.Obj
           ([
-             ("schema", Json.String "ncg.experiment.telemetry/2");
+             ("schema", Json.String "ncg.experiment.telemetry/3");
              ("seed", Json.Int seed);
              ("domains", Json.Int domains);
+             ("max_retries", Json.Int max_retries);
+             ( "fault_plan",
+               match fault_plan with
+               | None -> Json.Null
+               | Some plan ->
+                   Json.String (Ncg_fault.Inject.plan_to_string plan) );
+             ("interrupted", Json.Bool (interrupted <> None));
+             ("failed_cells", Json.Int (List.length failures));
+             ( "sweep.failures",
+               Json.List
+                 (List.map
+                    (fun (f : Experiment.cell_failure) ->
+                      match Experiment.cell_failure_to_json f with
+                      | Json.Obj fields ->
+                          (* The exact CSV row prefix of the quarantined
+                             cell, so tooling (the CI fault-smoke job) can
+                             filter it from a clean run's CSV without
+                             re-deriving float formatting. *)
+                          Json.Obj
+                            (fields
+                            @ [
+                                ( "csv_row_prefix",
+                                  Json.String
+                                    (Printf.sprintf "%s,%d,%g,%g,%d,%d,"
+                                       graph_class n p
+                                       f.Experiment.cell.Experiment.alpha
+                                       f.Experiment.cell.Experiment.k trials)
+                                );
+                              ])
+                      | j -> j)
+                    failures) );
              ("wall_seconds", Json.Float (Ncg_obs.Clock.ns_to_s sweep_wall));
              ( "cells_wall_seconds",
                Json.Float
@@ -336,12 +429,12 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
       with Sys_error msg ->
         Printf.eprintf "ncg_experiment: cannot write telemetry: %s\n%!" msg;
         exit 1));
-  match store with
+  (match store with
   | None -> ()
   | Some s ->
       let st = Store.stats s in
       Printf.eprintf
-          "store %s: %d hit%s, %d miss%s, %d inserted, %d live record%s%s\n%!"
+          "store %s: %d hit%s, %d miss%s, %d inserted, %d live record%s%s%s\n%!"
           (Option.value store_dir ~default:"?")
           st.Store.hits
           (if st.Store.hits = 1 then "" else "s")
@@ -351,8 +444,39 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
           (if st.Store.live = 1 then "" else "s")
           (if st.Store.superseded > 0 then
              Printf.sprintf " (%d superseded)" st.Store.superseded
+           else "")
+          (if st.Store.heals > 0 then
+             Printf.sprintf " (%d heal%s)" st.Store.heals
+               (if st.Store.heals = 1 then "" else "s")
            else "");
-      Store.close s
+      Store.close s);
+  (* Structured failure report: one stderr line per quarantined cell,
+     then a distinct exit code — after the store, telemetry and events
+     are all flushed. *)
+  List.iter
+    (fun (f : Experiment.cell_failure) ->
+      Printf.eprintf
+        "QUARANTINED cell alpha=%g k=%d (index %d, seed %d): %d attempt%s, \
+         %s: %s\n%!"
+        f.Experiment.cell.Experiment.alpha f.Experiment.cell.Experiment.k
+        f.Experiment.index f.Experiment.cell_seed f.Experiment.attempts
+        (if f.Experiment.attempts = 1 then "" else "s")
+        (Ncg_fault.Executor.kind_to_string f.Experiment.kind)
+        f.Experiment.exn_text)
+    failures;
+  match interrupted with
+  | Some s ->
+      Printf.eprintf
+        "ncg_experiment: interrupted by signal %d (store/telemetry/events \
+         flushed)\n%!"
+        s;
+      exit (128 + s)
+  | None ->
+      if failures <> [] then begin
+        Printf.eprintf "ncg_experiment: %d of %d cells quarantined\n%!"
+          (List.length failures) total;
+        exit 3
+      end
 
 let graph_class =
   Arg.(value & opt string "tree" & info [ "class" ] ~docv:"CLASS"
@@ -415,12 +539,41 @@ let quiet =
   Arg.(value & flag & info [ "quiet" ]
          ~doc:"Suppress the live progress line on stderr.")
 
+let fault_plan_spec =
+  Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"SPEC"
+         ~doc:"Deterministic fault-injection plan, e.g. \
+               'sweep.cell=raise@p:0.3,record_log.append=short:8@nth:2' \
+               (see docs/ROBUSTNESS.md).")
+
+let fault_seed =
+  Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"N"
+         ~doc:"Seed of the fault plan's probability draws.")
+
+let max_retries =
+  Arg.(value & opt int 0 & info [ "max-retries" ] ~docv:"N"
+         ~doc:"Extra attempts per failing cell before quarantine.")
+
+let retry_backoff_ms =
+  Arg.(value & opt float 0. & info [ "retry-backoff-ms" ] ~docv:"MS"
+         ~doc:"Linear retry backoff: attempt $(i,i) sleeps MS*i first.")
+
+let cell_deadline_ms =
+  Arg.(value & opt float 0. & info [ "cell-deadline-ms" ] ~docv:"MS"
+         ~doc:"Wall-clock deadline per cell attempt (0 = none).")
+
+let move_budget =
+  Arg.(value & opt int 1_000_000 & info [ "move-budget" ] ~docv:"N"
+         ~doc:"Cooperative checkpoint polls allowed per player move \
+               (0 = unlimited); an exhausted budget fails the move's \
+               cell with a timeout.")
+
 let cmd =
   let doc = "grid experiments over (alpha, k) printing CSV series" in
   Cmd.v
     (Cmd.info "ncg_experiment" ~doc)
     Term.(const run $ graph_class $ n $ p $ alphas $ ks $ trials $ seed $ budget
           $ domains $ store_dir $ resume $ no_cache $ only_cell $ telemetry
-          $ trace_out $ events $ quiet)
+          $ trace_out $ events $ quiet $ fault_plan_spec $ fault_seed
+          $ max_retries $ retry_backoff_ms $ cell_deadline_ms $ move_budget)
 
 let () = exit (Cmd.eval cmd)

@@ -13,6 +13,7 @@ let current_cost ~alpha (v : View.t) =
 let compute ?(solver = `Exact) ?max_edges ?allowed ~alpha (v : View.t) =
   Ncg_obs.Histogram.(time best_response) @@ fun () ->
   Ncg_obs.Metrics.(incr best_response_calls);
+  Ncg_fault.Inject.(hit best_response);
   let h_graph = v.View.graph in
   let nv = Graph.order h_graph in
   (match max_edges with
@@ -55,6 +56,7 @@ let compute ?(solver = `Exact) ?max_edges ?allowed ~alpha (v : View.t) =
     let h = ref 1 in
     let continue_ = ref true in
     while !continue_ && float_of_int !h < !best.cost -. 1e-9 do
+      Ncg_fault.Cancel.checkpoint ();
       Ncg_obs.Metrics.(incr best_response_radii);
       (* Cardinality cap: a solution only helps if α·|S| + h < best. *)
       let max_size =
@@ -122,6 +124,7 @@ let local_search ~alpha (v : View.t) =
     }
   in
   let rec descend best =
+    Ncg_fault.Cancel.checkpoint ();
     let adds =
       List.filter_map
         (fun t -> if List.mem t best.targets then None else Some (t :: best.targets))

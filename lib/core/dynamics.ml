@@ -12,6 +12,7 @@ type config = {
   max_rounds : int;
   epsilon : float;
   collect_features : bool;
+  move_budget : int;
 }
 
 let default_config ~alpha ~k =
@@ -26,6 +27,7 @@ let default_config ~alpha ~k =
     max_rounds = 200;
     epsilon = 1e-9;
     collect_features = true;
+    move_budget = 1_000_000;
   }
 
 type outcome = Converged of int | Cycle_detected of int | Max_rounds_exceeded
@@ -110,6 +112,8 @@ let run_untraced config strategy0 =
   let round = ref 0 in
   while !outcome = None && !round < config.max_rounds do
     incr round;
+    Ncg_fault.Cancel.checkpoint ();
+    Ncg_fault.Inject.(hit dynamics_round);
     Ncg_obs.Histogram.(time dynamics_round) (fun () ->
         (match sweep_rng with
         | Some rng -> Ncg_prng.Rng.shuffle rng player_order
@@ -117,7 +121,10 @@ let run_untraced config strategy0 =
         let changes = ref 0 in
         Array.iter
           (fun u ->
-            match best_response_step config !strategy !g u with
+            match
+              Ncg_fault.Cancel.with_step_budget config.move_budget (fun () ->
+                  best_response_step config !strategy !g u)
+            with
             | Some (strategy', old_cost, new_cost) ->
                 let before = Strategy.owned !strategy u in
                 let after = Strategy.owned strategy' u in

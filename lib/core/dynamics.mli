@@ -28,10 +28,17 @@ type config = {
   max_rounds : int;
   epsilon : float;  (** strict-improvement threshold *)
   collect_features : bool;  (** record {!Features.t} after every round *)
+  move_budget : int;
+      (** max search steps (cooperative {!Ncg_fault.Cancel.checkpoint}
+          polls: dominating-set radii, local-search descents) a single
+          player move may take before the run fails with
+          [Ncg_fault.Cancel.Timed_out "step budget exhausted"] instead
+          of hanging; [<= 0] = unlimited. Budget hits are counted in
+          the ["dynamics.step_budget_hits"] metric. *)
 }
 
 (** Sensible defaults: Max variant, exact best responses, round-robin,
-    200 rounds, features on. *)
+    200 rounds, features on, a 1e6-step move budget. *)
 val default_config : alpha:float -> k:int -> config
 
 type outcome =

@@ -223,8 +223,11 @@ module Json = Ncg_obs.Json
 
 (* Bumped on any change to the cell_result serialization below. Distinct
    from Cache_key.schema_version (the key layout); both participate in
-   the key, so either bump invalidates old records. *)
-let cell_payload_schema = "ncg.store.cell/1"
+   the key, so either bump invalidates old records. /2: the fault layer
+   registered new Metrics counters (dynamics.move_steps and friends), so
+   counter snapshots from /1 records would decode with different shapes
+   than a recompute produces. *)
+let cell_payload_schema = "ncg.store.cell/2"
 
 let bool_of_json name = function
   | Json.Bool b -> b
@@ -361,7 +364,30 @@ let store_lookup store key =
 let store_insert store key r =
   Ncg_store.Store.insert store key (Json.to_string (cell_result_to_json r))
 
-let sweep ?(domains = 1) ?store ?(store_context = []) ~make_initial ~make_config
+type cell_failure = {
+  index : int;
+  cell : cell;
+  cell_seed : int;
+  attempts : int;
+  kind : Ncg_fault.Executor.kind;
+  exn_text : string;
+  exn : exn;
+}
+
+let cell_failure_to_json (f : cell_failure) =
+  Json.Obj
+    [
+      ("index", Json.Int f.index);
+      ("alpha", Json.Float f.cell.alpha);
+      ("k", Json.Int f.cell.k);
+      ("cell_seed", Json.Int f.cell_seed);
+      ("attempts", Json.Int f.attempts);
+      ("kind", Json.String (Ncg_fault.Executor.kind_to_string f.kind));
+      ("error", Json.String f.exn_text);
+    ]
+
+let sweep_supervised ?(domains = 1) ?(max_retries = 0) ?(retry_backoff_ns = 0L)
+    ?cell_deadline_ns ?store ?(store_context = []) ~make_initial ~make_config
     ~cells ~trials:count ~seed () =
   let cells = Array.of_list cells in
   let total = Array.length cells in
@@ -376,7 +402,9 @@ let sweep ?(domains = 1) ?store ?(store_context = []) ~make_initial ~make_config
   in
   (* Cached cells are resolved up front on the calling domain, before the
      fan-out: domains then only ever run cells that truly need computing,
-     and hit/miss metrics land in the caller's collector. *)
+     and hit/miss metrics land in the caller's collector. The fault plane
+     is only armed inside executor tasks, so cached resolution never
+     faults. *)
   let cached =
     match store with
     | None -> [||]
@@ -400,7 +428,7 @@ let sweep ?(domains = 1) ?store ?(store_context = []) ~make_initial ~make_config
           ("total", Json.Int total);
         ]
   in
-  let run i =
+  let task ~index:i ~attempt:_ =
     let cell = cells.(i) in
     match if i < Array.length cached then cached.(i) else None with
     | Some r ->
@@ -411,12 +439,16 @@ let sweep ?(domains = 1) ?store ?(store_context = []) ~make_initial ~make_config
           ~histograms:r.histograms;
         r
     | None ->
+        Ncg_fault.Inject.(hit sweep_cell);
         let r =
           run_cell ~make_initial ~make_config ~trials:count
             ~cell_seed:cell_seeds.(i) cell
         in
         (* Persist as soon as the cell finishes, on the domain that ran
-           it: a SIGKILL later in the sweep loses only in-flight cells. *)
+           it: a SIGKILL later in the sweep loses only in-flight cells.
+           An insert that fails (e.g. an injected short write) fails the
+           attempt — durability is part of the cell — and the retry
+           recomputes and re-appends. *)
         (match store with Some s -> store_insert s keys.(i) r | None -> ());
         let done_count = Atomic.fetch_and_add finished 1 + 1 in
         emit_cell_event ~index:i ~cell ~wall_ns:r.wall_ns ~gc:r.gc
@@ -425,9 +457,76 @@ let sweep ?(domains = 1) ?store ?(store_context = []) ~make_initial ~make_config
           ~histograms:r.histograms;
         r
   in
-  let results = Ncg_util.Parallel.init ~domains total run in
+  let on_event (ev : Ncg_fault.Executor.event) =
+    match ev with
+    | Ncg_fault.Executor.Attempt_started _ -> ()
+    | Ncg_fault.Executor.Attempt_failed
+        { index; attempt; kind; exn_text; will_retry } ->
+        if Ncg_obs.Events.active () then
+          Ncg_obs.Events.emit ~severity:Ncg_obs.Events.Warn
+            "sweep.cell.attempt_failed"
+            [
+              ("index", Json.Int index);
+              ("alpha", Json.Float cells.(index).alpha);
+              ("k", Json.Int cells.(index).k);
+              ("attempt", Json.Int attempt);
+              ("kind", Json.String (Ncg_fault.Executor.kind_to_string kind));
+              ("error", Json.String exn_text);
+              ("will_retry", Json.Bool will_retry);
+            ]
+    | Ncg_fault.Executor.Quarantined fl ->
+        let done_count = Atomic.fetch_and_add finished 1 + 1 in
+        if Ncg_obs.Events.active () then
+          Ncg_obs.Events.emit ~severity:Ncg_obs.Events.Error
+            "sweep.cell.quarantined"
+            [
+              ("index", Json.Int fl.index);
+              ("alpha", Json.Float cells.(fl.index).alpha);
+              ("k", Json.Int cells.(fl.index).k);
+              ("cell_seed", Json.Int cell_seeds.(fl.index));
+              ("attempts", Json.Int fl.attempts);
+              ("kind", Json.String (Ncg_fault.Executor.kind_to_string fl.kind));
+              ("error", Json.String fl.exn_text);
+              ("done", Json.Int done_count);
+              ("total", Json.Int total);
+            ];
+        report_progress ~sweep_started ~finished:done_count ~total
+          ~histograms:[]
+  in
+  let outcomes =
+    Ncg_fault.Executor.map ~domains ~max_retries ~backoff_ns:retry_backoff_ns
+      ?deadline_ns:cell_deadline_ns ~on_event task total
+  in
   Ncg_obs.Events.progress_done ();
-  results
+  Array.to_list outcomes
+  |> List.mapi (fun i outcome ->
+         match outcome with
+         | Ok r -> Ok r
+         | Error (fl : Ncg_fault.Executor.failure) ->
+             Error
+               {
+                 index = i;
+                 cell = cells.(i);
+                 cell_seed = cell_seeds.(i);
+                 attempts = fl.attempts;
+                 kind = fl.kind;
+                 exn_text = fl.exn_text;
+                 exn = fl.exn;
+               })
+
+let sweep_failures outcomes =
+  List.filter_map (function Ok _ -> None | Error f -> Some f) outcomes
+
+let sweep ?domains ?store ?store_context ~make_initial ~make_config ~cells
+    ~trials ~seed () =
+  let outcomes =
+    sweep_supervised ?domains ?store ?store_context ~make_initial ~make_config
+      ~cells ~trials ~seed ()
+  in
+  (* Legacy contract: every cell still ran (the executor quarantines
+     instead of aborting), then the lowest-index failure re-raises —
+     deterministic for a deterministic task, like Parallel.chunked_map. *)
+  List.map (function Ok r -> r | Error f -> raise f.exn) outcomes
 
 let sweep_counters results =
   Ncg_obs.Metrics.total (List.map (fun r -> r.counters) results)

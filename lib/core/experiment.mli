@@ -136,22 +136,83 @@ val run_cell :
   cell ->
   cell_result
 
-(** [sweep ?domains ?store ?store_context ~make_initial ~make_config
+(** A quarantined sweep cell: it failed [attempts] attempts (under the
+    retry budget) and the sweep completed without it. *)
+type cell_failure = {
+  index : int;  (** position in the sweep's cell list *)
+  cell : cell;
+  cell_seed : int;  (** the cell's {!derive_seeds} entry *)
+  attempts : int;
+  kind : Ncg_fault.Executor.kind;
+  exn_text : string;
+  exn : exn;  (** the final attempt's exception, for re-raising *)
+}
+
+(** Failure-report entry (index, α, k, seed, attempts, kind, error) —
+    the elements of the telemetry ["sweep.failures"] list. *)
+val cell_failure_to_json : cell_failure -> Ncg_obs.Json.t
+
+(** [sweep_supervised ?domains ?max_retries ?retry_backoff_ns
+    ?cell_deadline_ns ?store ?store_context ~make_initial ~make_config
     ~cells ~trials ~seed ()] runs every cell ([trials] dynamics each)
-    fanned out over [domains] (default 1), returning results in cell
-    order.
+    under the supervised work-queue executor
+    ({!Ncg_fault.Executor.map}), returning one outcome per cell in cell
+    order: [Ok result], or [Error failure] for a cell that exhausted
+    [max_retries] (default 0) extra attempts and was quarantined — the
+    sweep always completes every other cell.
+
+    Per attempt, a cell runs under [cell_deadline_ns] (watchdog domain +
+    cooperative {!Ncg_fault.Cancel.checkpoint} polls in the dynamics
+    loop); retries back off [retry_backoff_ns * attempt] (a
+    deterministic schedule). Each cell's task is armed for fault
+    injection with [scope = index] (see {!Ncg_fault.Inject}), and passes
+    through the ["sweep.cell"] fault site. Failed attempts emit
+    ["sweep.cell.attempt_failed"] (warn) and quarantines
+    ["sweep.cell.quarantined"] (error) structured events.
 
     With [?store], each cell is looked up by its {!cell_cache_key}
     before the fan-out; hits are returned without recomputation
     (their ["sweep.cell"] event carries ["cached": true]) and misses are
     appended to the store as soon as they finish, on the domain that ran
     them — killing the process mid-sweep loses at most the in-flight
-    cells. [store_context] must fingerprint everything outside
-    [(seed, cells, trials)] that determines a cell's output: graph
-    class and parameters, solver budget, dynamics settings. Store
+    cells, and a quarantined cell simply stays missing, so a later
+    [--resume] run (with the fault gone) computes exactly the
+    quarantined cells. [store_context] must fingerprint everything
+    outside [(seed, cells, trials)] that determines a cell's output:
+    graph class and parameters, solver budget, dynamics settings. Store
     traffic happens outside the per-cell collectors, so a cell's
     [counters]/[histograms]/[gc] are identical whether it was computed
-    or restored. *)
+    or restored.
+
+    Determinism under failure: successful cells are identical (same
+    contract as {!sweep}) to a sequential no-fault run, for any
+    [domains], retry budget or fault plan; and for a fixed plan (and
+    deterministic faults — raises, not wall-clock deadlines) the failure
+    vector is identical too. *)
+val sweep_supervised :
+  ?domains:int ->
+  ?max_retries:int ->
+  ?retry_backoff_ns:int64 ->
+  ?cell_deadline_ns:int64 ->
+  ?store:Ncg_store.Store.t ->
+  ?store_context:(string * Ncg_obs.Json.t) list ->
+  make_initial:(seed:int -> Strategy.t) ->
+  make_config:(cell -> Dynamics.config) ->
+  cells:cell list ->
+  trials:int ->
+  seed:int ->
+  unit ->
+  (cell_result, cell_failure) result list
+
+(** The quarantined cells of a {!sweep_supervised} outcome, in cell
+    order. *)
+val sweep_failures :
+  (cell_result, cell_failure) result list -> cell_failure list
+
+(** [sweep ?domains ?store ?store_context …] is {!sweep_supervised}
+    with no retries and no deadline, re-raising the lowest-index
+    failure's exception after every other cell completed (the legacy
+    all-or-nothing contract). *)
 val sweep :
   ?domains:int ->
   ?store:Ncg_store.Store.t ->

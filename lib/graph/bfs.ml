@@ -2,6 +2,7 @@ let unreachable = -1
 
 let distances_within g src ~radius =
   Ncg_obs.Metrics.(incr bfs_calls);
+  Ncg_fault.Inject.(hit bfs);
   let n = Graph.order g in
   let dist = Array.make n unreachable in
   let q = Ncg_util.Int_queue.create ~initial_capacity:n () in

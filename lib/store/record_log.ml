@@ -14,6 +14,7 @@ type t = {
   sync_on_append : bool;
   mutable pos : int; (* current end of the valid log == append offset *)
   mutable closed : bool;
+  mutable poisoned : bool; (* a failed append left an unknown tail on disk *)
 }
 
 type recovery = { replayed : int; dropped_bytes : int }
@@ -56,7 +57,7 @@ let openfile ?(sync = true) log_path ~replay =
     if file_size = 0 then begin
       write_all fd (Bytes.of_string magic);
       if sync then Unix.fsync fd;
-      ({ fd; log_path; sync_on_append = sync; pos = header_len; closed = false },
+      ({ fd; log_path; sync_on_append = sync; pos = header_len; closed = false; poisoned = false },
        { replayed = 0; dropped_bytes = 0 })
     end
     else begin
@@ -75,7 +76,7 @@ let openfile ?(sync = true) log_path ~replay =
         Unix.ftruncate fd 0;
         write_all fd (Bytes.of_string magic);
         if sync then Unix.fsync fd;
-        ({ fd; log_path; sync_on_append = sync; pos = header_len; closed = false },
+        ({ fd; log_path; sync_on_append = sync; pos = header_len; closed = false; poisoned = false },
          { replayed = 0; dropped_bytes = file_size })
       end
       else begin
@@ -110,7 +111,7 @@ let openfile ?(sync = true) log_path ~replay =
         let dropped = file_size - !good_end in
         if dropped > 0 then Unix.ftruncate fd !good_end;
         ignore (Unix.lseek fd !good_end Unix.SEEK_SET);
-        ({ fd; log_path; sync_on_append = sync; pos = !good_end; closed = false },
+        ({ fd; log_path; sync_on_append = sync; pos = !good_end; closed = false; poisoned = false },
          { replayed = !replayed; dropped_bytes = dropped })
       end
     end
@@ -122,14 +123,34 @@ let openfile ?(sync = true) log_path ~replay =
 
 let append t payload =
   if t.closed then invalid_arg "Record_log.append: closed";
+  if t.poisoned then
+    invalid_arg
+      "Record_log.append: handle poisoned by an earlier failed append; \
+       reopen to recover";
   if String.length payload > max_payload then
     invalid_arg "Record_log.append: payload exceeds max_payload";
   let buf = frame payload in
-  write_all t.fd buf;
-  if t.sync_on_append then Unix.fsync t.fd;
-  t.pos <- t.pos + Bytes.length buf
+  match Ncg_fault.Inject.(short_write record_log_append ~len:(Bytes.length buf))
+  with
+  | Some cut ->
+      (* Injected short write: leave a real torn frame on disk — the same
+         state a crash mid-write leaves — and poison the handle so later
+         appends cannot land after the torn tail. *)
+      t.poisoned <- true;
+      write_all t.fd (Bytes.sub buf 0 cut);
+      if t.sync_on_append then Unix.fsync t.fd;
+      raise Ncg_fault.Inject.(short_write_fault record_log_append)
+  | None -> (
+      match write_all t.fd buf with
+      | () ->
+          if t.sync_on_append then Unix.fsync t.fd;
+          t.pos <- t.pos + Bytes.length buf
+      | exception e ->
+          t.poisoned <- true;
+          raise e)
 
 let sync t = if not t.closed then Unix.fsync t.fd
+let poisoned t = t.poisoned
 let path t = t.log_path
 let size t = t.pos
 

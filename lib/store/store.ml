@@ -7,9 +7,74 @@ let m_hits = Metrics.register "store.hits"
 let m_misses = Metrics.register "store.misses"
 let m_inserts = Metrics.register "store.inserts"
 let m_evictions = Metrics.register "store.evictions"
+let m_heals = Metrics.register "store.heals"
 
 let manifest_name = "MANIFEST.json"
 let records_name = "records.log"
+let lock_name = "LOCK"
+
+exception Locked of { dir : string; pid : int }
+
+let () =
+  Printexc.register_printer (function
+    | Locked { dir; pid } ->
+        Some
+          (Printf.sprintf
+             "Ncg_store.Store.Locked(store %S is in use by pid %d; remove %s \
+              if that process is gone)"
+             dir pid
+             (Filename.concat dir lock_name))
+    | _ -> None)
+
+(* Advisory lock: DIR/LOCK is created with O_EXCL and holds the owning
+   PID. Stale locks (owner no longer running) are detected with a
+   kill-0 probe and swept; EPERM means the owner exists but belongs to
+   someone else, which still counts as held. *)
+
+let read_lock_pid path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let contents =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (min 64 (in_channel_length ic)))
+      in
+      int_of_string_opt (String.trim contents)
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (_, _, _) -> true
+
+let rec acquire_lock ?(sweep_stale = true) dir =
+  let path = Filename.concat dir lock_name in
+  match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 with
+  | fd ->
+      let line = Bytes.of_string (string_of_int (Unix.getpid ()) ^ "\n") in
+      let rec w off =
+        if off < Bytes.length line then
+          w (off + Unix.write fd line off (Bytes.length line - off))
+      in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> w 0)
+  | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+      let holder = read_lock_pid path in
+      let stale =
+        match holder with
+        | None -> true (* unreadable/torn lock file *)
+        | Some pid -> pid <> Unix.getpid () && not (pid_alive pid)
+      in
+      if stale && sweep_stale then begin
+        (try Sys.remove path with Sys_error _ -> ());
+        (* One retry: if we lose the O_EXCL race after the sweep, the
+           new owner is alive and we report it. *)
+        acquire_lock ~sweep_stale:false dir
+      end
+      else raise (Locked { dir; pid = Option.value holder ~default:(-1) })
+
+let release_lock dir =
+  try Sys.remove (Filename.concat dir lock_name) with Sys_error _ -> ()
 
 type t = {
   dir : string;
@@ -25,6 +90,7 @@ type t = {
   mutable replayed : int;
   mutable dropped_bytes : int;
   mutable compactions : int; (* whole-history count, persisted in the manifest *)
+  mutable heals : int; (* log reopens after a failed append *)
   mutable closed : bool;
 }
 
@@ -37,6 +103,7 @@ type stats = {
   replayed : int;
   dropped_bytes : int;
   compactions : int;
+  heals : int;
 }
 
 (* Record payload layout: u32 LE key length, key bytes, value bytes.
@@ -105,6 +172,8 @@ let read_manifest_compactions dir =
 
 let open_dir ?(sync = true) dir =
   mkdir_p dir;
+  acquire_lock dir;
+  match
   let index = Hashtbl.create 64 in
   let order = ref [] in
   let superseded = ref 0 in
@@ -134,11 +203,17 @@ let open_dir ?(sync = true) dir =
       replayed;
       dropped_bytes;
       compactions = read_manifest_compactions dir;
+      heals = 0;
       closed = false;
     }
   in
   write_manifest t;
   t
+  with
+  | t -> t
+  | exception e ->
+      release_lock dir;
+      raise e
 
 let check_open t = if t.closed then invalid_arg "Ncg_store.Store: closed"
 
@@ -160,11 +235,31 @@ let mem t key =
       check_open t;
       Hashtbl.mem t.index (Cache_key.to_string key))
 
+(* A failed append (injected short write or a real write error) leaves a
+   torn frame on disk and a poisoned log handle. Reopen the log in place:
+   recovery truncates the tail back to the last complete record, and the
+   in-memory index is still exact because it is only updated after a
+   successful append — so the failure costs one record, not the store. *)
+let heal_log t =
+  (try Record_log.close t.log with _ -> ());
+  let log, _ =
+    Record_log.openfile ~sync:t.sync
+      (Filename.concat t.dir records_name)
+      ~replay:ignore
+  in
+  t.log <- log;
+  t.heals <- t.heals + 1;
+  Metrics.incr m_heals
+
 let insert t key payload =
   Mutex.protect t.mutex (fun () ->
       check_open t;
       let key = Cache_key.to_string key in
-      Record_log.append t.log (encode_record key payload);
+      (match Record_log.append t.log (encode_record key payload) with
+      | () -> ()
+      | exception e ->
+          heal_log t;
+          raise e);
       if Hashtbl.mem t.index key then t.superseded <- t.superseded + 1
       else t.order <- key :: t.order;
       Hashtbl.replace t.index key payload;
@@ -219,6 +314,7 @@ let stats t =
         replayed = t.replayed;
         dropped_bytes = t.dropped_bytes;
         compactions = t.compactions;
+        heals = t.heals;
       })
 
 let close t =
@@ -226,6 +322,7 @@ let close t =
       if not t.closed then begin
         write_manifest t;
         Record_log.close t.log;
+        release_lock t.dir;
         t.closed <- true
       end)
 
@@ -244,4 +341,5 @@ let stats_to_json s =
       ("replayed", Json.Int s.replayed);
       ("dropped_bytes", Json.Int s.dropped_bytes);
       ("compactions", Json.Int s.compactions);
+      ("heals", Json.Int s.heals);
     ]

@@ -29,6 +29,11 @@
 
 type t
 
+(** Raised by {!open_dir} when [dir/LOCK] is held by a live process:
+    two concurrent sweeps must not interleave appends into one log.
+    [pid] is the holder ([-1] when the lock file was unreadable). *)
+exception Locked of { dir : string; pid : int }
+
 (** Lifetime-of-this-handle operation counts plus recovery facts. *)
 type stats = {
   hits : int;
@@ -39,13 +44,22 @@ type stats = {
   replayed : int;  (** records recovered at open *)
   dropped_bytes : int;  (** torn-tail bytes truncated at open *)
   compactions : int;  (** over the store's whole history (from manifest) *)
+  heals : int;  (** in-place log reopens after a failed append *)
 }
 
 (** [open_dir ?sync dir] opens (creating directories as needed) the
     store at [dir], replays the record log (repairing a torn tail) and
     rewrites the manifest. [sync] (default [true]) is passed to
-    {!Record_log.openfile}. At most one handle per directory.
+    {!Record_log.openfile}.
 
+    At most one handle per directory, process-wide: [open_dir] takes an
+    advisory lock ([dir/LOCK], containing the owner's PID) released by
+    {!close}. A lock whose owner is no longer running — the sweep was
+    SIGKILLed — is detected with a PID probe and swept automatically, so
+    crashes never wedge a store.
+
+    @raise Locked when another live process (or this one) already holds
+    the store open.
     @raise Sys_error when [dir/records.log] exists but is not a record
     log. *)
 val open_dir : ?sync:bool -> string -> t
@@ -55,7 +69,14 @@ val lookup : t -> Cache_key.t -> string option
 
 (** [insert t key payload] durably appends the record; visible to
     {!lookup} immediately, and to future opens as soon as the append
-    completed. *)
+    completed.
+
+    If the append fails partway (an injected short write through the
+    ["record_log.append"] fault site, or a real write error), the store
+    {e heals} before re-raising: the log is reopened in place, which
+    truncates the torn frame, so the failure costs exactly the record
+    being written and subsequent inserts proceed normally. Heals are
+    counted in {!stats} and the [store.heals] metric. *)
 val insert : t -> Cache_key.t -> string -> unit
 
 val mem : t -> Cache_key.t -> bool

@@ -87,6 +87,27 @@ let test_determinism () =
   check_bool "same final profile" true (Strategy.equal r1.Dynamics.final r2.Dynamics.final);
   check_int "same move count" r1.Dynamics.total_moves r2.Dynamics.total_moves
 
+let test_move_budget () =
+  let make () =
+    let rng = Rng.create 99 in
+    let g = Ncg_gen.Random_tree.generate rng 12 in
+    Strategy.random_orientation rng g
+  in
+  (* A starved budget turns a long best-response search into a reported
+     timeout instead of an open-ended run. *)
+  (match Dynamics.run { (config ~alpha:0.7 ~k:3 ()) with Dynamics.move_budget = 3 } (make ()) with
+  | _ -> Alcotest.fail "tiny move budget should trip"
+  | exception Ncg_fault.Cancel.Timed_out what ->
+      Alcotest.(check string) "what" "step budget exhausted" what);
+  (* A generous budget never fires and changes nothing: same results as
+     unlimited. *)
+  let r1 = Dynamics.run { (config ~alpha:0.7 ~k:3 ()) with Dynamics.move_budget = 0 } (make ()) in
+  let r2 =
+    Dynamics.run { (config ~alpha:0.7 ~k:3 ()) with Dynamics.move_budget = 1_000_000 } (make ())
+  in
+  check_bool "same final profile" true (Strategy.equal r1.Dynamics.final r2.Dynamics.final);
+  check_int "same move count" r1.Dynamics.total_moves r2.Dynamics.total_moves
+
 let test_best_response_step () =
   (* Star with cheap edges: a leaf's step changes the profile. *)
   let s = Strategy.of_buys ~n:5 (Ncg_gen.Classic.star_buys 5) in
@@ -255,6 +276,7 @@ let () =
       ( "mechanics",
         [
           Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "move budget" `Quick test_move_budget;
           Alcotest.test_case "single step" `Quick test_best_response_step;
           Alcotest.test_case "sum variant" `Quick test_sum_dynamics_runs;
         ] );

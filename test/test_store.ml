@@ -402,6 +402,132 @@ let test_sweep_resume_after_kill () =
             [ 1; 2 ])
         offsets)
 
+(* --- Fault-injected short writes and healing ------------------------------ *)
+
+module Inject = Ncg_fault.Inject
+
+(* Run [f] with [spec] installed and armed in this domain; always leave
+   the process disarmed and plan-free. *)
+let with_fault_plan spec f =
+  (match Inject.parse_plan ~seed:42 spec with
+  | Ok plan -> Inject.install plan
+  | Error e -> Alcotest.fail e);
+  Inject.arm ~scope:0;
+  Fun.protect
+    ~finally:(fun () ->
+      Inject.clear ();
+      Inject.disarm ())
+    f
+
+(* A short write injected into the [i]-th of [n] appends must poison the
+   handle, leave a genuinely torn frame on disk, and cost exactly that
+   one record on reopen — for every victim index and any cut length. *)
+let prop_log_short_write_recovers =
+  QCheck.Test.make ~name:"short write loses exactly the torn record" ~count:100
+    QCheck.(
+      triple (int_range 1 8) (int_range 0 7)
+        (small_list (string_gen Gen.(map Char.chr (int_range 0 255)))))
+    (fun (n, victim_ix, extra) ->
+      let victim_ix = victim_ix mod n in
+      let payloads =
+        List.init n (fun i -> Printf.sprintf "record-%d-%s" i (String.make i 'x'))
+        @ extra
+      in
+      let payloads = List.filteri (fun i _ -> i < n) payloads in
+      with_temp_dir (fun dir ->
+          let path = Filename.concat dir "log" in
+          let log, _, _ = open_collecting path in
+          let spec = Printf.sprintf "record_log.append=short:3@nth:%d" (victim_ix + 1) in
+          let survivors = ref [] in
+          let faulted = ref false in
+          with_fault_plan spec (fun () ->
+              List.iteri
+                (fun i p ->
+                  if not !faulted then
+                    match Record_log.append log p with
+                    | () -> survivors := p :: !survivors
+                    | exception Inject.Fault { site; _ } ->
+                        faulted := true;
+                        check_string "site" "record_log.append" site;
+                        check_int "victim" victim_ix i;
+                        check_bool "poisoned" true (Record_log.poisoned log);
+                        (* Poisoned handles refuse further appends. *)
+                        (match Record_log.append log "after" with
+                        | () -> Alcotest.fail "append on poisoned handle"
+                        | exception Invalid_argument _ -> ()))
+                payloads);
+          Record_log.close log;
+          (* Reopen: the torn frame is truncated, every append that
+             returned cleanly is replayed, and the handle works again. *)
+          let log, recovery, seen = open_collecting path in
+          check_int "replayed" victim_ix recovery.Record_log.replayed;
+          check_bool "torn bytes dropped" true (recovery.Record_log.dropped_bytes > 0);
+          check_bool "survivors replayed" true (seen = List.rev !survivors);
+          Record_log.append log "fresh";
+          Record_log.close log;
+          let _, recovery, seen = open_collecting path in
+          check_int "fresh append recovered" (victim_ix + 1)
+            recovery.Record_log.replayed;
+          check_bool "tail is the fresh record" true
+            (List.nth seen victim_ix = "fresh");
+          true))
+
+let test_store_heals_after_failed_insert () =
+  with_temp_dir (fun dir ->
+      let key tag = Cache_key.make [ ("t", Json.String tag) ] in
+      Store.with_dir dir (fun store ->
+          (* Insert a (clean), b (short write), c (clean): the store heals
+             in place, so only b is lost. *)
+          with_fault_plan "record_log.append=short:6@nth:2" (fun () ->
+              Store.insert store (key "a") "payload-a";
+              (match Store.insert store (key "b") "payload-b" with
+              | () -> Alcotest.fail "insert should fail"
+              | exception Inject.Fault _ -> ());
+              Store.insert store (key "c") "payload-c");
+          check_bool "a" true (Store.lookup store (key "a") = Some "payload-a");
+          check_bool "b lost" true (Store.lookup store (key "b") = None);
+          check_bool "c" true (Store.lookup store (key "c") = Some "payload-c");
+          check_int "healed once" 1 (Store.stats store).Store.heals);
+      (* The on-disk log holds exactly the records whose insert returned. *)
+      Store.with_dir dir (fun store ->
+          check_int "replayed" 2 (Store.stats store).Store.replayed;
+          check_bool "a persisted" true
+            (Store.lookup store (key "a") = Some "payload-a");
+          check_bool "c persisted" true
+            (Store.lookup store (key "c") = Some "payload-c")))
+
+(* --- Advisory store lock -------------------------------------------------- *)
+
+let test_store_lock_excludes_second_open () =
+  with_temp_dir (fun dir ->
+      let store = Store.open_dir dir in
+      Fun.protect
+        ~finally:(fun () -> Store.close store)
+        (fun () ->
+          match Store.open_dir dir with
+          | _ -> Alcotest.fail "second open should raise Locked"
+          | exception Store.Locked { pid; _ } ->
+              check_int "holder is this process" (Unix.getpid ()) pid);
+      (* close released the lock: reopening works. *)
+      Store.with_dir dir (fun _ -> ()))
+
+let test_store_lock_stale_is_swept () =
+  with_temp_dir (fun dir ->
+      (* A lock held by a dead process (a reaped child) is stale and must
+         be swept; garbage contents count as stale too. *)
+      let dead_pid =
+        match Unix.fork () with
+        | 0 -> Unix._exit 0
+        | pid ->
+            ignore (Unix.waitpid [] pid);
+            pid
+      in
+      List.iter
+        (fun contents ->
+          write_file (Filename.concat dir "LOCK") contents;
+          Store.with_dir dir (fun _ -> ()))
+        [ Printf.sprintf "%d\n" dead_pid; "not a pid\n"; "" ])
+
 let () =
   Alcotest.run "store"
     [
@@ -418,6 +544,7 @@ let () =
           Alcotest.test_case "corrupt byte" `Quick test_log_corrupt_byte;
           Alcotest.test_case "rejects foreign files" `Quick
             test_log_rejects_foreign_file;
+          QCheck_alcotest.to_alcotest prop_log_short_write_recovers;
         ] );
       ( "cache_key",
         [ Alcotest.test_case "canonical form + fingerprint" `Quick test_cache_key ] );
@@ -427,6 +554,12 @@ let () =
           Alcotest.test_case "compaction" `Quick test_store_compaction;
           Alcotest.test_case "truncated log recovers" `Quick
             test_store_truncated_log_recovers;
+          Alcotest.test_case "heals after failed insert" `Quick
+            test_store_heals_after_failed_insert;
+          Alcotest.test_case "lock excludes second open" `Quick
+            test_store_lock_excludes_second_open;
+          Alcotest.test_case "stale lock is swept" `Quick
+            test_store_lock_stale_is_swept;
         ] );
       ( "sweep",
         [
