@@ -540,10 +540,10 @@ let ablation () =
           collect_features = false;
         }
       in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Ncg_obs.Clock.now_ns () in
       let r = Experiment.run_one cfg (make ()) in
       Printf.printf "%-16s %10.2f %10d %10d %10.3f\n%!" name
-        (Unix.gettimeofday () -. t0)
+        (Ncg_obs.Clock.ns_to_s (Ncg_obs.Clock.elapsed_ns ~since:t0))
         r.Experiment.rounds r.Experiment.total_moves r.Experiment.quality)
     [
       ("exact", `Exact);
@@ -840,7 +840,11 @@ let kernels () =
   match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
   | Some by_test ->
       Printf.printf "%-28s %16s\n" "kernel" "time/run";
-      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) by_test [] in
+      let rows =
+        (Hashtbl.fold [@lint.allow "D3" "accumulated rows are List.sort-ed before printing"])
+          (fun name ols acc -> (name, ols) :: acc)
+          by_test []
+      in
       List.iter
         (fun (name, ols) ->
           let time =
@@ -887,14 +891,16 @@ let () =
   match requested with
   | [ "list" ] -> List.iter (fun (name, _) -> print_endline name) sections
   | [] ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Ncg_obs.Clock.now_ns () in
       List.iter
         (fun (_, f) ->
-          let s0 = Unix.gettimeofday () in
+          let s0 = Ncg_obs.Clock.now_ns () in
           f ();
-          Printf.printf "[section time: %.1fs]\n%!" (Unix.gettimeofday () -. s0))
+          Printf.printf "[section time: %.1fs]\n%!"
+            (Ncg_obs.Clock.ns_to_s (Ncg_obs.Clock.elapsed_ns ~since:s0)))
         sections;
-      Printf.printf "\nTotal: %.1fs\n" (Unix.gettimeofday () -. t0)
+      Printf.printf "\nTotal: %.1fs\n"
+        (Ncg_obs.Clock.ns_to_s (Ncg_obs.Clock.elapsed_ns ~since:t0))
   | names ->
       List.iter
         (fun name ->

@@ -270,7 +270,7 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
               "ncg_experiment: --only-cell %s is not in the grid (alphas: %s; \
                ks: %s)\n%!"
               spec
-              (String.concat "," (List.map string_of_float alphas))
+              (String.concat "," (List.map (Printf.sprintf "%g") alphas))
               (String.concat "," (List.map string_of_int ks));
             exit 1);
         !found
@@ -289,14 +289,94 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
         match cached with
         | Some r -> [ Ok r ]
         | None ->
-            let r =
-              Experiment.run_cell ~make_initial ~make_config ~trials
-                ~cell_seed:cell_seeds.(idx) cell
+            (* Reproduce the supervised path in isolation: arm the
+               installed fault plan with the cell's full-grid index as
+               scope — the same scope Executor.map would use — so
+               `--only-cell X --fault-plan P` replays exactly the faults
+               cell X saw inside the full sweep. Hit counters persist
+               across retries (no re-arm), the store insert is part of
+               the attempt, and --cell-deadline-ms is honoured
+               cooperatively through Cancel checkpoints (no watchdog
+               domain for a single cell). *)
+            let attempts_allowed = 1 + max_retries in
+            Ncg_fault.Inject.arm ~scope:idx;
+            let outcome =
+              Fun.protect ~finally:Ncg_fault.Inject.disarm (fun () ->
+                  let rec attempt a =
+                    match
+                      Ncg_fault.Cancel.with_control
+                        ?timeout_ns:cell_deadline_ns (fun () ->
+                          Ncg_fault.Inject.(hit sweep_cell);
+                          let r =
+                            Experiment.run_cell ~make_initial ~make_config
+                              ~trials ~cell_seed:cell_seeds.(idx) cell
+                          in
+                          (match store with
+                          | Some s when not no_cache ->
+                              Experiment.store_insert s (key_of idx cell) r
+                          | _ -> ());
+                          r)
+                    with
+                    | r -> Ok r
+                    | exception e ->
+                        let kind = Ncg_fault.Executor.classify e in
+                        let will_retry =
+                          kind <> Ncg_fault.Executor.Interrupted
+                          && a < attempts_allowed
+                        in
+                        if Ncg_obs.Events.active () then
+                          Ncg_obs.Events.emit ~severity:Ncg_obs.Events.Warn
+                            "sweep.cell.attempt_failed"
+                            [
+                              ("index", Json.Int idx);
+                              ("alpha", Json.Float cell.Experiment.alpha);
+                              ("k", Json.Int cell.Experiment.k);
+                              ("attempt", Json.Int a);
+                              ( "kind",
+                                Json.String
+                                  (Ncg_fault.Executor.kind_to_string kind) );
+                              ("error", Json.String (Printexc.to_string e));
+                              ("will_retry", Json.Bool will_retry);
+                            ];
+                        if will_retry then begin
+                          if retry_backoff_ns > 0L then
+                            Unix.sleepf
+                              (Int64.to_float retry_backoff_ns
+                              *. 1e-9 *. float_of_int a);
+                          attempt (a + 1)
+                        end
+                        else begin
+                          if Ncg_obs.Events.active () then
+                            Ncg_obs.Events.emit
+                              ~severity:Ncg_obs.Events.Error
+                              "sweep.cell.quarantined"
+                              [
+                                ("index", Json.Int idx);
+                                ("alpha", Json.Float cell.Experiment.alpha);
+                                ("k", Json.Int cell.Experiment.k);
+                                ("cell_seed", Json.Int cell_seeds.(idx));
+                                ("attempts", Json.Int a);
+                                ( "kind",
+                                  Json.String
+                                    (Ncg_fault.Executor.kind_to_string kind)
+                                );
+                                ("error", Json.String (Printexc.to_string e));
+                              ];
+                          Error
+                            {
+                              Experiment.index = idx;
+                              cell;
+                              cell_seed = cell_seeds.(idx);
+                              attempts = a;
+                              kind;
+                              exn_text = Printexc.to_string e;
+                              exn = e;
+                            }
+                        end
+                  in
+                  attempt 1)
             in
-            (match store with
-            | Some s when not no_cache -> Experiment.store_insert s (key_of idx cell) r
-            | _ -> ());
-            [ Ok r ])
+            [ outcome ])
     | None ->
         Experiment.sweep_supervised ~domains ~max_retries ~retry_backoff_ns
           ?cell_deadline_ns

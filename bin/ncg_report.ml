@@ -41,9 +41,7 @@ let run graph_class n p alpha k seed variant out =
   match out with
   | None -> print_string report
   | Some path ->
-      let oc = open_out path in
-      output_string oc report;
-      close_out oc;
+      Ncg_obs.Atomic_file.write path report;
       Printf.printf "wrote %s (%d bytes)\n" path (String.length report)
 
 let graph_class =

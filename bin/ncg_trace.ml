@@ -11,10 +11,7 @@
 
 open Cmdliner
 
-let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
+let write_file = Ncg_obs.Atomic_file.write
 
 let read_file path =
   let ic = open_in path in

@@ -226,8 +226,11 @@ module Json = Ncg_obs.Json
    the key, so either bump invalidates old records. /2: the fault layer
    registered new Metrics counters (dynamics.move_steps and friends), so
    counter snapshots from /1 records would decode with different shapes
-   than a recompute produces. *)
-let cell_payload_schema = "ncg.store.cell/2"
+   than a recompute produces. /3: Cancel checkpoints extended into the
+   set-cover solver's inner loops, so dynamics.move_steps counts differ
+   from /2 whenever a step budget is active (ncg_experiment always sets
+   one) — cached /2 cells would not be byte-identical to recomputes. *)
+let cell_payload_schema = "ncg.store.cell/3"
 
 let bool_of_json name = function
   | Json.Bool b -> b

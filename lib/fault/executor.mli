@@ -33,6 +33,12 @@ type kind =
 
 val kind_to_string : kind -> string
 
+(** The {!kind} an exception would be reported as: {!Cancel.Timed_out}
+    is [Timeout], {!Cancel.Interrupted} is [Interrupted], anything else
+    [Crashed]. Exposed so ad-hoc retry loops (e.g. [--only-cell]
+    reproduction) classify failures exactly like {!map}. *)
+val classify : exn -> kind
+
 type failure = {
   index : int;
   attempts : int;  (** attempts made; 0 = never started (shutdown) *)

@@ -8,8 +8,13 @@ let capacity = 64
 
 type site = int
 
-let names = Array.make capacity ""
-let registered = ref 0
+let names =
+  Array.make capacity ""
+[@@lint.domain_local "written only on the main domain at init time, read-only after fan-out"]
+
+let registered =
+  ref 0
+[@@lint.domain_local "written only on the main domain at init time, read-only after fan-out"]
 
 let site name =
   if not (Domain.is_main_domain ()) then
@@ -50,7 +55,12 @@ let record_log_append = site "record_log.append"
 
 type action = Raise | Delay_ns of int64 | Short_write of int
 type trigger = Always | Nth of int | Every of int | Prob of float
-type rule = { site : string; action : action; trigger : trigger }
+type rule = {
+  site : string;
+  action : action;
+  trigger : trigger;
+  budget : int option;
+}
 type plan = { seed : int; rules : rule list }
 
 exception Fault of { site : string; action : string }
@@ -73,9 +83,12 @@ let trigger_to_string = function
   | Prob p -> Printf.sprintf "p:%g" p
 
 let rule_to_string r =
-  match r.trigger with
-  | Always -> Printf.sprintf "%s=%s" r.site (action_to_string r.action)
-  | t -> Printf.sprintf "%s=%s@%s" r.site (action_to_string r.action) (trigger_to_string t)
+  let quals =
+    (match r.trigger with Always -> [] | t -> [ trigger_to_string t ])
+    @ match r.budget with None -> [] | Some b -> [ Printf.sprintf "budget:%d" b ]
+  in
+  String.concat "@"
+    (Printf.sprintf "%s=%s" r.site (action_to_string r.action) :: quals)
 
 let plan_to_string p = String.concat "," (List.map rule_to_string p.rules)
 
@@ -107,12 +120,10 @@ let parse_rule spec =
         fail "unknown fault site %S (known: %s)" site
           (String.concat ", " (sites ()))
   in
-  let action_s, trigger_s =
-    match String.index_opt rest '@' with
-    | Some i ->
-        ( String.sub rest 0 i,
-          Some (String.sub rest (i + 1) (String.length rest - i - 1)) )
-    | None -> (rest, None)
+  let action_s, quals =
+    match String.split_on_char '@' rest with
+    | [] -> (rest, [])
+    | a :: qs -> (a, qs)
   in
   let* action =
     match String.split_on_char ':' action_s with
@@ -126,24 +137,55 @@ let parse_rule spec =
         if b < 0 then fail "short must be >= 0 bytes" else Ok (Short_write b)
     | _ -> fail "unknown action %S (raise | delay:MS | short:BYTES)" action_s
   in
-  let* trigger =
-    match trigger_s with
-    | None | Some "always" -> Ok Always
-    | Some t -> (
-        match String.split_on_char ':' t with
-        | [ "nth"; n ] ->
-            let* n = int_of n "nth" in
-            if n < 1 then fail "nth must be >= 1" else Ok (Nth n)
-        | [ "every"; n ] ->
-            let* n = int_of n "every" in
-            if n < 1 then fail "every must be >= 1" else Ok (Every n)
-        | [ "p"; p ] ->
-            let* p = float_of p "p" in
-            if p < 0. || p > 1. then fail "p must be in [0, 1]"
-            else Ok (Prob p)
-        | _ -> fail "unknown trigger %S (always | nth:N | every:N | p:P)" t)
+  (* The '@' qualifiers after the action: at most one trigger and at
+     most one budget, in either order. *)
+  let* trigger, budget =
+    let parse_qual (trigger, budget) q =
+      let dup what = fail "duplicate %s qualifier %S" what q in
+      match String.split_on_char ':' q with
+      | [ "always" ] -> (
+          match trigger with Some _ -> dup "trigger" | None -> Ok (Some Always, budget))
+      | [ "nth"; n ] -> (
+          match trigger with
+          | Some _ -> dup "trigger"
+          | None ->
+              let* n = int_of n "nth" in
+              if n < 1 then fail "nth must be >= 1"
+              else Ok (Some (Nth n), budget))
+      | [ "every"; n ] -> (
+          match trigger with
+          | Some _ -> dup "trigger"
+          | None ->
+              let* n = int_of n "every" in
+              if n < 1 then fail "every must be >= 1"
+              else Ok (Some (Every n), budget))
+      | [ "p"; p ] -> (
+          match trigger with
+          | Some _ -> dup "trigger"
+          | None ->
+              let* p = float_of p "p" in
+              if p < 0. || p > 1. then fail "p must be in [0, 1]"
+              else Ok (Some (Prob p), budget))
+      | [ "budget"; b ] -> (
+          match budget with
+          | Some _ -> dup "budget"
+          | None ->
+              let* b = int_of b "budget" in
+              if b < 1 then fail "budget must be >= 1"
+              else Ok (trigger, Some b))
+      | _ ->
+          fail "unknown qualifier %S (always | nth:N | every:N | p:P | budget:N)"
+            q
+    in
+    let rec go acc = function
+      | [] -> Ok acc
+      | q :: rest ->
+          let* acc = parse_qual acc q in
+          go acc rest
+    in
+    go (None, None) quals
   in
-  Ok { site; action; trigger }
+  Ok { site; action; trigger = Option.value trigger ~default:Always; budget }
 
 let parse_plan ~seed spec =
   let specs =
@@ -171,7 +213,9 @@ let installed () = Atomic.get current
 type rule_state = {
   action : action;
   trigger : trigger;
+  budget : int option;
   mutable hits : int;
+  mutable fired : int;
   rng : Splitmix64.t;
 }
 
@@ -218,7 +262,16 @@ let arm ~scope =
               in
               per_site.(id) <-
                 per_site.(id)
-                @ [ { action = r.action; trigger = r.trigger; hits = 0; rng } ])
+                @ [
+                    {
+                      action = r.action;
+                      trigger = r.trigger;
+                      budget = r.budget;
+                      hits = 0;
+                      fired = 0;
+                      rng;
+                    };
+                  ])
         plan.rules;
       Domain.DLS.set armed_key (Some per_site)
 
@@ -228,11 +281,23 @@ let unit_float bits = Int64.to_float (Int64.shift_right_logical bits 11) *. 0x1.
 
 let fires st =
   st.hits <- st.hits + 1;
-  match st.trigger with
-  | Always -> true
-  | Nth n -> st.hits = n
-  | Every n -> st.hits mod n = 0
-  | Prob p -> unit_float (Splitmix64.next st.rng) < p
+  (* An exhausted budget short-circuits before the trigger is evaluated,
+     so a Prob rule stops drawing from its stream at a point that is
+     itself deterministic — the decision sequence stays a pure function
+     of (plan seed, site, rule index, scope). *)
+  let exhausted = match st.budget with Some b -> st.fired >= b | None -> false in
+  if exhausted then false
+  else begin
+    let f =
+      match st.trigger with
+      | Always -> true
+      | Nth n -> st.hits = n
+      | Every n -> st.hits mod n = 0
+      | Prob p -> unit_float (Splitmix64.next st.rng) < p
+    in
+    if f then st.fired <- st.fired + 1;
+    f
+  end
 
 let fault id action = Fault { site = names.(id); action }
 

@@ -74,17 +74,31 @@ type trigger =
   | Every of int  (** fire on every [n]-th hit *)
   | Prob of float  (** fire with probability [p], seeded per scope *)
 
-type rule = { site : string; action : action; trigger : trigger }
+type rule = {
+  site : string;
+  action : action;
+  trigger : trigger;
+  budget : int option;
+      (** Stop firing after this many fires (per {!arm} scope); [None]
+          means unlimited. Hits keep counting while exhausted, but a
+          [Prob] rule stops drawing from its stream — exhaustion happens
+          at a deterministic hit, so decisions stay a pure function of
+          (seed, site, rule index, scope). *)
+}
+
 type plan = { seed : int; rules : rule list }
 
 (** Raised by a firing [Raise] or [Short_write] rule. *)
 exception Fault of { site : string; action : string }
 
 (** [parse_plan ~seed spec] parses the [--fault-plan] syntax:
-    comma-separated [SITE=ACTION\[@TRIGGER\]] rules where ACTION is
-    [raise], [delay:MS] or [short:BYTES] and TRIGGER is [always]
-    (default), [nth:N], [every:N] or [p:P]. Site names are validated
-    against the registry. *)
+    comma-separated [SITE=ACTION\[@TRIGGER\]\[@budget:N\]] rules where
+    ACTION is [raise], [delay:MS] or [short:BYTES], TRIGGER is [always]
+    (default), [nth:N], [every:N] or [p:P], and [budget:N] caps the rule
+    at [N] fires per armed scope (e.g. [sweep.cell=raise@p:0.5@budget:2]:
+    coin-flip crashes, but at most two per cell — so retries eventually
+    pass). Qualifiers may appear in either order, at most once each.
+    Site names are validated against the registry. *)
 val parse_plan : seed:int -> string -> (plan, string) result
 
 (** Inverse of {!parse_plan} (modulo default triggers). *)

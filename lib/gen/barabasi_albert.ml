@@ -20,12 +20,19 @@ let generate rng ~n ~m =
   for v = m + 1 to n - 1 do
     refresh ();
     let chosen = Hashtbl.create m in
+    let targets = ref [] in
     (* Rejection loop: m distinct degree-proportional picks among existing
-       vertices. Terminates because at least m distinct vertices exist. *)
+       vertices. Terminates because at least m distinct vertices exist.
+       Targets are kept in draw order (not hash order): the edge list
+       feeds the endpoints multiset and hence future draws, so iteration
+       order here is part of the determinism contract. *)
     while Hashtbl.length chosen < m do
       let t = (!endpoint_array).(Rng.int rng (Array.length !endpoint_array)) in
-      if not (Hashtbl.mem chosen t) then Hashtbl.replace chosen t ()
+      if not (Hashtbl.mem chosen t) then begin
+        Hashtbl.replace chosen t ();
+        targets := t :: !targets
+      end
     done;
-    Hashtbl.iter (fun t () -> add_edge v t) chosen
+    List.iter (fun t -> add_edge v t) (List.rev !targets)
   done;
   Graph.of_edges ~n !edges

@@ -93,7 +93,7 @@ let build variant ~d ~ell ~deltas =
   in
   let signs = sign_vectors d in
   let pairs = ref [] in
-  Hashtbl.iter
+  (Hashtbl.iter [@lint.allow "D3" "collected pairs are List.sort-ed below"])
     (fun c id ->
       List.iter
         (fun s ->

@@ -40,16 +40,20 @@ let degree b u =
 
 let neighbors b u =
   check b u;
-  Hashtbl.fold (fun v () acc -> v :: acc) b.adj.(u) []
+  (* Sorted so the result never exposes hash-bucket order. *)
+  List.sort compare
+    ((Hashtbl.fold [@lint.allow "D3" "collected neighbours are sorted before escaping"])
+       (fun v () acc -> v :: acc)
+       b.adj.(u) [])
 
-let iter_neighbors f b u =
-  check b u;
-  Hashtbl.iter (fun v () -> f v) b.adj.(u)
+let iter_neighbors f b u = List.iter f (neighbors b u)
 
 let to_graph b =
   let edges = ref [] in
   for u = 0 to b.n - 1 do
-    Hashtbl.iter (fun v () -> if u < v then edges := (u, v) :: !edges) b.adj.(u)
+    (Hashtbl.iter [@lint.allow "D3" "Graph.of_edges sorts and dedupes per vertex"])
+      (fun v () -> if u < v then edges := (u, v) :: !edges)
+      b.adj.(u)
   done;
   Graph.of_edges ~n:b.n !edges
 

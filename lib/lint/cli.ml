@@ -1,0 +1,49 @@
+(* The ncg_lint command line, as a library: the bin/ncg_lint.exe
+   compilation unit is itself named Ncg_lint, which shadows this
+   library's wrapper module, so the driver logic lives here (wrapped as
+   Ncg_lint_cli) and the binary is a one-line trampoline. *)
+
+open Cmdliner
+
+let run root json_out =
+  let files =
+    Ncg_lint.Lint.ml_files_under ~root ~dirs:[ "lib"; "bin"; "bench" ]
+  in
+  if files = [] then begin
+    Printf.eprintf "ncg_lint: no .ml files under %s/{lib,bin,bench}\n" root;
+    exit 2
+  end;
+  (* Linking ncg_fault populated the fault-site registry at module-init
+     time, so the live registry is the ground truth for F1 — a site
+     renamed in inject.ml without updating callers fails the lint. *)
+  let known_sites = Ncg_fault.Inject.sites () in
+  let reports =
+    List.map
+      (fun rel ->
+        let ctx = Ncg_lint.Lint.ctx_for_path ~known_sites rel in
+        Ncg_lint.Lint.check_file ~ctx ~display:rel (Filename.concat root rel))
+      files
+  in
+  print_string (Ncg_lint.Report.to_human reports);
+  (match json_out with
+  | Some path -> Ncg_obs.Json.to_file path (Ncg_lint.Report.to_json ~root reports)
+  | None -> ());
+  if not (Ncg_lint.Report.clean reports) then exit 1
+
+let root =
+  Arg.(
+    value & opt string "."
+    & info [ "root" ] ~docv:"DIR" ~doc:"Repository root to scan.")
+
+let json_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write the ncg.lint.report/1 JSON document here.")
+
+let cmd =
+  let doc = "check the determinism/domain-safety/atomicity lint rules" in
+  Cmd.v (Cmd.info "ncg_lint" ~doc) Term.(const run $ root $ json_out)
+
+let main () = exit (Cmd.eval cmd)

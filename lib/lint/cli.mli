@@ -1,0 +1,8 @@
+(** Entry point for [bin/ncg_lint.exe] (see docs/LINTING.md).
+
+    Lives in a library because the executable's own compilation unit is
+    named [Ncg_lint], shadowing the checker library's wrapper module. *)
+
+(** Parse the command line, lint the tree, print/write reports, exit
+    (0 clean, 1 violations or parse errors, 2 usage errors). *)
+val main : unit -> unit

@@ -1,0 +1,56 @@
+(** Parsetree walker behind [ncg_lint].
+
+    Purely syntactic: each source file is parsed with the host compiler's
+    parser (compiler-libs) and checked against the {!Rules} catalogue, so
+    the checker works on any tree state — even one that does not build —
+    and needs no ppx or type information. Which rules apply where is
+    decided by a path-based {!ctx} (lib/prng may use randomness, lib/obs
+    may read clocks, ...). *)
+
+type ctx = {
+  prng_exempt : bool;  (** D1 off: the blessed randomness source *)
+  clock_exempt : bool;  (** D2 off: the blessed clock *)
+  fault_registry : bool;  (** F1 also watches bare [site] calls here *)
+  global_state : bool;  (** P1 on: library code reachable from the executor *)
+  known_sites : string list;  (** F1: the registered fault-site names *)
+}
+
+(** Zone assignment for a root-relative path: [lib/prng/*] is
+    [prng_exempt], [lib/obs/*] is [clock_exempt], [lib/fault/*] is
+    [fault_registry], anything under [lib/] has [global_state]. *)
+val ctx_for_path : known_sites:string list -> string -> ctx
+
+type violation = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as the compiler reports *)
+  rule : Rules.id;
+  message : string;
+}
+
+type suppression = {
+  sup_file : string;
+  sup_line : int;
+  sup_rule : Rules.id;
+  sup_justification : string;
+}
+
+type file_report = {
+  path : string;
+  violations : violation list;  (** sorted by position; suppressed ones removed *)
+  suppressions : suppression list;  (** every well-formed allow in the file *)
+  parse_error : string option;  (** set iff the file failed to parse *)
+}
+
+(** Check in-memory source (fixture tests use this directly).
+    [filename] is used for locations and the report only. *)
+val check_source : ctx:ctx -> filename:string -> string -> file_report
+
+(** Read and check one file. [display] overrides the reported path
+    (the driver passes root-relative paths). A read failure is reported
+    as [parse_error]. *)
+val check_file : ctx:ctx -> ?display:string -> string -> file_report
+
+(** Root-relative paths of every [.ml] under [dirs] (relative to
+    [root]), sorted; skips [_build] and dot-directories. *)
+val ml_files_under : root:string -> dirs:string list -> string list

@@ -1,0 +1,114 @@
+let schema = "ncg.lint.report/1"
+
+module J = Ncg_obs.Json
+
+let violation_count reports =
+  List.fold_left (fun n (r : Lint.file_report) -> n + List.length r.violations) 0 reports
+
+let suppression_count reports =
+  List.fold_left
+    (fun n (r : Lint.file_report) -> n + List.length r.suppressions)
+    0 reports
+
+let parse_errors reports =
+  List.filter_map
+    (fun (r : Lint.file_report) ->
+      Option.map (fun msg -> (r.path, msg)) r.parse_error)
+    reports
+
+let clean reports = violation_count reports = 0 && parse_errors reports = []
+
+let to_json ~root reports =
+  let violations =
+    List.concat_map
+      (fun (r : Lint.file_report) ->
+        List.map
+          (fun (v : Lint.violation) ->
+            J.Obj
+              [
+                ("file", J.String v.file);
+                ("line", J.Int v.line);
+                ("col", J.Int v.col);
+                ("rule", J.String (Rules.to_string v.rule));
+                ("title", J.String (Rules.title v.rule));
+                ("message", J.String v.message);
+                ("hint", J.String (Rules.hint v.rule));
+              ])
+          r.violations)
+      reports
+  in
+  let suppressions =
+    List.concat_map
+      (fun (r : Lint.file_report) ->
+        List.map
+          (fun (s : Lint.suppression) ->
+            J.Obj
+              [
+                ("file", J.String s.sup_file);
+                ("line", J.Int s.sup_line);
+                ("rule", J.String (Rules.to_string s.sup_rule));
+                ("justification", J.String s.sup_justification);
+              ])
+          r.suppressions)
+      reports
+  in
+  let parse_errors =
+    List.map
+      (fun (path, msg) ->
+        J.Obj [ ("file", J.String path); ("message", J.String msg) ])
+      (parse_errors reports)
+  in
+  let rules =
+    List.map
+      (fun id ->
+        J.Obj
+          [
+            ("id", J.String (Rules.to_string id));
+            ("title", J.String (Rules.title id));
+            ("contract", J.String (Rules.contract id));
+          ])
+      Rules.all
+  in
+  J.Obj
+    [
+      ("schema", J.String schema);
+      ("root", J.String root);
+      ("files_checked", J.Int (List.length reports));
+      ("violation_count", J.Int (violation_count reports));
+      ("suppression_count", J.Int (suppression_count reports));
+      ("parse_error_count", J.Int (List.length parse_errors));
+      ("rules", J.List rules);
+      ("violations", J.List violations);
+      ("suppressions", J.List suppressions);
+      ("parse_errors", J.List parse_errors);
+    ]
+
+let to_human reports =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (r : Lint.file_report) ->
+      (match r.parse_error with
+      | Some msg -> Buffer.add_string buf (Printf.sprintf "%s: PARSE ERROR: %s\n" r.path msg)
+      | None -> ());
+      List.iter
+        (fun (v : Lint.violation) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s:%d:%d: [%s] %s\n    hint: %s\n" v.file v.line v.col
+               (Rules.to_string v.rule) v.message
+               (Rules.hint v.rule)))
+        r.violations)
+    reports;
+  let nv = violation_count reports in
+  let ns = suppression_count reports in
+  let np = List.length (parse_errors reports) in
+  Buffer.add_string buf
+    (Printf.sprintf "%d file%s checked: %d violation%s, %d suppression%s, %d parse error%s\n"
+       (List.length reports)
+       (if List.length reports = 1 then "" else "s")
+       nv
+       (if nv = 1 then "" else "s")
+       ns
+       (if ns = 1 then "" else "s")
+       np
+       (if np = 1 then "" else "s"));
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Rendering of lint results: human-readable text and the
+    [ncg.lint.report/1] JSON document (see docs/LINTING.md for the
+    schema). *)
+
+(** ["ncg.lint.report/1"] *)
+val schema : string
+
+val violation_count : Lint.file_report list -> int
+val suppression_count : Lint.file_report list -> int
+
+(** [(path, message)] for every file that failed to parse. *)
+val parse_errors : Lint.file_report list -> (string * string) list
+
+(** No violations and no parse errors. *)
+val clean : Lint.file_report list -> bool
+
+(** The full [ncg.lint.report/1] document. [root] is recorded verbatim. *)
+val to_json : root:string -> Lint.file_report list -> Ncg_obs.Json.t
+
+(** One line per violation ([file:line:col: [RULE] message] plus a hint
+    line), parse errors, and a trailing summary line. *)
+val to_human : Lint.file_report list -> string

@@ -1,0 +1,82 @@
+type id = D1 | D2 | D3 | D4 | P1 | A1 | F1 | L1
+
+let all = [ D1; D2; D3; D4; P1; A1; F1; L1 ]
+
+let to_string = function
+  | D1 -> "D1"
+  | D2 -> "D2"
+  | D3 -> "D3"
+  | D4 -> "D4"
+  | P1 -> "P1"
+  | A1 -> "A1"
+  | F1 -> "F1"
+  | L1 -> "L1"
+
+let of_string = function
+  | "D1" -> Some D1
+  | "D2" -> Some D2
+  | "D3" -> Some D3
+  | "D4" -> Some D4
+  | "P1" -> Some P1
+  | "A1" -> Some A1
+  | "F1" -> Some F1
+  | "L1" -> Some L1
+  | _ -> None
+
+let title = function
+  | D1 -> "stdlib randomness outside lib/prng"
+  | D2 -> "wall-clock read outside lib/obs"
+  | D3 -> "hash-order iteration"
+  | D4 -> "lossy float formatting"
+  | P1 -> "unsynchronized top-level mutable state"
+  | A1 -> "bare output channel for artifact writes"
+  | F1 -> "unregistered fault site"
+  | L1 -> "malformed lint annotation"
+
+let contract = function
+  | D1 ->
+      "All randomness flows through Ncg_prng's SplitMix64 seed streams; \
+       Stdlib.Random has process-global state and an unseeded self_init, either \
+       of which breaks bit-identical sweeps."
+  | D2 ->
+      "Wall-clock reads live behind Ncg_obs.Clock (monotonic); scattered \
+       Unix.gettimeofday / Unix.time / Sys.time calls make timings \
+       incomparable and leak nondeterminism into outputs."
+  | D3 ->
+      "Hashtbl.iter/fold visit keys in hash-bucket order, which is not part of \
+       any contract; an order change (hash function, randomized hashing, \
+       resize policy) would silently reorder telemetry, CSV and JSON output."
+  | D4 ->
+      "Serialized floats must round-trip: string_of_float and bare %f truncate \
+       (12 digits / 6 digits) and lose NaN/infinity, so crash/resume replays \
+       would diverge byte-wise from fresh runs."
+  | P1 ->
+      "Libraries run on multiple domains under Parallel/Executor; top-level \
+       mutable state must be Atomic.t, Domain.DLS, mutex-guarded, or \
+       explicitly marked [@lint.domain_local] with a written justification."
+  | A1 ->
+      "Artifact files are written via the atomic temp+fsync+rename helpers in \
+       lib/obs and lib/store; a bare open_out can leave a torn file behind on \
+       crash, breaking the crash/resume byte-identity contract."
+  | F1 ->
+      "Every fault site named in code must exist in Inject's registered site \
+       list; an orphan name would silently never fire, making a fault plan \
+       test vacuous."
+  | L1 ->
+      "[@lint.allow \"RULE\" \"why\"] must name a known rule and carry a \
+       non-empty justification; [@lint.domain_local \"why\"] likewise — \
+       suppressions are part of the audit trail."
+
+let hint = function
+  | D1 -> "draw from an Ncg_prng.Rng stream threaded from the experiment seed"
+  | D2 -> "use Ncg_obs.Clock.now_ns / Clock.elapsed_ns"
+  | D3 ->
+      "iterate sorted keys, or sort the collected result before it escapes \
+       (then suppress with a justification)"
+  | D4 -> "use Ncg_obs.Json.Float, or an explicit-precision format like %.17g/%g"
+  | P1 ->
+      "wrap in Atomic.make / Domain.DLS.new_key / Mutex.create, or annotate \
+       [@@lint.domain_local \"why this is safe\"]"
+  | A1 -> "use Ncg_obs.Json.to_file, Ncg_obs.Atomic_file.write, or lib/store"
+  | F1 -> "register the site in lib/fault/inject.ml next to the built-ins"
+  | L1 -> "write [@lint.allow \"RULE\" \"justification\"] with both parts present"

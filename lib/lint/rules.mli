@@ -1,0 +1,31 @@
+(** The rule catalogue of [ncg_lint] (see docs/LINTING.md).
+
+    Each rule mechanizes one convention the reproducibility story already
+    relies on: determinism (D1–D4), parallel safety (P1), artifact
+    atomicity (A1) and fault-site hygiene (F1). L1 polices the
+    suppression annotations themselves. *)
+
+type id =
+  | D1  (** no [Random.*] outside lib/prng *)
+  | D2  (** no [Unix.gettimeofday]/[Unix.time]/[Sys.time] outside lib/obs *)
+  | D3  (** no [Hashtbl.iter]/[Hashtbl.fold] (hash-order iteration) *)
+  | D4  (** no [string_of_float]/bare [%f] (lossy float formatting) *)
+  | P1  (** top-level mutable state must be synchronized or annotated *)
+  | A1  (** no bare [open_out]; artifact writes go through atomic helpers *)
+  | F1  (** fault-site literals must be registered in {!Ncg_fault.Inject} *)
+  | L1  (** lint annotations must name a rule and justify themselves *)
+
+(** Every rule, in catalogue order. *)
+val all : id list
+
+val to_string : id -> string
+val of_string : string -> id option
+
+(** One-line human name, e.g. ["stdlib randomness outside lib/prng"]. *)
+val title : id -> string
+
+(** The repo contract the rule guards (shown in the JSON report). *)
+val contract : id -> string
+
+(** Fix hint appended to every violation of the rule. *)
+val hint : id -> string

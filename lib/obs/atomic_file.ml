@@ -1,0 +1,20 @@
+(* Blessed atomic text-file writer: same-directory temp + fsync + rename,
+   so a crash at any point leaves either the old file or the new one —
+   never a torn artifact. Json.to_file is the same dance for JSON
+   documents; this is the generic-string version for markdown reports,
+   trace files, and other non-JSON artifacts. *)
+
+let write path contents =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = (open_out [@lint.allow "A1" "this IS the blessed atomic writer"]) tmp in
+  (match
+     output_string oc contents;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc)
+   with
+  | () -> close_out oc
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  Sys.rename tmp path

@@ -18,7 +18,10 @@ let severity_to_string = function
   | Warn -> "warn"
   | Error -> "error"
 
-let sink : out_channel option ref = ref None
+let sink : out_channel option ref =
+  ref None
+[@@lint.domain_local "all writes go through sink_mutex; racy reads only skip/attempt emission"]
+
 let sink_mutex = Mutex.create ()
 
 let set_sink oc =
@@ -59,7 +62,10 @@ let emit ?(severity = Info) name fields =
    JSONL for post-mortem reading.) *)
 let with_file path f =
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
-  let oc = open_out tmp in
+  let oc =
+    (open_out [@lint.allow "A1" "blessed JSONL sink: temp + rename-on-close, per-line flush"])
+      tmp
+  in
   set_sink (Some oc);
   Fun.protect
     ~finally:(fun () ->
@@ -72,7 +78,10 @@ let with_file path f =
 
 (* Auto: only when stderr is an interactive terminal, so logs piped to
    files or CI never see control characters. --quiet forces it off. *)
-let progress_override = ref None
+let progress_override =
+  ref None
+[@@lint.domain_local "set once from the main domain during CLI parsing, read-only after"]
+
 let set_progress enabled = progress_override := Some enabled
 
 let progress_enabled () =
@@ -81,7 +90,10 @@ let progress_enabled () =
   | None -> ( try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false)
 
 let progress_mutex = Mutex.create ()
-let progress_dirty = ref false
+
+let progress_dirty =
+  ref false
+[@@lint.domain_local "guarded by progress_mutex"]
 
 let progress line =
   if progress_enabled () then

@@ -16,6 +16,7 @@ let boundaries =
   Array.init boundary_count (fun i ->
       Int64.of_float
         (Float.round (Int64.to_float lowest_ns *. (2.0 ** (float_of_int i /. 2.0)))))
+[@@lint.domain_local "precomputed constant lookup table, never written after init"]
 
 let bucket_of_ns ns =
   if ns < lowest_ns then 0
@@ -37,9 +38,18 @@ let bucket_upper_ns b =
 type histogram = int
 
 let capacity = 32
-let names = Array.make capacity ""
-let by_name : (string, int) Hashtbl.t = Hashtbl.create capacity
-let registered = ref 0
+
+let names =
+  Array.make capacity ""
+[@@lint.domain_local "written only on the main domain at init time, read-only after fan-out"]
+
+let by_name : (string, int) Hashtbl.t =
+  Hashtbl.create capacity
+[@@lint.domain_local "written only on the main domain at init time, read-only after fan-out"]
+
+let registered =
+  ref 0
+[@@lint.domain_local "written only on the main domain at init time, read-only after fan-out"]
 
 let register name =
   if name = "" then invalid_arg "Histogram.register: empty name";

@@ -95,7 +95,9 @@ let to_string_pretty t =
    file or the new one — never a partial/invalid JSON document. *)
 let to_file path t =
   let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
-  let oc = open_out tmp in
+  let oc =
+    (open_out [@lint.allow "A1" "this IS the blessed atomic JSON writer"]) tmp
+  in
   (match
      output_string oc (to_string_pretty t);
      flush oc;

@@ -1,9 +1,18 @@
 type counter = int
 
 let capacity = 128
-let names = Array.make capacity ""
-let by_name : (string, int) Hashtbl.t = Hashtbl.create capacity
-let registered = ref 0
+
+let names =
+  Array.make capacity ""
+[@@lint.domain_local "written only on the main domain at init time, read-only after fan-out"]
+
+let by_name : (string, int) Hashtbl.t =
+  Hashtbl.create capacity
+[@@lint.domain_local "written only on the main domain at init time, read-only after fan-out"]
+
+let registered =
+  ref 0
+[@@lint.domain_local "written only on the main domain at init time, read-only after fan-out"]
 
 (* Registration is init-time-only: the names array and hashtable are
    plain unsynchronized state, safe exactly because every [register]

@@ -65,6 +65,7 @@ let greedy_on candidates uncovered0 =
   let chosen = ref [] in
   let continue_ = ref true in
   while (not (Bitset.is_empty uncovered)) && !continue_ do
+    Ncg_fault.Cancel.checkpoint ();
     let best = ref (-1) and best_gain = ref 0 in
     Array.iteri
       (fun i (_, s) ->
@@ -188,6 +189,11 @@ let solve ?max_size ?(node_budget = max_int) inst =
       | None -> ());
       let nodes = ref 0 in
       let rec branch uncovered depth acc =
+        (* Cooperative cancellation per B&B node: an executor deadline
+           (--cell-deadline-ms) or step budget can cut off one oversized
+           solve instead of waiting for the node budget. One atomic read
+           when nothing is armed. *)
+        Ncg_fault.Cancel.checkpoint ();
         incr nodes;
         if !nodes > node_budget then ()
         else if Bitset.is_empty uncovered then begin

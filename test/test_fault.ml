@@ -41,8 +41,19 @@ let with_temp_dir f =
 
 let test_parse_plan () =
   (match Inject.parse_plan ~seed:3 "sweep.cell=raise" with
-  | Ok { seed; rules = [ { site; action = Inject.Raise; trigger = Inject.Always } ] }
-    ->
+  | Ok
+      {
+        seed;
+        rules =
+          [
+            {
+              site;
+              action = Inject.Raise;
+              trigger = Inject.Always;
+              budget = None;
+            };
+          ];
+      } ->
       check_int "seed" 3 seed;
       check_string "site" "sweep.cell" site
   | Ok _ -> Alcotest.fail "unexpected parse"
@@ -465,6 +476,142 @@ let test_sweep_quarantine_then_resume () =
                         f.Experiment.index)
                 clean out)))
 
+(* --- Per-site fault budgets ------------------------------------------------ *)
+
+let test_budget_parse () =
+  hermetic (fun () ->
+      (match Inject.parse_plan ~seed:0 "sweep.cell=raise@budget:2" with
+      | Ok { rules = [ r ]; _ } ->
+          check_bool "trigger defaults" true (r.Inject.trigger = Inject.Always);
+          check_bool "budget" true (r.Inject.budget = Some 2)
+      | Ok _ -> Alcotest.fail "unexpected parse"
+      | Error e -> Alcotest.fail e);
+      (* The trigger and budget qualifiers compose in either order. *)
+      List.iter
+        (fun spec ->
+          match Inject.parse_plan ~seed:0 spec with
+          | Ok { rules = [ r ]; _ } ->
+              check_bool "trigger" true (r.Inject.trigger = Inject.Prob 0.5);
+              check_bool "budget" true (r.Inject.budget = Some 1)
+          | Ok _ -> Alcotest.fail "unexpected parse"
+          | Error e -> Alcotest.fail e)
+        [ "sweep.cell=raise@p:0.5@budget:1"; "sweep.cell=raise@budget:1@p:0.5" ];
+      let bad spec =
+        match Inject.parse_plan ~seed:0 spec with
+        | Ok _ -> Alcotest.failf "accepted %S" spec
+        | Error _ -> ()
+      in
+      bad "sweep.cell=raise@budget:0";
+      bad "sweep.cell=raise@budget:x";
+      bad "sweep.cell=raise@budget";
+      bad "sweep.cell=raise@budget:1@budget:2";
+      bad "sweep.cell=raise@nth:1@every:2";
+      (* Round-trip, canonical qualifier order (trigger then budget). *)
+      List.iter
+        (fun spec ->
+          match Inject.parse_plan ~seed:5 spec with
+          | Error e -> Alcotest.fail e
+          | Ok plan -> (
+              check_string "round-trip" spec (Inject.plan_to_string plan);
+              match Inject.parse_plan ~seed:5 (Inject.plan_to_string plan) with
+              | Ok plan' -> check_bool "reparse" true (plan = plan')
+              | Error e -> Alcotest.fail e))
+        [
+          "sweep.cell=raise@budget:2";
+          "bfs.traverse=delay:5@every:3@budget:1";
+          "record_log.append=short:4@nth:2,sweep.cell=raise@p:0.25@budget:3";
+        ])
+
+let test_budget_firing () =
+  hermetic (fun () ->
+      install "sweep.cell=raise@budget:2";
+      Inject.arm ~scope:0;
+      check_bool "always@budget:2" true
+        (firing_pattern Inject.sweep_cell 10 = [ 1; 2 ]);
+      install "sweep.cell=raise@every:3@budget:2";
+      Inject.arm ~scope:0;
+      check_bool "every:3@budget:2" true
+        (firing_pattern Inject.sweep_cell 12 = [ 3; 6 ]);
+      (* Re-arming resets the budget along with the hit counters. *)
+      Inject.arm ~scope:0;
+      check_bool "rearm resets" true
+        (firing_pattern Inject.sweep_cell 12 = [ 3; 6 ]))
+
+let test_budget_prob_prefix () =
+  hermetic (fun () ->
+      (* A budgeted Prob rule fires on a prefix of the unlimited rule's
+         pattern: same per-scope stream, and draws stop only once the
+         budget is exhausted — at a hit that is itself deterministic. *)
+      install "sweep.cell=raise@p:0.5";
+      Inject.arm ~scope:7;
+      let unlimited = firing_pattern Inject.sweep_cell 64 in
+      check_bool "enough fires to test" true (List.length unlimited >= 3);
+      install "sweep.cell=raise@p:0.5@budget:3";
+      Inject.arm ~scope:7;
+      let budgeted = firing_pattern Inject.sweep_cell 64 in
+      check_int "exactly budget fires" 3 (List.length budgeted);
+      check_bool "prefix of unlimited" true
+        (budgeted
+        = [ List.nth unlimited 0; List.nth unlimited 1; List.nth unlimited 2 ]);
+      Inject.arm ~scope:7;
+      check_bool "reproducible" true
+        (firing_pattern Inject.sweep_cell 64 = budgeted))
+
+let test_executor_budget_transient () =
+  hermetic (fun () ->
+      (* budget:1 with an always trigger: each task's first attempt
+         crashes, and because hit counters (and spent budget) persist
+         across retries, the retry passes — a transient fault expressed
+         without knowing which hit number the attempt lands on. *)
+      install "sweep.cell=raise@budget:1";
+      let out =
+        Executor.map ~domains:2 ~max_retries:1
+          (fun ~index ~attempt:_ ->
+            Inject.(hit sweep_cell);
+            index * 10)
+          4
+      in
+      Array.iteri (fun i r -> check_int "value" (i * 10) (ok_exn r)) out)
+
+(* --- Cancellation inside the set-cover solver ------------------------------ *)
+
+let test_solver_cancel () =
+  hermetic (fun () ->
+      let module Set_cover = Ncg_solver.Set_cover in
+      let module Bitset = Ncg_util.Bitset in
+      let universe = 16 in
+      let sets =
+        List.concat_map
+          (fun i ->
+            [
+              [ i; (i + 1) mod universe; (i + 5) mod universe ];
+              [ i; (i + 2) mod universe ];
+            ])
+          (List.init universe Fun.id)
+      in
+      let inst =
+        {
+          Set_cover.universe;
+          sets = Array.of_list (List.map (Bitset.of_list universe) sets);
+          pre_covered = None;
+        }
+      in
+      (* Feasible and solvable when nothing is armed... *)
+      (match Set_cover.solve inst with
+      | Some _ -> ()
+      | None -> Alcotest.fail "instance should be feasible");
+      (* ...but a step budget trips a checkpoint inside the solver's own
+         search loops, long before the node budget would. *)
+      (match Cancel.with_step_budget 8 (fun () -> Set_cover.solve inst) with
+      | _ -> Alcotest.fail "step budget never tripped"
+      | exception Cancel.Timed_out what ->
+          check_string "what" "step budget exhausted" what);
+      (* And an (already expired) deadline cuts the solve off too, which
+         is how --cell-deadline-ms reaches one oversized solve call. *)
+      match Cancel.with_control ~timeout_ns:0L (fun () -> Set_cover.solve inst) with
+      | _ -> Alcotest.fail "deadline never tripped"
+      | exception Cancel.Timed_out what -> check_string "what" "deadline" what)
+
 let () =
   Alcotest.run "ncg_fault"
     [
@@ -473,7 +620,19 @@ let () =
           Alcotest.test_case "parse" `Quick test_parse_plan;
           Alcotest.test_case "to_string round-trip" `Quick
             test_plan_to_string_roundtrip;
+          Alcotest.test_case "budget parse + round-trip" `Quick
+            test_budget_parse;
         ] );
+      ( "budget",
+        [
+          Alcotest.test_case "caps fires" `Quick test_budget_firing;
+          Alcotest.test_case "prob prefix + determinism" `Quick
+            test_budget_prob_prefix;
+          Alcotest.test_case "transient via executor retry" `Quick
+            test_executor_budget_transient;
+        ] );
+      ( "solver",
+        [ Alcotest.test_case "cancellation" `Quick test_solver_cancel ] );
       ( "triggers",
         [
           Alcotest.test_case "unarmed never fires" `Quick test_unarmed_never_fires;

@@ -1,0 +1,308 @@
+(* Tests for ncg_lint: per-rule accepting and rejecting fixture
+   snippets, suppression semantics, a golden JSON report snapshot, and
+   the assertion that the live codebase lints clean. *)
+
+module Lint = Ncg_lint.Lint
+module Rules = Ncg_lint.Rules
+module Report = Ncg_lint.Report
+module Json = Ncg_obs.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let known_sites = [ "sweep.cell"; "bfs.traverse" ]
+
+(* Zone contexts, derived exactly as the driver derives them. *)
+let lib_ctx = Lint.ctx_for_path ~known_sites "lib/core/fixture.ml"
+let bin_ctx = Lint.ctx_for_path ~known_sites "bin/fixture.ml"
+let prng_ctx = Lint.ctx_for_path ~known_sites "lib/prng/fixture.ml"
+let obs_ctx = Lint.ctx_for_path ~known_sites "lib/obs/fixture.ml"
+let fault_ctx = Lint.ctx_for_path ~known_sites "lib/fault/fixture.ml"
+
+let rules_of ?(ctx = lib_ctx) source =
+  let r = Lint.check_source ~ctx ~filename:"fixture.ml" source in
+  (match r.Lint.parse_error with
+  | Some msg -> Alcotest.failf "fixture failed to parse: %s" msg
+  | None -> ());
+  List.map (fun (v : Lint.violation) -> v.Lint.rule) r.Lint.violations
+
+let accepts ?ctx source = check_bool source true (rules_of ?ctx source = [])
+
+let rejects ?ctx rule source =
+  check_bool source true (List.mem rule (rules_of ?ctx source))
+
+let test_zones () =
+  check_bool "lib/prng exempt from D1" true lib_ctx.Lint.global_state;
+  check_bool "prng" true prng_ctx.Lint.prng_exempt;
+  check_bool "obs" true obs_ctx.Lint.clock_exempt;
+  check_bool "fault" true fault_ctx.Lint.fault_registry;
+  check_bool "bin has no global-state rule" false bin_ctx.Lint.global_state;
+  check_bool "bin not exempt" false bin_ctx.Lint.prng_exempt
+
+let test_d1 () =
+  rejects Rules.D1 "let x = Random.int 5";
+  rejects Rules.D1 "let () = Random.self_init ()";
+  rejects Rules.D1 "open Random";
+  rejects Rules.D1 "let x = Stdlib.Random.bool ()";
+  rejects ~ctx:bin_ctx Rules.D1 "let x = Random.int 5";
+  accepts ~ctx:prng_ctx "let x = Random.int 5";
+  accepts "let x = Ncg_prng.Rng.int rng 5";
+  accepts "let random_walk = 3 (* mentions Random only in a comment *)"
+
+let test_d2 () =
+  rejects Rules.D2 "let t = Unix.gettimeofday ()";
+  rejects Rules.D2 "let t = Unix.time ()";
+  rejects Rules.D2 "let t = Sys.time ()";
+  accepts ~ctx:obs_ctx "let t = Unix.gettimeofday ()";
+  accepts "let pid = Unix.getpid ()";
+  accepts "let t = Ncg_obs.Clock.now_ns ()"
+
+let test_d3 () =
+  rejects Rules.D3 "let () = Hashtbl.iter f t";
+  rejects Rules.D3 "let x = Hashtbl.fold f t []";
+  rejects Rules.D3 "let x = Stdlib.Hashtbl.fold f t []";
+  (* The rule holds in every zone, including lib/obs and bin. *)
+  rejects ~ctx:obs_ctx Rules.D3 "let () = Hashtbl.iter f t";
+  rejects ~ctx:bin_ctx Rules.D3 "let () = Hashtbl.iter f t";
+  accepts "let x = Hashtbl.find_opt t k";
+  accepts "let () = List.iter f xs";
+  accepts "let n = Hashtbl.length t"
+
+let test_d4 () =
+  rejects Rules.D4 "let s = string_of_float x";
+  rejects Rules.D4 "let s = Float.to_string x";
+  rejects Rules.D4 {|let () = Printf.printf "%f" x|};
+  rejects Rules.D4 {|let s = Printf.sprintf "x=%f" x|};
+  rejects Rules.D4 {|let () = Format.printf "%f" x|};
+  accepts {|let s = Printf.sprintf "%.17g" x|};
+  accepts {|let s = Printf.sprintf "%g" x|};
+  accepts {|let s = Printf.sprintf "100%%fun"|};
+  accepts {|let s = Printf.sprintf "%d" 3|};
+  (* A bare %f outside a printf-family call is just a string. *)
+  accepts {|let s = "%f"|}
+
+let test_p1 () =
+  rejects Rules.P1 "let count = ref 0";
+  rejects Rules.P1 "let cache = Hashtbl.create 16";
+  rejects Rules.P1 "let buf = Array.make 4 0";
+  rejects Rules.P1 "let b = Buffer.create 64";
+  rejects Rules.P1 "let q : int Queue.t = Queue.create ()";
+  rejects Rules.P1 "module M = struct let inner = ref 0 end";
+  accepts "let x = Atomic.make 0";
+  accepts "let k = Domain.DLS.new_key (fun () -> ref 0)";
+  accepts "let m = Mutex.create ()";
+  accepts "let f () = ref 0 (* local state is fine *)";
+  accepts "let xs = [ 1; 2; 3 ]";
+  (* P1 is a library rule: executables are single-entry. *)
+  accepts ~ctx:bin_ctx "let count = ref 0"
+
+let test_a1 () =
+  rejects Rules.A1 {|let oc = open_out "x.json"|};
+  rejects Rules.A1 {|let oc = open_out_bin "x.bin"|};
+  rejects Rules.A1 {|let oc = Out_channel.open_text "x.txt"|};
+  rejects ~ctx:obs_ctx Rules.A1 {|let oc = open_out "x.json"|};
+  accepts {|let ic = open_in "x.json"|};
+  accepts {|let () = Ncg_obs.Atomic_file.write "x.md" body|}
+
+let test_f1 () =
+  rejects Rules.F1 {|let s = Inject.site "no.such.site"|};
+  rejects Rules.F1 {|let s = Ncg_fault.Inject.site "no.such.site"|};
+  (* Inside lib/fault, a bare [site] call is the registry itself. *)
+  rejects ~ctx:fault_ctx Rules.F1 {|let s = site "no.such.site"|};
+  accepts {|let s = Inject.site "sweep.cell"|};
+  accepts ~ctx:fault_ctx {|let s = site "bfs.traverse"|};
+  (* A bare [site] call outside lib/fault is some other function. *)
+  accepts {|let s = site "no.such.site"|};
+  (* Non-literal arguments cannot be checked syntactically. *)
+  accepts {|let s = Inject.site name|}
+
+let test_l1 () =
+  rejects Rules.L1 {|let x = (Hashtbl.fold [@lint.allow "D3"]) f t []|};
+  rejects Rules.L1 {|let x = 1 [@@lint.allow "Z9" "unknown rule"]|};
+  rejects Rules.L1 "let cache = Hashtbl.create 16 [@@lint.domain_local]";
+  accepts
+    {|let x = (Hashtbl.fold [@lint.allow "D3" "sorted before escaping"]) f t []|};
+  accepts {|let cache = Hashtbl.create 16 [@@lint.domain_local "init only"]|}
+
+let test_suppressions () =
+  (* An allow on the enclosing binding covers violations inside it. *)
+  let src =
+    {|let s = Printf.sprintf "%f" x [@@lint.allow "D4" "legacy format kept for diffability"]|}
+  in
+  check_bool "binding-scope allow" true (rules_of src = []);
+  let r = Lint.check_source ~ctx:lib_ctx ~filename:"f.ml" src in
+  check_int "recorded" 1 (List.length r.Lint.suppressions);
+  let s = List.hd r.Lint.suppressions in
+  check_string "rule" "D4" (Rules.to_string s.Lint.sup_rule);
+  check_string "justification" "legacy format kept for diffability"
+    s.Lint.sup_justification;
+  (* The suppression is scoped: a second violation outside it still fires. *)
+  let src2 =
+    src ^ "\n\nlet t = Unix.gettimeofday ()\nlet u = string_of_float 1.0"
+  in
+  check_bool "scoped" true (rules_of src2 = [ Rules.D2; Rules.D4 ]);
+  (* A floating [@@@lint.allow] covers the whole file. *)
+  let src3 =
+    {|[@@@lint.allow "D2" "fixture: timing scratch file"]
+let t = Unix.gettimeofday ()
+let u = Sys.time ()|}
+  in
+  check_bool "file-wide" true (rules_of src3 = []);
+  (* One allow can name several rules before the justification. *)
+  let src4 =
+    {|let f () =
+  (Hashtbl.iter [@lint.allow "D3" "D1" "fixture: both rules at once"])
+    (fun _ () -> ignore (Random.int 2))
+    t|}
+  in
+  check_bool "multi-rule allow" true
+    (match rules_of src4 with [] -> true | [ Rules.D1 ] -> true | _ -> false)
+
+let test_parse_error () =
+  let r = Lint.check_source ~ctx:lib_ctx ~filename:"broken.ml" "let let = in" in
+  check_bool "parse error recorded" true (r.Lint.parse_error <> None);
+  check_int "no violations" 0 (List.length r.Lint.violations);
+  check_bool "not clean" false (Report.clean [ r ])
+
+let test_positions () =
+  let r =
+    Lint.check_source ~ctx:lib_ctx ~filename:"pos.ml"
+      "let a = 1\nlet t = Unix.gettimeofday ()\n"
+  in
+  match r.Lint.violations with
+  | [ v ] ->
+      check_string "file" "pos.ml" v.Lint.file;
+      check_int "line" 2 v.Lint.line;
+      check_int "col" 8 v.Lint.col
+  | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
+
+(* --- JSON report ----------------------------------------------------------- *)
+
+let fixture_reports () =
+  [
+    Lint.check_source ~ctx:lib_ctx ~filename:"lib/core/a.ml"
+      "let t = Unix.gettimeofday ()\n";
+    Lint.check_source ~ctx:lib_ctx ~filename:"lib/core/b.ml"
+      {|let cache = Hashtbl.create 16 [@@lint.domain_local "init-time only"]|};
+    Lint.check_source ~ctx:lib_ctx ~filename:"lib/core/broken.ml" "let let";
+  ]
+
+let test_report_counts () =
+  let reports = fixture_reports () in
+  check_int "violations" 1 (Report.violation_count reports);
+  check_int "suppressions" 1 (Report.suppression_count reports);
+  check_int "parse errors" 1 (List.length (Report.parse_errors reports));
+  check_bool "not clean" false (Report.clean reports);
+  check_bool "human output mentions rule" true
+    (let human = Report.to_human reports in
+     let contains s sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     contains human "[D2]" && contains human "PARSE ERROR")
+
+(* Golden snapshot of the machine-readable document: the schema is a
+   published artifact (CI uploads it), so its exact shape is pinned. *)
+let test_report_golden () =
+  let reports =
+    [
+      Lint.check_source ~ctx:lib_ctx ~filename:"lib/core/a.ml"
+        "let t = Unix.gettimeofday ()\n";
+    ]
+  in
+  let doc = Report.to_json ~root:"." reports in
+  (* Structure: every top-level field present, in order. *)
+  (match doc with
+  | Json.Obj fields ->
+      check_bool "field order" true
+        (List.map fst fields
+        = [
+            "schema";
+            "root";
+            "files_checked";
+            "violation_count";
+            "suppression_count";
+            "parse_error_count";
+            "rules";
+            "violations";
+            "suppressions";
+            "parse_errors";
+          ])
+  | _ -> Alcotest.fail "report is not an object");
+  (* Byte-exact golden for the violation entry. *)
+  let violations =
+    match doc with
+    | Json.Obj fields -> List.assoc "violations" fields
+    | _ -> assert false
+  in
+  check_string "violation json"
+    ("[{\"file\":\"lib/core/a.ml\",\"line\":1,\"col\":8,\"rule\":\"D2\","
+   ^ "\"title\":\"wall-clock read outside lib/obs\","
+   ^ "\"message\":\"Unix.gettimeofday: wall-clock read outside the Clock \
+      module\","
+   ^ "\"hint\":\"use Ncg_obs.Clock.now_ns / Clock.elapsed_ns\"}]")
+    (Json.to_string violations);
+  (* The whole document round-trips through the in-house parser. *)
+  match Json.of_string (Json.to_string doc) with
+  | Ok v -> check_bool "round-trip" true (v = doc)
+  | Error e -> Alcotest.failf "report does not reparse: %s" e
+
+(* --- The live codebase lints clean ----------------------------------------- *)
+
+(* Under [dune runtest] the cwd is _build/default/test and the sources
+   live in its parent (dune copies them into the build tree); under
+   [dune exec] the cwd is the workspace root itself. Walk upward to the
+   nearest directory holding a dune-project. *)
+let rec project_root dir =
+  if Sys.file_exists (Filename.concat dir "dune-project") then dir
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then failwith "no dune-project above the test cwd"
+    else project_root parent
+
+let test_live_tree_clean () =
+  let root = project_root (Sys.getcwd ()) in
+  let files = Lint.ml_files_under ~root ~dirs:[ "lib"; "bin"; "bench" ] in
+  check_bool "found the tree" true (List.length files > 50);
+  let known_sites = Ncg_fault.Inject.sites () in
+  let dirty =
+    List.filter_map
+      (fun rel ->
+        let ctx = Lint.ctx_for_path ~known_sites rel in
+        let r = Lint.check_file ~ctx ~display:rel (Filename.concat root rel) in
+        if r.Lint.violations = [] && r.Lint.parse_error = None then None
+        else Some (Report.to_human [ r ]))
+      files
+  in
+  if dirty <> [] then
+    Alcotest.failf "the tree does not lint clean:\n%s" (String.concat "" dirty)
+
+let () =
+  Alcotest.run "ncg_lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "zones" `Quick test_zones;
+          Alcotest.test_case "D1 randomness" `Quick test_d1;
+          Alcotest.test_case "D2 wall clock" `Quick test_d2;
+          Alcotest.test_case "D3 hash iteration" `Quick test_d3;
+          Alcotest.test_case "D4 float formatting" `Quick test_d4;
+          Alcotest.test_case "P1 global state" `Quick test_p1;
+          Alcotest.test_case "A1 bare open_out" `Quick test_a1;
+          Alcotest.test_case "F1 fault sites" `Quick test_f1;
+          Alcotest.test_case "L1 malformed annotations" `Quick test_l1;
+        ] );
+      ( "suppressions",
+        [
+          Alcotest.test_case "allow scoping" `Quick test_suppressions;
+          Alcotest.test_case "parse errors" `Quick test_parse_error;
+          Alcotest.test_case "positions" `Quick test_positions;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "counts + human" `Quick test_report_counts;
+          Alcotest.test_case "golden json" `Quick test_report_golden;
+        ] );
+      ( "live", [ Alcotest.test_case "codebase lints clean" `Quick test_live_tree_clean ] );
+    ]
