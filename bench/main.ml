@@ -552,6 +552,29 @@ let ablation () =
       ("greedy", `Greedy);
     ]
 
+(* Per-cell JSON shared by the instrumented sweeps below; everything the
+   bench gate (bin/ncg_bench_diff) keys on — allocated words and the
+   oracle-call counters — lives under "gc" and "counters". *)
+let bench_cell_json (r : Experiment.cell_result) =
+  let module Json = Ncg_obs.Json in
+  let mean f = (Experiment.summarize f r.Experiment.runs).Summary.mean in
+  Json.Obj
+    [
+      ("alpha", Json.Float r.Experiment.cell.Experiment.alpha);
+      ("k", Json.Int r.Experiment.cell.Experiment.k);
+      ("wall_seconds", Json.Float (Ncg_obs.Clock.ns_to_s r.Experiment.wall_ns));
+      ("domain", Json.Int r.Experiment.domain);
+      ("counters", Ncg_obs.Metrics.to_json r.Experiment.counters);
+      ("histograms", Ncg_obs.Histogram.to_json r.Experiment.histograms);
+      ("gc", Ncg_obs.Gc_stats.to_json r.Experiment.gc);
+      ( "converged_frac",
+        Json.Float
+          (Experiment.fraction (fun x -> x.Experiment.converged) r.Experiment.runs)
+      );
+      ("rounds_mean", Json.Float (mean (fun x -> fi x.Experiment.rounds)));
+      ("quality_mean", Json.Float (mean (fun x -> x.Experiment.quality)));
+    ]
+
 (* --- Instrumented parallel experiment sweep ------------------------------------------------ *)
 
 (* Runs one (alpha, k) sweep twice — sequentially and fanned out over
@@ -705,25 +728,6 @@ let experiment () =
   if not supervised_ok then
     failwith "experiment: supervised sweep diverged from bare Parallel.init";
   let module Json = Ncg_obs.Json in
-  let cell_json (r : Experiment.cell_result) =
-    let mean f = (Experiment.summarize f r.Experiment.runs).Summary.mean in
-    Json.Obj
-      [
-        ("alpha", Json.Float r.Experiment.cell.Experiment.alpha);
-        ("k", Json.Int r.Experiment.cell.Experiment.k);
-        ("wall_seconds", Json.Float (Ncg_obs.Clock.ns_to_s r.Experiment.wall_ns));
-        ("domain", Json.Int r.Experiment.domain);
-        ("counters", Ncg_obs.Metrics.to_json r.Experiment.counters);
-        ("histograms", Ncg_obs.Histogram.to_json r.Experiment.histograms);
-        ("gc", Ncg_obs.Gc_stats.to_json r.Experiment.gc);
-        ( "converged_frac",
-          Json.Float
-            (Experiment.fraction (fun x -> x.Experiment.converged) r.Experiment.runs)
-        );
-        ("rounds_mean", Json.Float (mean (fun x -> fi x.Experiment.rounds)));
-        ("quality_mean", Json.Float (mean (fun x -> x.Experiment.quality)));
-      ]
-  in
   Json.to_file out
     (Json.Obj
        [
@@ -733,7 +737,7 @@ let experiment () =
          ("class", Json.String "tree");
          ("n", Json.Int n);
          ("trials", Json.Int trials);
-         ("cells", Json.List (List.map cell_json par));
+         ("cells", Json.List (List.map bench_cell_json par));
          ( "totals",
            Json.Obj
              [
@@ -786,6 +790,84 @@ let experiment () =
   print_string (Ncg_obs.Metrics.to_markdown (Experiment.sweep_counters par));
   (* Latency profile of the whole sweep. *)
   print_string (Ncg_obs.Histogram.to_markdown (Experiment.sweep_histograms par))
+
+(* --- The paper's full (alpha, k) grid ------------------------------------------------------ *)
+
+(* Section 5 of the paper sweeps the full 15x12 (alpha, k) grid at 20
+   seeds per cell (with Gurobi as the best-response oracle). The seed
+   engine could only afford scaled-down slices of that grid in CI; the
+   CSR + bitset engine runs the whole thing, so this section holds it to
+   that scale on Table I's n=100 random trees and records per-cell wall
+   time, solver counters and GC allocated words for the bench gate.
+
+   Env knobs (for CI):
+     NCG_BENCH_FULLGRID_OUT=PATH  output path (default BENCH_fullgrid.json)
+     NCG_BENCH_FULLGRID_N=N       vertex count (default 100)
+     NCG_BENCH_FULLGRID_TRIALS=T  seeds per cell (default 20) *)
+
+let fullgrid () =
+  section_header "fullgrid"
+    "paper-scale sweep: full 15x12 (alpha, k) grid, 20 seeds (paper Section 5)";
+  let getenv_int name default =
+    match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+  in
+  let out =
+    Option.value (Sys.getenv_opt "NCG_BENCH_FULLGRID_OUT")
+      ~default:"BENCH_fullgrid.json"
+  in
+  let n = getenv_int "NCG_BENCH_FULLGRID_N" 100 in
+  let trials = getenv_int "NCG_BENCH_FULLGRID_TRIALS" 20 in
+  let cells = Experiment.grid ~alphas:Experiment.paper_alphas ~ks:Experiment.paper_ks in
+  let make_initial ~seed = Experiment.initial_tree ~seed ~n in
+  let make_config (c : Experiment.cell) =
+    config ~alpha:c.Experiment.alpha ~k:c.Experiment.k ()
+  in
+  let domains = max 2 (Domain.recommended_domain_count ()) in
+  let t0 = Ncg_obs.Clock.now_ns () in
+  let results =
+    Experiment.sweep ~domains ~make_initial ~make_config ~cells ~trials
+      ~seed:base_seed ()
+  in
+  let wall = Ncg_obs.Clock.ns_to_s (Ncg_obs.Clock.elapsed_ns ~since:t0) in
+  let gc = Experiment.sweep_gc results in
+  let total_words = Ncg_obs.Gc_stats.allocated_words gc in
+  let per_cell_words = total_words /. fi (List.length cells) in
+  let slowest =
+    List.nth
+      (List.sort
+         (fun (a : Experiment.cell_result) b ->
+           compare b.Experiment.wall_ns a.Experiment.wall_ns)
+         results)
+      0
+  in
+  Printf.printf "%-30s %d cells x %d trials, n=%d, %d domains\n" "grid"
+    (List.length cells) trials n domains;
+  Printf.printf "%-30s %.1fs\n" "wall" wall;
+  Printf.printf "%-30s %.3g total, %.3g mean per cell\n" "allocated words"
+    total_words per_cell_words;
+  Printf.printf "%-30s alpha=%g k=%d (%.2fs)\n%!" "slowest cell"
+    slowest.Experiment.cell.Experiment.alpha slowest.Experiment.cell.Experiment.k
+    (Ncg_obs.Clock.ns_to_s slowest.Experiment.wall_ns);
+  let module Json = Ncg_obs.Json in
+  Json.to_file out
+    (Json.Obj
+       [
+         ("schema", Json.String "ncg.bench.fullgrid/1");
+         ("seed", Json.Int base_seed);
+         ("class", Json.String "tree");
+         ("n", Json.Int n);
+         ("trials", Json.Int trials);
+         ("cells", Json.List (List.map bench_cell_json results));
+         ( "totals",
+           Json.Obj
+             [
+               ("wall_seconds", Json.Float wall);
+               ("domains", Json.Int domains);
+               ("counters", Ncg_obs.Metrics.to_json (Experiment.sweep_counters results));
+               ("gc", Ncg_obs.Gc_stats.to_json gc);
+             ] );
+       ]);
+  Printf.printf "wrote %s\n%!" out
 
 (* --- Bechamel micro-benchmarks ------------------------------------------------------------ *)
 
@@ -883,6 +965,7 @@ let sections =
     ("sumdyn", sumdyn);
     ("ablation", ablation);
     ("experiment", experiment);
+    ("fullgrid", fullgrid);
     ("kernels", kernels);
   ]
 

@@ -42,7 +42,7 @@ let () =
   let delta_drop = Lke.delta_max ~alpha:1.0 view [] in
   Printf.printf "MaxNCG worst-case delta of dropping all edges: %s\n"
     (if delta_drop = infinity then "infinite (frontier cut in every world)"
-     else string_of_float delta_drop);
+     else Printf.sprintf "%g" delta_drop);
 
   (* A benign deviation: additionally buying the frontier vertex. *)
   let frontier_target = List.hd (View.frontier view) in

@@ -10,7 +10,7 @@ let current_cost ~alpha (v : View.t) =
   (alpha *. float_of_int (List.length v.View.owned))
   +. float_of_int (current_usage v)
 
-let compute ?(solver = `Exact) ?max_edges ?allowed ~alpha (v : View.t) =
+let compute ?ws ?(solver = `Exact) ?max_edges ?allowed ~alpha (v : View.t) =
   Ncg_obs.Histogram.(time best_response) @@ fun () ->
   Ncg_obs.Metrics.(incr best_response_calls);
   Ncg_fault.Inject.(hit best_response);
@@ -52,6 +52,17 @@ let compute ?(solver = `Exact) ?max_edges ?allowed ~alpha (v : View.t) =
             (fun x -> not (List.mem x ok))
             (List.init (Graph.order h0) Fun.id)
     in
+    (* One context for the whole radius loop: distance rows are computed
+       once and the covering balls grow incrementally with h, instead of n
+       BFS runs per radius. The optional workspace lends BFS scratch to the
+       context build and a bitset pool to every branch-and-bound solve. *)
+    let scratch = Option.map (fun w -> w.Workspace.bfs) ws in
+    let cover_ws = Option.map (fun w -> w.Workspace.cover) ws in
+    let dom_ws = Option.map (fun w -> w.Workspace.dom) ws in
+    let ctx =
+      Dominating_set.context ?scratch ?ws:dom_ws ~graph:h0 ~free_dominators
+        ~forbidden ()
+    in
     let best = ref current in
     let h = ref 1 in
     let continue_ = ref true in
@@ -70,15 +81,14 @@ let compute ?(solver = `Exact) ?max_edges ?allowed ~alpha (v : View.t) =
       let max_size =
         match max_edges with Some cap -> min max_size cap | None -> max_size
       in
-      let problem =
-        { Dominating_set.graph = h0; radius = !h - 1; free_dominators; forbidden }
-      in
+      let radius = !h - 1 in
       let solution =
         match solver with
-        | `Exact -> Dominating_set.solve ~max_size problem
-        | `Budgeted node_budget -> Dominating_set.solve ~max_size ~node_budget problem
+        | `Exact -> Dominating_set.solve_at ?ws:cover_ws ~max_size ctx ~radius
+        | `Budgeted node_budget ->
+            Dominating_set.solve_at ?ws:cover_ws ~max_size ~node_budget ctx ~radius
         | `Greedy -> begin
-            match Dominating_set.greedy problem with
+            match Dominating_set.greedy_at ?ws:cover_ws ctx ~radius with
             | Some s when List.length s <= max_size -> Some s
             | Some _ | None -> None
           end
@@ -154,6 +164,6 @@ let local_search ~alpha (v : View.t) =
   in
   descend current
 
-let improving ?solver ?(epsilon = 1e-9) ~alpha v =
-  let best = compute ?solver ~alpha v in
+let improving ?ws ?solver ?(epsilon = 1e-9) ~alpha v =
+  let best = compute ?ws ?solver ~alpha v in
   if best.cost < current_cost ~alpha v -. epsilon then Some best else None

@@ -29,10 +29,13 @@ val current_cost : alpha:float -> View.t -> float
 (** Eccentricity of the player within her view. *)
 val current_usage : View.t -> int
 
-(** [compute ?solver ?max_edges ?allowed ~alpha view] is an optimal
+(** [compute ?ws ?solver ?max_edges ?allowed ~alpha view] is an optimal
     outcome; its cost is at most [current_cost]. If no strict improvement
     exists, the current strategy is returned unchanged.
 
+    [ws] lends reusable scratch buffers (BFS + set-cover pool) to the
+    radius loop; results never alias them. Pass one {!Workspace.t} per
+    logical run, as {!Dynamics.run} does.
     [max_edges] caps the number of bought edges — the bounded-budget
     variant of Ehsani et al. / Bilò et al. (both cited in Section 1).
     [allowed] restricts purchasable targets (view coordinates) — the
@@ -40,6 +43,7 @@ val current_usage : View.t -> int
     @raise Invalid_argument when the player's *current* strategy already
     violates a restriction (the caller owns that invariant). *)
 val compute :
+  ?ws:Workspace.t ->
   ?solver:[ `Exact | `Budgeted of int | `Greedy ] ->
   ?max_edges:int ->
   ?allowed:int list ->
@@ -54,10 +58,11 @@ val compute :
     induces can stop at profiles that are not LKEs. *)
 val local_search : alpha:float -> View.t -> outcome
 
-(** [improving ?solver ?epsilon ~alpha view] is [Some outcome] iff the
+(** [improving ?ws ?solver ?epsilon ~alpha view] is [Some outcome] iff the
     best response is strictly better than the current strategy by more
     than [epsilon] (default 1e-9). *)
 val improving :
+  ?ws:Workspace.t ->
   ?solver:[ `Exact | `Budgeted of int | `Greedy ] ->
   ?epsilon:float ->
   alpha:float ->

@@ -44,8 +44,9 @@ type result = {
 (* On an accepted move, also returns the player's view-local cost before
    and after — already computed by the oracles, and what the structured
    event log reports per move. *)
-let best_response_step config strategy g u =
-  let view = View.extract strategy g ~k:config.k u in
+let best_response_step ?ws config strategy g u =
+  let ws = match ws with Some w -> w | None -> Workspace.create () in
+  let view = View.extract ~scratch:ws.Workspace.bfs strategy g ~k:config.k u in
   let improvement =
     match config.variant with
     | Game.Max -> begin
@@ -56,7 +57,7 @@ let best_response_step config strategy g u =
                 ( o.Best_response.targets,
                   Best_response.current_cost ~alpha:config.alpha view,
                   o.Best_response.cost ))
-              (Best_response.improving ~solver:config.solver
+              (Best_response.improving ~ws ~solver:config.solver
                  ~epsilon:config.epsilon ~alpha:config.alpha view)
         | `Local_moves ->
             let o = Best_response.local_search ~alpha:config.alpha view in
@@ -95,6 +96,10 @@ let run_untraced config strategy0 =
   if not (Bfs.is_connected g0) then
     invalid_arg "Dynamics.run: initial network must be connected";
   let detect_cycles = config.order = `Round_robin in
+  (* One workspace per trajectory — reused across every player step, but
+     created fresh per run so per-cell allocation stays deterministic (the
+     parallel-sweep and bench-gate contracts compare GC deltas exactly). *)
+  let ws = Workspace.create ~capacity:n () in
   let sweep_rng =
     match config.order with
     | `Round_robin -> None
@@ -123,7 +128,7 @@ let run_untraced config strategy0 =
           (fun u ->
             match
               Ncg_fault.Cancel.with_step_budget config.move_budget (fun () ->
-                  best_response_step config !strategy !g u)
+                  best_response_step ~ws config !strategy !g u)
             with
             | Some (strategy', old_cost, new_cost) ->
                 let before = Strategy.owned !strategy u in

@@ -62,12 +62,15 @@ type result = {
     paper assumes players start on a connected network). *)
 val run : config -> Strategy.t -> result
 
-(** [best_response_step config strategy g u] is
+(** [best_response_step ?ws config strategy g u] is
     [Some (profile', old_cost, new_cost)] if player [u] has an improving
     deviation — the updated profile with [u]'s view-local cost before and
     after the move (what the [dynamics.move] event reports) — [None]
-    otherwise. Exposed for step-by-step inspection in examples. *)
+    otherwise. Exposed for step-by-step inspection in examples. [?ws]
+    lends reusable oracle scratch buffers; [run] threads one workspace
+    through every step of a trajectory. *)
 val best_response_step :
+  ?ws:Workspace.t ->
   config ->
   Strategy.t ->
   Ncg_graph.Graph.t ->

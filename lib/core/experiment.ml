@@ -229,8 +229,13 @@ module Json = Ncg_obs.Json
    than a recompute produces. /3: Cancel checkpoints extended into the
    set-cover solver's inner loops, so dynamics.move_steps counts differ
    from /2 whenever a step budget is active (ncg_experiment always sets
-   one) — cached /2 cells would not be byte-identical to recomputes. *)
-let cell_payload_schema = "ncg.store.cell/3"
+   one) — cached /2 cells would not be byte-identical to recomputes. /4:
+   the CSR engine computes distance rows once per best-response call
+   instead of once per radius, so bfs.calls (and the other counter
+   snapshots) differ from /3 even though the CSV-visible results are
+   bit-identical — a cached /3 cell would disagree with a recompute on
+   the counters section. *)
+let cell_payload_schema = "ncg.store.cell/4"
 
 let bool_of_json name = function
   | Json.Bool b -> b

@@ -12,16 +12,22 @@ type t = {
   dist : int array;
 }
 
-let extract strategy g ~k u =
+let extract ?scratch strategy g ~k u =
   if k < 1 then invalid_arg "View.extract: need k >= 1";
   Ncg_obs.Metrics.(incr view_extracts);
-  let graph, mapping = Subgraph.ball_induced g u ~radius:k in
+  let graph, mapping = Subgraph.ball_induced ?scratch g u ~radius:k in
   let player = mapping.Subgraph.to_sub.(u) in
   let map_host v = mapping.Subgraph.to_sub.(v) in
   (* Neighbours of u are at distance 1, hence always inside the ball. *)
   let owned = List.map map_host (Strategy.owned strategy u) in
   let in_buyers = List.map map_host (Strategy.in_buyers strategy u) in
-  let dist = Bfs.distances graph player in
+  let dist =
+    match scratch with
+    | None -> Bfs.distances graph player
+    | Some s ->
+        ignore (Bfs.run s graph player ~radius:max_int);
+        Array.sub (Bfs.dist_array s) 0 (Graph.order graph)
+  in
   { player; k; graph; mapping; owned; in_buyers; dist }
 
 let size v = Graph.order v.graph
@@ -41,16 +47,13 @@ let with_strategy v targets =
       if t = v.player then invalid_arg "View.with_strategy: self target")
     targets;
   let u = v.player in
-  let keep (a, b) =
-    (* Drop u's currently bought edges; edges bought towards u stay. *)
-    let other = if a = u then Some b else if b = u then Some a else None in
-    match other with
-    | None -> true
-    | Some w -> List.mem w v.in_buyers
+  (* The player's new incident set: her targets plus the edges bought
+     towards her (which she cannot drop); a single [with_star] pass
+     rebuilds H′ without materialising an edge list. *)
+  let star =
+    Array.of_list (List.sort_uniq compare (List.rev_append targets v.in_buyers))
   in
-  let base = List.filter keep (Graph.edges v.graph) in
-  let extra = List.map (fun t -> (u, t)) targets in
-  Graph.of_edges ~n (List.rev_append extra base)
+  Graph.with_star v.graph u star
 
 let to_host v ids =
   List.map (fun i -> v.mapping.Subgraph.to_host.(i)) ids

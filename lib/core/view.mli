@@ -17,8 +17,11 @@ type t = {
 }
 
 (** [extract strategy g ~k u] — [g] must be [Strategy.graph strategy].
+    [?scratch] lends reusable BFS buffers for the ball search and the
+    distance pass (the view does not alias them afterwards).
     @raise Invalid_argument if [k < 1]. *)
-val extract : Strategy.t -> Ncg_graph.Graph.t -> k:int -> int -> t
+val extract :
+  ?scratch:Ncg_graph.Bfs.scratch -> Strategy.t -> Ncg_graph.Graph.t -> k:int -> int -> t
 
 (** Number of vertices the player sees (herself included) — the paper's
     "view size" metric of Figure 5. *)

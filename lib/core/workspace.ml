@@ -1,0 +1,12 @@
+type t = {
+  bfs : Ncg_graph.Bfs.scratch;
+  cover : Ncg_solver.Set_cover.workspace;
+  dom : Ncg_solver.Dominating_set.workspace;
+}
+
+let create ?(capacity = 0) () =
+  {
+    bfs = Ncg_graph.Bfs.create_scratch ~capacity ();
+    cover = Ncg_solver.Set_cover.create_workspace ();
+    dom = Ncg_solver.Dominating_set.create_workspace ();
+  }

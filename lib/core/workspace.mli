@@ -1,0 +1,24 @@
+(** Scratch buffers for the oracle hot path.
+
+    One workspace bundles the reusable BFS buffers ({!Ncg_graph.Bfs.scratch})
+    and the set-cover branch-and-bound pool
+    ({!Ncg_solver.Set_cover.workspace}) that {!View.extract} and
+    {!Best_response.compute} accept. Create one per logical run — e.g.
+    {!Dynamics.run} creates one per trajectory and threads it through every
+    player step — never share one between domains, and never retain
+    references into it across calls (see docs/PERFORMANCE.md).
+
+    Creating a workspace per run (rather than caching one per domain) is
+    deliberate: per-cell allocation stays a pure function of the cell, which
+    the parallel-sweep determinism contract and the bench gate's
+    allocated-words telemetry both rely on. *)
+
+type t = {
+  bfs : Ncg_graph.Bfs.scratch;
+  cover : Ncg_solver.Set_cover.workspace;
+  dom : Ncg_solver.Dominating_set.workspace;
+}
+
+(** [create ~capacity ()] pre-sizes the BFS buffers for graphs of order ≤
+    [capacity] (default 0: grow on first use). *)
+val create : ?capacity:int -> unit -> t

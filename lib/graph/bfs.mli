@@ -1,10 +1,48 @@
 (** Breadth-first search primitives.
 
     Distances are returned as [int array]s indexed by vertex, with
-    {!unreachable} marking vertices in other components. *)
+    {!unreachable} marking vertices in other components.
+
+    The allocating helpers ({!distances}, {!ball}, ...) are convenient and
+    deterministic but cost two length-n arrays per call; hot paths should
+    create one {!scratch} per logical run (e.g. per dynamics trajectory) and
+    call {!run} repeatedly. See docs/PERFORMANCE.md for the ownership
+    rules. *)
 
 (** Distance value for vertices not reached by the search. *)
 val unreachable : int
+
+(** {1 Scratch-buffer searches} *)
+
+(** Reusable search buffers. A scratch grows on demand and may be reused
+    across graphs of different orders; it must not be shared between domains
+    or used re-entrantly (each {!run} invalidates the previous results). *)
+type scratch
+
+(** [create_scratch ~capacity ()] pre-sizes the buffers for graphs of order
+    ≤ [capacity] (default 0: grow on first use). *)
+val create_scratch : ?capacity:int -> unit -> scratch
+
+(** [run s g src ~radius] searches from [src], stopping at depth [radius]
+    (pass [max_int] for unbounded), and returns the number of vertices
+    reached. Afterwards [dist_array s] holds distances for all of
+    [0 .. order g - 1] ([unreachable] outside the ball) and the first
+    [visited] entries of [visit_order s] list the reached vertices in BFS
+    order (so non-decreasing distance, [src] first).
+    @raise Invalid_argument if [src] is outside [0, order g). *)
+val run : scratch -> Graph.t -> int -> radius:int -> int
+
+(** The scratch's distance buffer. Owned by the scratch: valid only until
+    the next [run], entries at indices ≥ the searched graph's order are
+    garbage, and callers must not mutate it. *)
+val dist_array : scratch -> int array
+
+(** The scratch's BFS-order buffer; same ownership rules as
+    {!dist_array}. Only the first [run]-returned count of entries are
+    meaningful. *)
+val visit_order : scratch -> int array
+
+(** {1 Allocating helpers} *)
 
 (** [distances g u] is the array of hop distances from [u];
     [unreachable] where [u] cannot reach. O(n + m). *)

@@ -35,7 +35,7 @@ let betweenness g =
       let v = Ncg_util.Int_queue.pop queue in
       order.(!visited) <- v;
       incr visited;
-      Array.iter
+      Graph.iter_neighbors
         (fun w ->
           if dist.(w) < 0 then begin
             dist.(w) <- dist.(v) + 1;
@@ -45,7 +45,7 @@ let betweenness g =
             sigma.(w) <- sigma.(w) +. sigma.(v);
             preds.(w) <- v :: preds.(w)
           end)
-        (Graph.neighbors g v)
+        g v
     done;
     (* Reverse BFS order: accumulate dependencies. *)
     for i = !visited - 1 downto 0 do

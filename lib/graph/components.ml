@@ -11,13 +11,13 @@ let labels g =
       Ncg_util.Int_queue.push q s;
       while not (Ncg_util.Int_queue.is_empty q) do
         let u = Ncg_util.Int_queue.pop q in
-        Array.iter
+        Graph.iter_neighbors
           (fun v ->
             if label.(v) < 0 then begin
               label.(v) <- id;
               Ncg_util.Int_queue.push q v
             end)
-          (Graph.neighbors g u)
+          g u
       done
     end
   done;

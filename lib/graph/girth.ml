@@ -16,7 +16,7 @@ let cycle_through g s ~cap =
      while not (Ncg_util.Int_queue.is_empty q) do
        let u = Ncg_util.Int_queue.pop q in
        if 2 * dist.(u) >= !best then raise Exit;
-       Array.iter
+       Graph.iter_neighbors
          (fun v ->
            if v <> parent.(u) then
              if dist.(v) = -1 then begin
@@ -29,7 +29,7 @@ let cycle_through g s ~cap =
                let len = dist.(u) + dist.(v) + 1 in
                if len < !best then best := len
              end)
-         (Graph.neighbors g u)
+         g u
      done
    with Exit -> ());
   !best

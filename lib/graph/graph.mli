@@ -1,9 +1,11 @@
 (** Immutable, simple, undirected graphs on vertices [0 .. n-1].
 
-    The representation is an adjacency array ([int array array]) with sorted
-    neighbour lists, built once from an edge list — the sparse-graph shape
-    all algorithms in this project (BFS-heavy) want. Self loops are rejected
-    and parallel edges collapse.
+    The representation is flat CSR: one [int array] of per-vertex offsets
+    (length [n + 1]) and one packed neighbour array (length [2m]) whose
+    per-vertex segments are sorted ascending. This canonical form is built
+    once from an edge list — the cache-friendly shape the BFS-heavy
+    algorithms in this project want — and makes structural equality a plain
+    array comparison. Self loops are rejected and parallel edges collapse.
 
     Mutation is not supported on purpose: in the network creation game the
     source of truth is the strategy profile and the graph is re-derived from
@@ -21,6 +23,16 @@ val of_edges : n:int -> (int * int) list -> t
 (** [empty n] has [n] vertices and no edges. *)
 val empty : int -> t
 
+(** [unsafe_of_csr ~n ~m ~offsets ~packed] wraps pre-built CSR arrays without
+    normalising them. The caller promises: per-vertex segments sorted
+    strictly ascending, symmetric (each arc present in both directions), no
+    self loops, and that it transfers ownership of both arrays (they must
+    never be mutated afterwards). Only cheap shape invariants are checked.
+    Intended for internal fast paths ({!Ncg_graph.Subgraph}, {!with_star});
+    prefer {!of_edges} everywhere else.
+    @raise Invalid_argument when the array shapes are inconsistent. *)
+val unsafe_of_csr : n:int -> m:int -> offsets:int array -> packed:int array -> t
+
 (** {1 Observation} *)
 
 (** Number of vertices. *)
@@ -29,12 +41,30 @@ val order : t -> int
 (** Number of edges. *)
 val size : t -> int
 
-(** [neighbors g u] is the sorted array of neighbours of [u]. The returned
-    array is owned by the graph: do not mutate it. *)
+(** [neighbors g u] is the sorted array of neighbours of [u], freshly
+    allocated on every call. Hot paths should use {!iter_neighbors} /
+    {!fold_neighbors} or index {!csr_packed} directly instead. *)
 val neighbors : t -> int -> int array
 
 (** [degree g u] is the number of neighbours of [u]. *)
 val degree : t -> int -> int
+
+(** [iter_neighbors f g u] applies [f] to each neighbour of [u] in
+    ascending order, without allocating. *)
+val iter_neighbors : (int -> unit) -> t -> int -> unit
+
+(** [fold_neighbors f g u init] folds over the neighbours of [u] in
+    ascending order, without allocating. *)
+val fold_neighbors : (int -> 'a -> 'a) -> t -> int -> 'a -> 'a
+
+(** The CSR offset array (length [order g + 1]): the neighbours of [u] live
+    at indices [offsets.(u) .. offsets.(u+1) - 1] of {!csr_packed}. The
+    returned array is the graph's own storage — treat it as read-only. *)
+val csr_offsets : t -> int array
+
+(** The packed neighbour array (length [2 * size g]), segments sorted
+    ascending. The graph's own storage — treat it as read-only. *)
+val csr_packed : t -> int array
 
 (** [mem_edge g u v] tests adjacency in O(log degree). *)
 val mem_edge : t -> int -> int -> bool
@@ -56,6 +86,13 @@ val add_edges : t -> (int * int) list -> t
 (** [remove_vertex_edges g u] removes every edge incident to [u] (the vertex
     itself remains, isolated). *)
 val remove_vertex_edges : t -> int -> t
+
+(** [with_star g u star] replaces every edge incident to [u] with edges from
+    [u] to exactly the members of [star], in one O(n + m) pass. [star] must
+    be sorted strictly ascending and must not contain [u]; the array is not
+    retained. This is the hot primitive behind {!Ncg.View.with_strategy}.
+    @raise Invalid_argument on an unsorted star or an endpoint violation. *)
+val with_star : t -> int -> int array -> t
 
 (** Structural equality (same order, same edge set). *)
 val equal : t -> t -> bool

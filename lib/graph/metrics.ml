@@ -1,12 +1,14 @@
 let eccentricities g =
   let n = Graph.order g in
   let ecc = Array.make n 0 in
+  let s = Bfs.create_scratch ~capacity:n () in
   let ok = ref true in
   let u = ref 0 in
   while !ok && !u < n do
-    (match Bfs.eccentricity g !u with
-    | Some e -> ecc.(!u) <- e
-    | None -> ok := false);
+    let visited = Bfs.run s g !u ~radius:max_int in
+    if visited = n then
+      ecc.(!u) <- (Bfs.dist_array s).((Bfs.visit_order s).(visited - 1))
+    else ok := false;
     incr u
   done;
   if !ok then Some ecc else None
@@ -28,13 +30,19 @@ let avg_degree g =
 
 let total_distance g =
   let n = Graph.order g in
+  let s = Bfs.create_scratch ~capacity:n () in
   let total = ref 0 in
   let ok = ref true in
   let u = ref 0 in
   while !ok && !u < n do
-    (match Bfs.sum_distances g !u with
-    | Some s -> total := !total + s
-    | None -> ok := false);
+    let visited = Bfs.run s g !u ~radius:max_int in
+    if visited = n then begin
+      let dist = Bfs.dist_array s in
+      for i = 0 to visited - 1 do
+        total := !total + dist.((Bfs.visit_order s).(i))
+      done
+    end
+    else ok := false;
     incr u
   done;
   if !ok then Some !total else None
@@ -57,14 +65,14 @@ let degree_histogram g =
   hist
 
 let local_clustering g u =
-  let nbrs = Graph.neighbors g u in
-  let d = Array.length nbrs in
+  let d = Graph.degree g u in
   if d < 2 then 0.0
   else begin
+    let offsets = Graph.csr_offsets g and packed = Graph.csr_packed g in
     let links = ref 0 in
-    for i = 0 to d - 1 do
-      for j = i + 1 to d - 1 do
-        if Graph.mem_edge g nbrs.(i) nbrs.(j) then incr links
+    for i = offsets.(u) to offsets.(u + 1) - 1 do
+      for j = i + 1 to offsets.(u + 1) - 1 do
+        if Graph.mem_edge g packed.(i) packed.(j) then incr links
       done
     done;
     2.0 *. float_of_int !links /. float_of_int (d * (d - 1))

@@ -1,0 +1,104 @@
+(* The seed engine's adjacency-array algorithms, retained verbatim in
+   spirit as an executable oracle: the qcheck equivalence suite checks the
+   CSR fast paths in [Graph]/[Bfs]/[Power]/[Subgraph] against these naive
+   implementations on arbitrary generated graphs. Nothing here is
+   performance-sensitive — clarity over speed on purpose. *)
+
+type t = { n : int; adj : int array array }
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Reference.of_edges: negative order";
+  let check v =
+    if v < 0 || v >= n then invalid_arg "Reference.of_edges: vertex out of range"
+  in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      check u;
+      check v;
+      if u = v then invalid_arg "Reference.of_edges: self loop";
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  { n; adj = Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) adj }
+
+let order g = g.n
+let neighbors g u = g.adj.(u)
+
+let size g =
+  Array.fold_left (fun acc nbrs -> acc + Array.length nbrs) 0 g.adj / 2
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    Array.iter (fun v -> if u < v then acc := (u, v) :: !acc) g.adj.(u)
+  done;
+  List.sort compare !acc
+
+let unreachable = -1
+
+let distances_within g src ~radius =
+  let dist = Array.make g.n unreachable in
+  dist.(src) <- 0;
+  let frontier = ref [ src ] in
+  let d = ref 0 in
+  while !frontier <> [] && !d < radius do
+    let next = ref [] in
+    List.iter
+      (fun u ->
+        Array.iter
+          (fun v ->
+            if dist.(v) = unreachable then begin
+              dist.(v) <- !d + 1;
+              next := v :: !next
+            end)
+          g.adj.(u))
+      !frontier;
+    frontier := List.rev !next;
+    incr d
+  done;
+  dist
+
+let distances g src = distances_within g src ~radius:max_int
+
+let ball g src ~radius =
+  let dist = distances_within g src ~radius in
+  let acc = ref [] in
+  for v = g.n - 1 downto 0 do
+    if dist.(v) <> unreachable then acc := v :: !acc
+  done;
+  !acc
+
+(* Edge list of the h-th power: (u, v) with u < v and 0 < d(u, v) <= h. *)
+let power_edges g h =
+  if h < 0 then invalid_arg "Reference.power_edges: negative exponent";
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    let dist = distances_within g u ~radius:h in
+    for v = g.n - 1 downto u + 1 do
+      if dist.(v) <> unreachable then acc := (u, v) :: !acc
+    done
+  done;
+  List.sort compare !acc
+
+(* Induced subgraph as (renamed edge list, host names in increasing order). *)
+let induced_edges g vertices =
+  let sorted = List.sort_uniq compare vertices in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= g.n then
+        invalid_arg "Reference.induced_edges: vertex out of range")
+    sorted;
+  let to_host = Array.of_list sorted in
+  let to_sub = Array.make g.n (-1) in
+  Array.iteri (fun i v -> to_sub.(v) <- i) to_host;
+  let acc = ref [] in
+  Array.iteri
+    (fun i v ->
+      Array.iter
+        (fun w ->
+          let j = to_sub.(w) in
+          if j >= 0 && i < j then acc := (i, j) :: !acc)
+        g.adj.(v))
+    to_host;
+  (List.sort compare !acc, to_host)

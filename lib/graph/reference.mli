@@ -1,0 +1,38 @@
+(** Naive adjacency-array reference implementations, kept as an executable
+    oracle for the CSR engine.
+
+    These are the seed engine's algorithms (list-frontier BFS, edge-list
+    subgraph extraction) preserved so property tests can prove the
+    optimised {!Graph}/{!Bfs}/{!Power}/{!Subgraph} fast paths agree with
+    them on arbitrary graphs. Not for production use. *)
+
+type t
+
+(** Same contract as {!Graph.of_edges}: duplicates collapse, self loops and
+    out-of-range endpoints rejected. *)
+val of_edges : n:int -> (int * int) list -> t
+
+val order : t -> int
+val size : t -> int
+
+(** Sorted neighbour array of [u]. *)
+val neighbors : t -> int -> int array
+
+(** Every edge [(u, v)] with [u < v], in lexicographic order. *)
+val edges : t -> (int * int) list
+
+(** Same value as {!Bfs.unreachable}. *)
+val unreachable : int
+
+val distances : t -> int -> int array
+val distances_within : t -> int -> radius:int -> int array
+
+(** Sorted list of vertices within [radius] of the source. *)
+val ball : t -> int -> radius:int -> int list
+
+(** Edge list of the [h]-th graph power, lexicographic, [u < v]. *)
+val power_edges : t -> int -> (int * int) list
+
+(** [induced_edges g vs] is the renamed edge list of the induced subgraph
+    (lexicographic) together with the sub → host name table. *)
+val induced_edges : t -> int list -> (int * int) list * int array

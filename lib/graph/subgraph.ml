@@ -1,5 +1,35 @@
 type mapping = { to_sub : int array; to_host : int array }
 
+(* Build the induced CSR directly from [to_sub]/[to_host]: because renaming
+   preserves host order and host segments are sorted, filtered segments stay
+   sorted — two passes (count, fill) and no re-sort or dedupe. *)
+let induced_of_mapping g to_sub to_host =
+  let nv = Array.length to_host in
+  let offsets = Array.make (nv + 1) 0 in
+  let host_off = Graph.csr_offsets g and host_packed = Graph.csr_packed g in
+  for i = 0 to nv - 1 do
+    let v = to_host.(i) in
+    let deg = ref 0 in
+    for p = host_off.(v) to host_off.(v + 1) - 1 do
+      if to_sub.(host_packed.(p)) >= 0 then incr deg
+    done;
+    offsets.(i + 1) <- offsets.(i) + !deg
+  done;
+  let total = offsets.(nv) in
+  let packed = Array.make total 0 in
+  let idx = ref 0 in
+  for i = 0 to nv - 1 do
+    let v = to_host.(i) in
+    for p = host_off.(v) to host_off.(v + 1) - 1 do
+      let j = to_sub.(host_packed.(p)) in
+      if j >= 0 then begin
+        packed.(!idx) <- j;
+        incr idx
+      end
+    done
+  done;
+  Graph.unsafe_of_csr ~n:nv ~m:(total / 2) ~offsets ~packed
+
 let induced g vertices =
   let n = Graph.order g in
   let to_sub = Array.make n (-1) in
@@ -10,15 +40,27 @@ let induced g vertices =
     sorted;
   let to_host = Array.of_list sorted in
   Array.iteri (fun i v -> to_sub.(v) <- i) to_host;
-  let edges = ref [] in
-  Array.iteri
-    (fun i v ->
-      Array.iter
-        (fun w ->
-          let j = to_sub.(w) in
-          if j >= 0 && i < j then edges := (i, j) :: !edges)
-        (Graph.neighbors g v))
-    to_host;
-  (Graph.of_edges ~n:(Array.length to_host) !edges, { to_sub; to_host })
+  (induced_of_mapping g to_sub to_host, { to_sub; to_host })
 
-let ball_induced g u ~radius = induced g (Bfs.ball g u ~radius)
+let ball_induced ?scratch g u ~radius =
+  let n = Graph.order g in
+  let s =
+    match scratch with
+    | Some s -> s
+    | None -> Bfs.create_scratch ~capacity:n ()
+  in
+  let visited = Bfs.run s g u ~radius in
+  (* The ball in increasing host order: a pass over the dist buffer keeps
+     the mapping arrays exactly as [induced] would build them. *)
+  let dist = Bfs.dist_array s in
+  let to_sub = Array.make n (-1) in
+  let to_host = Array.make visited 0 in
+  let i = ref 0 in
+  for v = 0 to n - 1 do
+    if dist.(v) >= 0 then begin
+      to_sub.(v) <- !i;
+      to_host.(!i) <- v;
+      incr i
+    end
+  done;
+  (induced_of_mapping g to_sub to_host, { to_sub; to_host })

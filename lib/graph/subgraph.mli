@@ -16,5 +16,8 @@ type mapping = {
 val induced : Graph.t -> int list -> Graph.t * mapping
 
 (** [ball_induced g u ~radius] is [induced] on the ball of radius [radius]
-    around [u] — a player's view, graph-side. *)
-val ball_induced : Graph.t -> int -> radius:int -> Graph.t * mapping
+    around [u] — a player's view, graph-side. [?scratch] lends reusable BFS
+    buffers (the result does not alias them); without it a fresh scratch is
+    allocated per call. *)
+val ball_induced :
+  ?scratch:Bfs.scratch -> Graph.t -> int -> radius:int -> Graph.t * mapping

@@ -14,9 +14,9 @@ let dfs_preorder g root =
         if not seen.(u) then begin
           seen.(u) <- true;
           order := u :: !order;
-          let nbrs = Graph.neighbors g u in
-          for i = Array.length nbrs - 1 downto 0 do
-            if not seen.(nbrs.(i)) then stack := nbrs.(i) :: !stack
+          let offsets = Graph.csr_offsets g and packed = Graph.csr_packed g in
+          for i = offsets.(u + 1) - 1 downto offsets.(u) do
+            if not seen.(packed.(i)) then stack := packed.(i) :: !stack
           done
         end
   done;
@@ -33,14 +33,14 @@ let bipartition g =
       Ncg_util.Int_queue.push q s;
       while not (Ncg_util.Int_queue.is_empty q) do
         let u = Ncg_util.Int_queue.pop q in
-        Array.iter
+        Graph.iter_neighbors
           (fun v ->
             if color.(v) < 0 then begin
               color.(v) <- 1 - color.(u);
               Ncg_util.Int_queue.push q v
             end
             else if color.(v) = color.(u) then ok := false)
-          (Graph.neighbors g u)
+          g u
       done
     end
   done;
@@ -70,9 +70,9 @@ let lowlink_scan g =
         match !stack with
         | [] -> ()
         | (u, next) :: rest ->
-            let nbrs = Graph.neighbors g u in
-            if !next < Array.length nbrs then begin
-              let v = nbrs.(!next) in
+            let offsets = Graph.csr_offsets g and packed = Graph.csr_packed g in
+            if !next < offsets.(u + 1) - offsets.(u) then begin
+              let v = packed.(offsets.(u) + !next) in
               incr next;
               if disc.(v) = -1 then begin
                 parent.(v) <- u;

@@ -7,10 +7,12 @@ open Cmdliner
 
 let run root json_out =
   let files =
-    Ncg_lint.Lint.ml_files_under ~root ~dirs:[ "lib"; "bin"; "bench" ]
+    Ncg_lint.Lint.ml_files_under ~root
+      ~dirs:[ "lib"; "bin"; "bench"; "test"; "examples" ]
   in
   if files = [] then begin
-    Printf.eprintf "ncg_lint: no .ml files under %s/{lib,bin,bench}\n" root;
+    Printf.eprintf "ncg_lint: no .ml files under %s/{lib,bin,bench,test,examples}\n"
+      root;
     exit 2
   end;
   (* Linking ncg_fault populated the fault-site registry at module-init

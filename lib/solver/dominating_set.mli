@@ -18,6 +18,53 @@ type problem = {
   forbidden : int list;  (** vertices that may not be chosen as dominators *)
 }
 
+(** {1 Amortised radius loop}
+
+    The best-response oracle solves the same graph at radii 0, 1, 2, ... —
+    a {!context} computes the all-pairs distance rows once and grows each
+    covering ball incrementally as the radius advances, instead of
+    re-running n BFS per radius. *)
+
+type context
+
+(** A growable distance-matrix buffer reused across contexts. At most one
+    context built from a given workspace may be live at a time — creating
+    the next one overwrites the matrix. Not domain-safe. *)
+type workspace
+
+val create_workspace : unit -> workspace
+
+(** [context ~graph ~free_dominators ~forbidden ()] prepares the radius
+    loop: n BFS runs (borrowing [?scratch] when given — the context does
+    not alias it afterwards) plus one n-bit set per vertex at radius 0.
+    [?ws] lends the distance-matrix buffer; the context borrows it until
+    the next [context] call on the same workspace. *)
+val context :
+  ?scratch:Ncg_graph.Bfs.scratch ->
+  ?ws:workspace ->
+  graph:Ncg_graph.Graph.t ->
+  free_dominators:int list ->
+  forbidden:int list ->
+  unit ->
+  context
+
+(** [solve_at ?ws ctx ~radius] is {!solve} of the corresponding problem,
+    reusing the context's distance rows and ball sets. Radii may be visited
+    in any order; advancing is monotone internally. [?ws] threads a
+    {!Set_cover.workspace} through the underlying branch and bound. *)
+val solve_at :
+  ?ws:Set_cover.workspace ->
+  ?max_size:int ->
+  ?node_budget:int ->
+  context ->
+  radius:int ->
+  int list option
+
+(** Greedy variant of {!solve_at}. *)
+val greedy_at : ?ws:Set_cover.workspace -> context -> radius:int -> int list option
+
+(** {1 One-shot problems} *)
+
 (** [solve ?max_size ?node_budget p] is a minimum list of chosen
     dominators (excluding the free ones), or [None] if infeasible / above
     [max_size]. [node_budget] bounds the branch-and-bound search as in

@@ -8,6 +8,40 @@ type instance = {
 
 type solution = { chosen : int list; cardinality : int }
 
+(* A pool of same-capacity bitsets so the branch-and-bound recursion stops
+   allocating one set per node. Acquired sets come back dirty: callers must
+   overwrite them fully ([copy_into] + an [_into] op) before reading. The
+   pool resets itself when the universe size changes, so one workspace can
+   be threaded through solves over many instances (e.g. every radius of a
+   best-response call, every call of a dynamics run). Not domain-safe: one
+   workspace per domain. *)
+type workspace = {
+  mutable cap : int;
+  mutable pool : Bitset.t list;
+  (* Flat element → covering-candidate index, CSR-style, rebuilt per solve:
+     [cov_idx] slots [cov_start e .. cov_off.(e) - 1] hold the candidate
+     indices covering element e, ascending. One growable pair instead of a
+     fresh [int list array] per solve. *)
+  mutable cov_off : int array;
+  mutable cov_idx : int array;
+}
+
+let create_workspace () =
+  { cap = -1; pool = []; cov_off = [||]; cov_idx = [||] }
+
+let acquire ws n =
+  if ws.cap <> n then begin
+    ws.cap <- n;
+    ws.pool <- []
+  end;
+  match ws.pool with
+  | b :: rest ->
+      ws.pool <- rest;
+      b
+  | [] -> Bitset.create n
+
+let release ws b = if Bitset.capacity b = ws.cap then ws.pool <- b :: ws.pool
+
 let initial_uncovered inst =
   let u = Bitset.create inst.universe in
   Bitset.fill u;
@@ -25,12 +59,15 @@ let is_cover inst chosen =
    uncovered set), with dominated candidates removed: c is dominated by c'
    when c ∩ U ⊆ c' ∩ U. Returns the useful part of each candidate plus its
    original index. *)
-let reduced_candidates inst uncovered =
+let reduced_candidates ws inst uncovered =
   let useful = ref [] in
   Array.iteri
     (fun i s ->
-      let cut = Bitset.inter s uncovered in
-      if not (Bitset.is_empty cut) then useful := (i, cut) :: !useful)
+      let cut = acquire ws inst.universe in
+      Bitset.copy_into ~into:cut s;
+      Bitset.inter_into ~into:cut uncovered;
+      if Bitset.is_empty cut then release ws cut
+      else useful := (i, cut) :: !useful)
     inst.sets;
   let arr = Array.of_list (List.rev !useful) in
   let n = Array.length arr in
@@ -50,8 +87,13 @@ let reduced_candidates inst uncovered =
   let out = ref [] in
   for i = n - 1 downto 0 do
     if keep.(i) then out := arr.(i) :: !out
+    else release ws (snd arr.(i))
   done;
   Array.of_list !out
+
+(* Hand every candidate cut back to the pool once a solve is done. *)
+let release_candidates ws candidates =
+  Array.iter (fun (_, cut) -> release ws cut) candidates
 
 let feasible candidates uncovered =
   (* Every uncovered element must appear in some candidate. *)
@@ -59,9 +101,10 @@ let feasible candidates uncovered =
   Array.iter (fun (_, s) -> Bitset.union_into ~into:coverable s) candidates;
   Bitset.subset uncovered coverable
 
-let greedy_on candidates uncovered0 =
+let greedy_on ws candidates uncovered0 =
   Ncg_obs.Metrics.(incr set_cover_greedy);
-  let uncovered = Bitset.copy uncovered0 in
+  let uncovered = acquire ws (Bitset.capacity uncovered0) in
+  Bitset.copy_into ~into:uncovered uncovered0;
   let chosen = ref [] in
   let continue_ = ref true in
   while (not (Bitset.is_empty uncovered)) && !continue_ do
@@ -82,16 +125,23 @@ let greedy_on candidates uncovered0 =
       Bitset.diff_into ~into:uncovered s
     end
   done;
-  if Bitset.is_empty uncovered then Some (List.rev !chosen) else None
+  let covered = Bitset.is_empty uncovered in
+  release ws uncovered;
+  if covered then Some (List.rev !chosen) else None
 
-let greedy inst =
+let greedy ?ws inst =
+  let ws = match ws with Some w -> w | None -> create_workspace () in
   let uncovered = initial_uncovered inst in
   if Bitset.is_empty uncovered then Some { chosen = []; cardinality = 0 }
   else begin
-    let candidates = reduced_candidates inst uncovered in
-    match greedy_on candidates uncovered with
-    | Some chosen -> Some { chosen; cardinality = List.length chosen }
-    | None -> None
+    let candidates = reduced_candidates ws inst uncovered in
+    let result =
+      match greedy_on ws candidates uncovered with
+      | Some chosen -> Some { chosen; cardinality = List.length chosen }
+      | None -> None
+    in
+    release_candidates ws candidates;
+    result
   end
 
 (* Exact DP over covered-element masks. dp.(mask) = fewest sets whose
@@ -139,8 +189,10 @@ let solve_dp inst =
 (* Lower bound: a greedy family of elements no two of which share a
    candidate; each requires its own set. [covers_elt.(e)] lists candidate
    indices covering e. *)
-let lower_bound candidates covers_elt uncovered =
-  let rest = Bitset.copy uncovered in
+let lower_bound ws candidates uncovered =
+  let cov_off = ws.cov_off and cov_idx = ws.cov_idx in
+  let rest = acquire ws (Bitset.capacity uncovered) in
+  Bitset.copy_into ~into:rest uncovered;
   let lb = ref 0 in
   let continue_ = ref true in
   while !continue_ do
@@ -149,37 +201,63 @@ let lower_bound candidates covers_elt uncovered =
     | Some e ->
         incr lb;
         (* Remove every element co-coverable with e. *)
-        List.iter
-          (fun ci ->
-            let _, s = candidates.(ci) in
-            Bitset.diff_into ~into:rest s)
-          covers_elt.(e)
+        for i = (if e = 0 then 0 else cov_off.(e - 1)) to cov_off.(e) - 1 do
+          let _, s = candidates.(cov_idx.(i)) in
+          Bitset.diff_into ~into:rest s
+        done
   done;
+  release ws rest;
   !lb
 
-let solve ?max_size ?(node_budget = max_int) inst =
+let solve ?ws ?max_size ?(node_budget = max_int) inst =
   Ncg_obs.Histogram.(time set_cover) @@ fun () ->
   Ncg_obs.Metrics.(incr set_cover_solves);
+  let ws = match ws with Some w -> w | None -> create_workspace () in
   let uncovered0 = initial_uncovered inst in
   if Bitset.is_empty uncovered0 then Some { chosen = []; cardinality = 0 }
   else begin
-    let candidates = reduced_candidates inst uncovered0 in
-    if not (feasible candidates uncovered0) then None
+    let candidates = reduced_candidates ws inst uncovered0 in
+    if not (feasible candidates uncovered0) then begin
+      release_candidates ws candidates;
+      None
+    end
     else begin
       let ncand = Array.length candidates in
-      (* covers_elt.(e): indices into [candidates] covering element e. *)
-      let covers_elt = Array.make inst.universe [] in
-      for ci = ncand - 1 downto 0 do
-        let _, s = candidates.(ci) in
-        Bitset.iter (fun e -> covers_elt.(e) <- ci :: covers_elt.(e)) s
+      let u_cap = inst.universe in
+      (* Flat covers index into the workspace arrays: counts at [e + 1],
+         prefix-summed to starts, then a cursor pass that leaves
+         [cov_off.(e)] at the *end* of element e's slice (so the start is
+         [cov_off.(e - 1)], or 0 for e = 0). Candidate order inside a slice
+         is ascending, exactly as the former per-element lists. *)
+      if Array.length ws.cov_off < u_cap + 1 then
+        ws.cov_off <- Array.make (u_cap + 1) 0;
+      let cov_off = ws.cov_off in
+      Array.fill cov_off 0 (u_cap + 1) 0;
+      Array.iter
+        (fun (_, s) -> Bitset.iter (fun e -> cov_off.(e + 1) <- cov_off.(e + 1) + 1) s)
+        candidates;
+      for e = 1 to u_cap do
+        cov_off.(e) <- cov_off.(e) + cov_off.(e - 1)
       done;
+      let total = cov_off.(u_cap) in
+      if Array.length ws.cov_idx < total then ws.cov_idx <- Array.make total 0;
+      let cov_idx = ws.cov_idx in
+      for ci = 0 to ncand - 1 do
+        let _, s = candidates.(ci) in
+        Bitset.iter
+          (fun e ->
+            cov_idx.(cov_off.(e)) <- ci;
+            cov_off.(e) <- cov_off.(e) + 1)
+          s
+      done;
+      let cov_start e = if e = 0 then 0 else cov_off.(e - 1) in
       (* Incumbent from greedy; cap by max_size if provided. *)
       let cap =
         match max_size with Some m -> m | None -> inst.universe + 1
       in
       let best_card = ref (cap + 1) in
       let best_sol = ref None in
-      (match greedy_on candidates uncovered0 with
+      (match greedy_on ws candidates uncovered0 with
       | Some chosen ->
           let c = List.length chosen in
           if c <= cap then begin
@@ -203,13 +281,13 @@ let solve ?max_size ?(node_budget = max_int) inst =
           end
         end
         else if depth + 1 < !best_card then begin
-          let lb = lower_bound candidates covers_elt uncovered in
+          let lb = lower_bound ws candidates uncovered in
           if depth + lb < !best_card then begin
             (* Branch on the uncovered element with fewest live candidates. *)
             let pick = ref (-1) and pick_count = ref max_int in
             Bitset.iter
               (fun e ->
-                let c = List.length covers_elt.(e) in
+                let c = cov_off.(e) - cov_start e in
                 if c < !pick_count then begin
                   pick := e;
                   pick_count := c
@@ -217,26 +295,30 @@ let solve ?max_size ?(node_budget = max_int) inst =
               uncovered;
             let e = !pick in
             (* Try candidates covering e, largest residual coverage first. *)
-            let opts =
-              List.map
-                (fun ci ->
-                  let _, s = candidates.(ci) in
-                  (ci, Bitset.inter_cardinal s uncovered))
-                covers_elt.(e)
-            in
+            let opts = ref [] in
+            for i = cov_off.(e) - 1 downto cov_start e do
+              let ci = cov_idx.(i) in
+              let _, s = candidates.(ci) in
+              opts := (ci, Bitset.inter_cardinal s uncovered) :: !opts
+            done;
+            let opts = !opts in
             let opts = List.sort (fun (_, a) (_, b) -> compare b a) opts in
             List.iter
               (fun (ci, _) ->
                 if depth + 1 < !best_card then begin
                   let orig, s = candidates.(ci) in
-                  let uncovered' = Bitset.diff uncovered s in
-                  branch uncovered' (depth + 1) (orig :: acc)
+                  let uncovered' = acquire ws inst.universe in
+                  Bitset.copy_into ~into:uncovered' uncovered;
+                  Bitset.diff_into ~into:uncovered' s;
+                  branch uncovered' (depth + 1) (orig :: acc);
+                  release ws uncovered'
                 end)
               opts
           end
         end
       in
       branch uncovered0 0 [];
+      release_candidates ws candidates;
       Ncg_obs.Metrics.(add set_cover_nodes !nodes);
       match !best_sol with
       | Some chosen when !best_card <= cap ->

@@ -29,7 +29,17 @@ type instance = {
 (** Result of a solve: indices into [sets]. *)
 type solution = { chosen : int list; cardinality : int }
 
-(** [solve ?max_size ?node_budget inst] is the optimal solution, or [None]
+(** A reusable pool of branch-and-bound scratch bitsets. Threading one
+    workspace through repeated solves (every radius of a best-response
+    call, every call of a dynamics run) removes the per-node allocations;
+    without one, each solve creates its own. A workspace adapts to the
+    instance's universe size automatically but must not be shared between
+    domains. Solutions never alias workspace memory. *)
+type workspace
+
+val create_workspace : unit -> workspace
+
+(** [solve ?ws ?max_size ?node_budget inst] is the optimal solution, or [None]
     when the instance is infeasible (some element is in no candidate set)
     or every cover needs more than [max_size] sets. [max_size] defaults to
     unbounded; passing the best-known bound prunes the search.
@@ -39,11 +49,12 @@ type solution = { chosen : int list; cardinality : int }
     never worse than the greedy warm start — is returned, so the solver
     degrades gracefully into an anytime heuristic on pathological dense
     instances while remaining exact everywhere the search completes. *)
-val solve : ?max_size:int -> ?node_budget:int -> instance -> solution option
+val solve :
+  ?ws:workspace -> ?max_size:int -> ?node_budget:int -> instance -> solution option
 
 (** [greedy inst] is the classical ln(n)-approximation: repeatedly take the
     candidate covering the most uncovered elements. [None] iff infeasible. *)
-val greedy : instance -> solution option
+val greedy : ?ws:workspace -> instance -> solution option
 
 (** [solve_dp inst] — exact dynamic programming over covered-element
     bitmasks: O(2^u · sets) time and O(2^u) space, exact for any

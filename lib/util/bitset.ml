@@ -15,6 +15,11 @@ let create n =
 let capacity s = s.capacity
 let copy s = { capacity = s.capacity; words = Array.copy s.words }
 
+let copy_into ~into s =
+  if into.capacity <> s.capacity then
+    invalid_arg "Bitset.copy_into: operands have different capacities";
+  Array.blit s.words 0 into.words 0 (Array.length s.words)
+
 let check s i =
   if i < 0 || i >= s.capacity then invalid_arg "Bitset: index out of bounds"
 
@@ -30,13 +35,29 @@ let mem s i =
   check s i;
   s.words.(i / bits) land (1 lsl (i mod bits)) <> 0
 
-(* Population count of one word, folding the word in halves. *)
+(* Population count via a 16-bit lookup table: four (five on the top sliver)
+   byte-pair probes per word instead of one loop iteration per set bit, which
+   matters because the solver calls [cardinal]/[inter_cardinal] on every
+   branch-and-bound node. *)
+let pop16 =
+  (let t = Bytes.create 65536 in
+   for i = 0 to 65535 do
+     let rec kern acc w = if w = 0 then acc else kern (acc + 1) (w land (w - 1)) in
+     Bytes.unsafe_set t i (Char.chr (kern 0 i))
+   done;
+   t)
+[@@lint.domain_local "filled once at module initialisation, read-only after"]
+
 let popcount w =
-  let rec go acc w = if w = 0 then acc else go (acc + (w land 1)) (w lsr 1) in
-  (* Kernighan's trick is faster for sparse words: clear lowest set bit. *)
-  let rec kern acc w = if w = 0 then acc else kern (acc + 1) (w land (w - 1)) in
-  ignore go;
-  kern 0 w
+  (* [w] can be negative (bit 62 set on 64-bit); split with logical shifts. *)
+  let p i = Char.code (Bytes.unsafe_get pop16 i) in
+  let acc = ref (p (w land 0xffff)) in
+  let w = ref (w lsr 16) in
+  while !w <> 0 do
+    acc := !acc + p (!w land 0xffff);
+    w := !w lsr 16
+  done;
+  !acc
 
 let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
 let is_empty s = Array.for_all (fun w -> w = 0) s.words
@@ -79,23 +100,30 @@ let union a b = let r = copy a in union_into ~into:r b; r
 let inter a b = let r = copy a in inter_into ~into:r b; r
 let diff a b = let r = copy a in diff_into ~into:r b; r
 
+(* The three predicates below are flat while-loops rather than local
+   recursive functions: a [let rec] capturing the operands costs a closure
+   allocation per call, and the solver's dominance filter calls these
+   O(candidates²) times per solve. *)
 let subset a b =
   same_capacity a b;
   let n = Array.length a.words in
-  let rec go i = i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1)) in
-  go 0
+  let i = ref 0 in
+  while !i < n && a.words.(!i) land lnot b.words.(!i) = 0 do incr i done;
+  !i >= n
 
 let equal a b =
   same_capacity a b;
   let n = Array.length a.words in
-  let rec go i = i >= n || (a.words.(i) = b.words.(i) && go (i + 1)) in
-  go 0
+  let i = ref 0 in
+  while !i < n && a.words.(!i) = b.words.(!i) do incr i done;
+  !i >= n
 
 let disjoint a b =
   same_capacity a b;
   let n = Array.length a.words in
-  let rec go i = i >= n || (a.words.(i) land b.words.(i) = 0 && go (i + 1)) in
-  go 0
+  let i = ref 0 in
+  while !i < n && a.words.(!i) land b.words.(!i) = 0 do incr i done;
+  !i >= n
 
 let inter_cardinal a b =
   same_capacity a b;
@@ -115,13 +143,13 @@ let diff_cardinal a b =
 
 let iter f s =
   for wi = 0 to Array.length s.words - 1 do
+    let base = wi * bits in
     let w = ref s.words.(wi) in
     while !w <> 0 do
-      (* Lowest set bit of !w. *)
+      (* Index of the lowest set bit: popcount of the mask of bits below it. *)
       let low = !w land - !w in
-      let rec log2 acc v = if v = 1 then acc else log2 (acc + 1) (v lsr 1) in
-      f ((wi * bits) + log2 0 low);
-      w := !w land (!w - 1)
+      f (base + popcount (low - 1));
+      w := !w lxor low
     done
   done
 
@@ -137,21 +165,28 @@ let of_list n xs =
   List.iter (fun i -> add s i) xs;
   s
 
+(* Flat loop for the same reason as [subset]: one closure per call adds up
+   in the solver's lower-bound scan. *)
 let choose_from s i0 =
-  let n = s.capacity in
-  let rec go i =
-    if i >= n then None
-    else begin
-      let wi = i / bits in
-      let w = s.words.(wi) lsr (i mod bits) in
-      if w = 0 then go ((wi + 1) * bits)
-      else begin
-        let rec first j w = if w land 1 = 1 then j else first (j + 1) (w lsr 1) in
-        Some (first i w)
+  let i0 = if i0 < 0 then 0 else i0 in
+  let nw = Array.length s.words in
+  let found = ref (-1) in
+  if i0 < s.capacity then begin
+    let wi = ref (i0 / bits) in
+    (* First word: mask off the bits below [i0]. *)
+    let w = ref (s.words.(!wi) land ((-1) lsl (i0 mod bits))) in
+    while !found < 0 && !wi < nw do
+      if !w <> 0 then begin
+        let low = !w land - !w in
+        found := (!wi * bits) + popcount (low - 1)
       end
-    end
-  in
-  if i0 < 0 then go 0 else go i0
+      else begin
+        incr wi;
+        if !wi < nw then w := s.words.(!wi)
+      end
+    done
+  end;
+  if !found < 0 then None else Some !found
 
 let min_elt s =
   match choose_from s 0 with Some i -> i | None -> raise Not_found

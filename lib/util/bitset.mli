@@ -16,6 +16,10 @@ val capacity : t -> int
 (** [copy s] is an independent copy of [s]. *)
 val copy : t -> t
 
+(** [copy_into ~into s] overwrites [into] with the contents of [s] without
+    allocating. Both sets must share a capacity. *)
+val copy_into : into:t -> t -> unit
+
 (** [add s i] sets bit [i]. *)
 val add : t -> int -> unit
 

@@ -263,8 +263,18 @@ let rec project_root dir =
 
 let test_live_tree_clean () =
   let root = project_root (Sys.getcwd ()) in
-  let files = Lint.ml_files_under ~root ~dirs:[ "lib"; "bin"; "bench" ] in
-  check_bool "found the tree" true (List.length files > 50);
+  let files =
+    Lint.ml_files_under ~root ~dirs:[ "lib"; "bin"; "bench"; "test"; "examples" ]
+  in
+  (* The enlarged scan (test/ and examples/ included) must actually pick
+     the extra trees up, not silently fall back to the library dirs. *)
+  check_bool "found the tree" true (List.length files > 80);
+  check_bool "scan includes test/" true
+    (List.exists (fun f -> String.length f > 5 && String.sub f 0 5 = "test/") files);
+  check_bool "scan includes examples/" true
+    (List.exists
+       (fun f -> String.length f > 9 && String.sub f 0 9 = "examples/")
+       files);
   let known_sites = Ncg_fault.Inject.sites () in
   let dirty =
     List.filter_map

@@ -519,7 +519,7 @@ let check_be_nesting events =
           | _ -> ())
       | _ -> Alcotest.fail "event is not an object")
     events;
-  Hashtbl.iter
+  (Hashtbl.iter [@lint.allow "D3" "order-independent check: fails iff any stack is non-empty"])
     (fun tid stack ->
       if stack <> [] then Alcotest.failf "unclosed B events on tid %d" tid)
     stacks

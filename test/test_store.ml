@@ -30,7 +30,10 @@ let with_temp_dir f =
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
 let write_file path s =
-  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+  (Out_channel.with_open_bin
+  [@lint.allow "A1" "deliberately non-atomic: crafts torn/corrupt store fixtures"])
+    path
+    (fun oc -> Out_channel.output_string oc s)
 
 (* --- Crc32 ---------------------------------------------------------------- *)
 
