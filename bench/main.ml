@@ -573,6 +573,7 @@ let bench_cell_json (r : Experiment.cell_result) =
       );
       ("rounds_mean", Json.Float (mean (fun x -> fi x.Experiment.rounds)));
       ("quality_mean", Json.Float (mean (fun x -> x.Experiment.quality)));
+      ("probes", Ncg_obs.Probe.to_json r.Experiment.probes);
     ]
 
 (* --- Instrumented parallel experiment sweep ------------------------------------------------ *)
@@ -637,7 +638,9 @@ let experiment () =
              = Ncg_obs.Histogram.counts_only b.Experiment.histograms)
         && check "gc allocated words"
              (Ncg_obs.Gc_stats.allocated_words a.Experiment.gc
-             = Ncg_obs.Gc_stats.allocated_words b.Experiment.gc))
+             = Ncg_obs.Gc_stats.allocated_words b.Experiment.gc)
+        && check "probe series"
+             (Ncg_obs.Probe.equal_snapshot a.Experiment.probes b.Experiment.probes))
       a b
   in
   let identical = same_results "parallel vs sequential" seq par in
@@ -731,7 +734,7 @@ let experiment () =
   Json.to_file out
     (Json.Obj
        [
-         ("schema", Json.String "ncg.bench.experiment/3");
+         ("schema", Json.String "ncg.bench.experiment/4");
          ("smoke", Json.Bool smoke);
          ("seed", Json.Int base_seed);
          ("class", Json.String "tree");
@@ -942,6 +945,36 @@ let kernels () =
         (List.sort compare rows)
   | None -> print_endline "no results?!"
 
+(* --- Run-history JSONL --------------------------------------------------------------------- *)
+
+(* One line per bench invocation, appended to BENCH_history.jsonl
+   (override the path with NCG_BENCH_HISTORY): which sections ran and
+   their wall seconds. `ncg_bench_diff --history FILE` prints the trend.
+   Durations only — no wall-clock timestamps, so two runs of the same
+   tree on the same machine produce comparable (not machine-unique)
+   lines. *)
+
+let history_schema = "ncg.bench.history/1"
+
+let append_history entries =
+  let path =
+    Option.value (Sys.getenv_opt "NCG_BENCH_HISTORY") ~default:"BENCH_history.jsonl"
+  in
+  let module Json = Ncg_obs.Json in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 entries in
+  let line =
+    Json.Obj
+      [
+        ("schema", Json.String history_schema);
+        ("smoke", Json.Bool (Sys.getenv_opt "NCG_BENCH_SMOKE" <> None));
+        ( "sections",
+          Json.Obj (List.map (fun (name, wall) -> (name, Json.Float wall)) entries) );
+        ("total_seconds", Json.Float total);
+      ]
+  in
+  Ncg_obs.Atomic_file.append_line path (Json.to_string line);
+  Printf.printf "appended run summary to %s\n%!" path
+
 (* --- Driver ---------------------------------------------------------------------------------- *)
 
 let sections =
@@ -969,28 +1002,33 @@ let sections =
     ("kernels", kernels);
   ]
 
+let run_timed (name, f) =
+  let s0 = Ncg_obs.Clock.now_ns () in
+  f ();
+  let wall = Ncg_obs.Clock.ns_to_s (Ncg_obs.Clock.elapsed_ns ~since:s0) in
+  Printf.printf "[section time: %.1fs]\n%!" wall;
+  (name, wall)
+
 let () =
   let requested = List.tl (Array.to_list Sys.argv) in
   match requested with
   | [ "list" ] -> List.iter (fun (name, _) -> print_endline name) sections
   | [] ->
       let t0 = Ncg_obs.Clock.now_ns () in
-      List.iter
-        (fun (_, f) ->
-          let s0 = Ncg_obs.Clock.now_ns () in
-          f ();
-          Printf.printf "[section time: %.1fs]\n%!"
-            (Ncg_obs.Clock.ns_to_s (Ncg_obs.Clock.elapsed_ns ~since:s0)))
-        sections;
+      let entries = List.map run_timed sections in
       Printf.printf "\nTotal: %.1fs\n"
-        (Ncg_obs.Clock.ns_to_s (Ncg_obs.Clock.elapsed_ns ~since:t0))
+        (Ncg_obs.Clock.ns_to_s (Ncg_obs.Clock.elapsed_ns ~since:t0));
+      append_history entries
   | names ->
-      List.iter
-        (fun name ->
-          match List.assoc_opt name sections with
-          | Some f -> f ()
-          | None ->
-              Printf.eprintf "unknown section %S (try: %s)\n" name
-                (String.concat ", " (List.map fst sections));
-              exit 1)
-        names
+      let entries =
+        List.map
+          (fun name ->
+            match List.assoc_opt name sections with
+            | Some f -> run_timed (name, f)
+            | None ->
+                Printf.eprintf "unknown section %S (try: %s)\n" name
+                  (String.concat ", " (List.map fst sections));
+                exit 1)
+          names
+      in
+      append_history entries

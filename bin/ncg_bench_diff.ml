@@ -167,8 +167,83 @@ let baseline_cells file section j =
       | _ -> failf "%s: section %s has no cells" file section)
   | None -> failf "%s: no baseline for section %s (re-baseline?)" file section
 
-let run baseline_path write_path tolerance wall_tolerance specs =
+(* --- Run-history trend (bench/main.exe appends BENCH_history.jsonl) ------- *)
+
+let history_schema = "ncg.bench.history/1"
+
+let read_lines path =
+  let ic = try open_in path with Sys_error e -> failf "%s" e in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+(* Unparseable lines (torn tails from a crashed appender) are skipped, not
+   fatal; only a history with zero valid lines is an error. *)
+let history_runs path =
+  List.filter_map
+    (fun line ->
+      if String.trim line = "" then None
+      else
+        match Json.of_string line with
+        | Error _ -> None
+        | Ok j -> (
+            match (member "schema" j, member "sections" j) with
+            | Some (Json.String s), Some (Json.Obj fields) when s = history_schema
+              ->
+                Some
+                  (List.filter_map
+                     (fun (name, v) ->
+                       match v with
+                       | Json.Float f -> Some (name, f)
+                       | Json.Int i -> Some (name, float_of_int i)
+                       | _ -> None)
+                     fields)
+            | _ -> None))
+    (read_lines path)
+
+let print_history path =
+  let runs = history_runs path in
+  if runs = [] then failf "%s: no valid %s lines" path history_schema;
+  (* Ordered union of section names across all runs. *)
+  let sections =
+    List.fold_left
+      (fun acc run ->
+        List.fold_left
+          (fun acc (name, _) -> if List.mem name acc then acc else acc @ [ name ])
+          acc run)
+      [] runs
+  in
+  Printf.printf "%d run(s) in %s (oldest first, wall seconds)\n" (List.length runs)
+    path;
+  List.iter
+    (fun name ->
+      let walls = List.filter_map (List.assoc_opt name) runs in
+      match walls with
+      | [] -> ()
+      | first :: _ ->
+          let last = List.nth walls (List.length walls - 1) in
+          let trend =
+            if List.length walls < 2 || first = 0.0 then ""
+            else Printf.sprintf "  (%+.1f%% vs first)" (100. *. ((last /. first) -. 1.))
+          in
+          Printf.printf "  %-14s %s%s\n" name
+            (String.concat " " (List.map (Printf.sprintf "%.2f") walls))
+            trend)
+    sections
+
+let run baseline_path write_path history_path tolerance wall_tolerance specs =
   try
+    match history_path with
+    | Some path ->
+        print_history path;
+        0
+    | None ->
     let sections =
       List.map
         (fun spec ->
@@ -250,6 +325,16 @@ let write_arg =
           "Regenerate the baseline at $(docv) from the given bench outputs \
            instead of diffing.")
 
+let history_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "history" ] ~docv:"FILE"
+        ~doc:
+          "Print the per-section wall-time trend from a BENCH_history.jsonl \
+           appended by bench/main.exe (schema ncg.bench.history/1), then exit. \
+           Unparseable lines are skipped.")
+
 let tolerance_arg =
   Arg.(
     value & opt float 0.01
@@ -273,7 +358,7 @@ let cmd =
   Cmd.v
     (Cmd.info "ncg_bench_diff" ~doc)
     Term.(
-      const run $ baseline_arg $ write_arg $ tolerance_arg $ wall_tolerance_arg
-      $ specs_arg)
+      const run $ baseline_arg $ write_arg $ history_arg $ tolerance_arg
+      $ wall_tolerance_arg $ specs_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -78,13 +78,37 @@ let cell_json graph_class n p trials (r : Experiment.cell_result) =
       ("domain", Json.Int r.Experiment.domain);
       ("counters", Metrics.to_json r.Experiment.counters);
       ("histograms", Ncg_obs.Histogram.to_json r.Experiment.histograms);
+      ("probes", Ncg_obs.Probe.to_json r.Experiment.probes);
       ("gc", Ncg_obs.Gc_stats.to_json r.Experiment.gc);
       ("spans", Ncg_obs.Span.to_json r.Experiment.spans);
     ]
 
+(* Probe series carry no wall-clock of their own (cell payloads are
+   wall-clock-free by contract), so for the timeline their rounds are
+   spread evenly across the cell's span — synthetic timestamps, real
+   values. Non-finite samples (disconnected social cost) are skipped:
+   Perfetto rejects counter tracks with null values. *)
+let add_probe_track trace ~tid ~started_ns ~wall_ns ~label series =
+  let samples = Ncg_obs.Timeseries.to_list series in
+  let count = List.length samples in
+  List.iteri
+    (fun i (_x, y) ->
+      if Float.is_finite y then begin
+        let ts_ns =
+          Int64.add started_ns
+            (Int64.of_float
+               (Int64.to_float wall_ns
+               *. (float_of_int (i + 1) /. float_of_int (count + 1))))
+        in
+        Ncg_obs.Chrome_trace.add_counter trace ~tid ~ts_ns ~name:label
+          [ ("value", y) ]
+      end)
+    samples
+
 (* One Perfetto track per domain: each cell's span tree at its absolute
-   start, plus a GC counter sample (words allocated by that cell) at the
-   cell boundary. *)
+   start, a GC counter sample (words allocated by that cell) at the
+   cell boundary, and counter tracks for the exemplar trial's
+   convergence series. *)
 let write_trace path (results : Experiment.cell_result list) =
   let trace = Ncg_obs.Chrome_trace.create ~process_name:"ncg_experiment" () in
   List.iter
@@ -94,7 +118,20 @@ let write_trace path (results : Experiment.cell_result list) =
       let end_ns = Int64.add r.Experiment.started_ns r.Experiment.wall_ns in
       Ncg_obs.Chrome_trace.add_counter trace ~tid ~ts_ns:end_ns
         ~name:"gc allocated words"
-        [ ("words", Ncg_obs.Gc_stats.allocated_words r.Experiment.gc) ])
+        [ ("words", Ncg_obs.Gc_stats.allocated_words r.Experiment.gc) ];
+      List.iter
+        (fun (probe, label) ->
+          match
+            List.assoc_opt (Ncg_obs.Probe.name probe) r.Experiment.probes
+          with
+          | Some series ->
+              add_probe_track trace ~tid ~started_ns:r.Experiment.started_ns
+                ~wall_ns:r.Experiment.wall_ns ~label series
+          | None -> ())
+        [
+          (Ncg_obs.Probe.social_cost, "social cost (trial 0)");
+          (Ncg_obs.Probe.awake_players, "awake players (trial 0)");
+        ])
     results;
   Ncg_obs.Chrome_trace.to_file path trace;
   Printf.eprintf "chrome trace (%d events) written to %s\n%!"
@@ -179,9 +216,11 @@ let install_signal_handlers () =
     [ Sys.sigint; Sys.sigterm ]
 
 let run graph_class n p alphas ks trials seed budget domains store_dir resume
-    no_cache only_cell telemetry trace_out events quiet fault_plan_spec
-    fault_seed max_retries retry_backoff_ms cell_deadline_ms move_budget =
-  if quiet then Ncg_obs.Events.set_progress false;
+    no_cache only_cell telemetry trace_out events quiet no_progress no_probes
+    fault_plan_spec fault_seed max_retries retry_backoff_ms cell_deadline_ms
+    move_budget =
+  if quiet || no_progress then Ncg_obs.Events.set_progress false;
+  let probes = not no_probes in
   let fault_plan =
     match fault_plan_spec with
     | None -> None
@@ -223,8 +262,8 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
   let cell_seeds = Experiment.derive_seeds ~seed ~count:total in
   let context = store_context graph_class n p budget move_budget in
   let key_of idx cell =
-    Experiment.cell_cache_key ~context ~seed ~trials ~cell_seed:cell_seeds.(idx)
-      cell
+    Experiment.cell_cache_key ~probes ~context ~seed ~trials
+      ~cell_seed:cell_seeds.(idx) cell
   in
   (if resume && store_dir = None then begin
      Printf.eprintf "ncg_experiment: --resume requires --store DIR\n%!";
@@ -308,8 +347,9 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
                         ?timeout_ns:cell_deadline_ns (fun () ->
                           Ncg_fault.Inject.(hit sweep_cell);
                           let r =
-                            Experiment.run_cell ~make_initial ~make_config
-                              ~trials ~cell_seed:cell_seeds.(idx) cell
+                            Experiment.run_cell ~probes ~make_initial
+                              ~make_config ~trials ~cell_seed:cell_seeds.(idx)
+                              cell
                           in
                           (match store with
                           | Some s when not no_cache ->
@@ -381,8 +421,8 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
         Experiment.sweep_supervised ~domains ~max_retries ~retry_backoff_ns
           ?cell_deadline_ns
           ?store:(if no_cache then None else store)
-          ~store_context:context ~make_initial ~make_config ~cells ~trials
-          ~seed ()
+          ~store_context:context ~probes ~make_initial ~make_config ~cells
+          ~trials ~seed ()
   in
   let outcomes =
     match events with
@@ -454,9 +494,13 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
       let doc =
         Json.Obj
           ([
-             ("schema", Json.String "ncg.experiment.telemetry/3");
+             (* /4: cells gained a "probes" section (round-level series of
+                the exemplar trial) and the top level records the probes
+                switch. *)
+             ("schema", Json.String "ncg.experiment.telemetry/4");
              ("seed", Json.Int seed);
              ("domains", Json.Int domains);
+             ("probes", Json.Bool probes);
              ("max_retries", Json.Int max_retries);
              ( "fault_plan",
                match fault_plan with
@@ -619,6 +663,17 @@ let quiet =
   Arg.(value & flag & info [ "quiet" ]
          ~doc:"Suppress the live progress line on stderr.")
 
+let no_progress =
+  Arg.(value & flag & info [ "no-progress" ]
+         ~doc:"Explicitly disable the live progress line (it is also \
+               auto-suppressed whenever stderr is not an interactive TTY).")
+
+let no_probes =
+  Arg.(value & flag & info [ "no-probes" ]
+         ~doc:"Skip the round-level convergence probes of each cell's \
+               exemplar trial. The CSV is byte-identical either way; only \
+               the telemetry/store payloads shrink.")
+
 let fault_plan_spec =
   Arg.(value & opt (some string) None & info [ "fault-plan" ] ~docv:"SPEC"
          ~doc:"Deterministic fault-injection plan, e.g. \
@@ -653,7 +708,8 @@ let cmd =
     (Cmd.info "ncg_experiment" ~doc)
     Term.(const run $ graph_class $ n $ p $ alphas $ ks $ trials $ seed $ budget
           $ domains $ store_dir $ resume $ no_cache $ only_cell $ telemetry
-          $ trace_out $ events $ quiet $ fault_plan_spec $ fault_seed
-          $ max_retries $ retry_backoff_ms $ cell_deadline_ms $ move_budget)
+          $ trace_out $ events $ quiet $ no_progress $ no_probes
+          $ fault_plan_spec $ fault_seed $ max_retries $ retry_backoff_ms
+          $ cell_deadline_ms $ move_budget)
 
 let () = exit (Cmd.eval cmd)

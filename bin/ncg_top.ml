@@ -1,0 +1,613 @@
+(* Sweep dashboard: live view of a running experiment's events JSONL, and
+   post-hoc Markdown convergence reports from telemetry documents.
+
+   Live mode (default) tails the file a sweep writes under --events:
+
+     dune exec bin/ncg_top.exe -- events.jsonl            # follow
+     dune exec bin/ncg_top.exe -- --once events.jsonl     # one frame (CI)
+
+   It renders a progress grid over the (alpha, k) plane from sweep.cell
+   events, convergence sparklines from dynamics.round events (emitted
+   when probes and events are both enabled), and the latest retry /
+   quarantine alerts. Torn or foreign lines are counted and skipped — a
+   live tail always sees partial writes.
+
+   Post-hoc mode renders a Markdown convergence report from any telemetry
+   document with a "cells" list (ncg.experiment.telemetry/4,
+   ncg.bench.experiment/3, ncg.bench.fullgrid/1):
+
+     dune exec bin/ncg_top.exe -- --post-hoc --telemetry telemetry.json \
+       [--compare other.json] [--out report.md]
+
+   Unlike the live tail, post-hoc input is a complete artifact: any parse
+   error is fatal (exit 1), which is what CI runs it for. *)
+
+module Json = Ncg_obs.Json
+module Markdown = Ncg_reporting.Markdown
+module Timeseries = Ncg_obs.Timeseries
+
+let member name = function
+  | Json.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let num_opt = function
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | Some (Json.Float f) -> Some f
+  | _ -> None
+
+let int_opt = function Some (Json.Int i) -> Some i | _ -> None
+
+let str_opt = function Some (Json.String s) -> Some s | _ -> None
+
+(* --- Live mode ------------------------------------------------------------- *)
+
+(* Cell key: (alpha, k). Floats compare exactly here because both sides
+   of every comparison come from the same JSON round-trip. *)
+type key = float * int
+
+type status = Done | Cached | Quarantined
+
+type live = {
+  cells : (key, status) Hashtbl.t;
+  retries : (key, int) Hashtbl.t;
+  series : (key, (int * float * int) list ref) Hashtbl.t;
+      (* newest-first (round, social_cost, awake) from dynamics.round *)
+  mutable total : int;
+  mutable finished : int;
+  mutable events : int;
+  mutable skipped : int;  (* torn / unparseable lines *)
+  mutable alerts : string list;  (* newest first, capped *)
+}
+
+let new_live () =
+  {
+    cells = Hashtbl.create 64;
+    retries = Hashtbl.create 16;
+    series = Hashtbl.create 64;
+    total = 0;
+    finished = 0;
+    events = 0;
+    skipped = 0;
+    alerts = [];
+  }
+
+let alert st line =
+  st.alerts <- (line :: st.alerts) |> List.filteri (fun i _ -> i < 6)
+
+let key_of_event j =
+  match (num_opt (member "alpha" j), int_opt (member "k" j)) with
+  | Some alpha, Some k -> Some (alpha, k)
+  | _ -> None
+
+let process_line st line =
+  if String.trim line = "" then ()
+  else
+    match Json.of_string line with
+    | Error _ -> st.skipped <- st.skipped + 1
+    | Ok j -> (
+        st.events <- st.events + 1;
+        match str_opt (member "event" j) with
+        | Some "sweep.cell" -> (
+            (match int_opt (member "total" j) with
+            | Some t -> st.total <- max st.total t
+            | None -> ());
+            (match int_opt (member "done" j) with
+            | Some d -> st.finished <- max st.finished d
+            | None -> ());
+            match key_of_event j with
+            | None -> ()
+            | Some key ->
+                let cached =
+                  match member "cached" j with Some (Json.Bool b) -> b | _ -> false
+                in
+                Hashtbl.replace st.cells key (if cached then Cached else Done))
+        | Some "sweep.cell.quarantined" -> (
+            (match int_opt (member "done" j) with
+            | Some d -> st.finished <- max st.finished d
+            | None -> ());
+            match key_of_event j with
+            | None -> ()
+            | Some ((alpha, k) as key) ->
+                Hashtbl.replace st.cells key Quarantined;
+                alert st
+                  (Printf.sprintf "QUARANTINED alpha=%g k=%d after %s attempt(s): %s"
+                     alpha k
+                     (match int_opt (member "attempts" j) with
+                     | Some a -> string_of_int a
+                     | None -> "?")
+                     (Option.value (str_opt (member "error" j)) ~default:"?")))
+        | Some "sweep.cell.attempt_failed" -> (
+            match key_of_event j with
+            | None -> ()
+            | Some ((alpha, k) as key) ->
+                let prev = Option.value (Hashtbl.find_opt st.retries key) ~default:0 in
+                Hashtbl.replace st.retries key (prev + 1);
+                alert st
+                  (Printf.sprintf "retry alpha=%g k=%d attempt %s (%s)%s" alpha k
+                     (match int_opt (member "attempt" j) with
+                     | Some a -> string_of_int a
+                     | None -> "?")
+                     (Option.value (str_opt (member "error" j)) ~default:"?")
+                     (match member "will_retry" j with
+                     | Some (Json.Bool false) -> " — giving up"
+                     | _ -> "")))
+        | Some "dynamics.round" -> (
+            match
+              ( key_of_event j,
+                int_opt (member "round" j),
+                num_opt (member "social_cost" j),
+                int_opt (member "awake" j) )
+            with
+            | Some key, Some round, Some sc, Some awake ->
+                let cell =
+                  match Hashtbl.find_opt st.series key with
+                  | Some r -> r
+                  | None ->
+                      let r = ref [] in
+                      Hashtbl.add st.series key r;
+                      r
+                in
+                cell := (round, sc, awake) :: !cell
+            | _ -> ())
+        | _ -> ())
+
+let sorted_uniq compare l = List.sort_uniq compare l
+
+let grid_lines st =
+  let keys =
+    (Hashtbl.fold [@lint.allow "D3" "keys are sort_uniq-ed below"])
+      (fun k _ acc -> k :: acc)
+      st.cells []
+  in
+  if keys = [] then [ "waiting for sweep.cell events..." ]
+  else begin
+    let alphas = sorted_uniq compare (List.map fst keys) in
+    let ks = sorted_uniq compare (List.map snd keys) in
+    let header =
+      Printf.sprintf "%8s %s" "alpha\\k"
+        (String.concat " " (List.map (Printf.sprintf "%5d") ks))
+    in
+    let row alpha =
+      let marks =
+        List.map
+          (fun k ->
+            let c =
+              match Hashtbl.find_opt st.cells (alpha, k) with
+              | Some Done ->
+                  if Hashtbl.mem st.retries (alpha, k) then '!' else '#'
+              | Some Cached -> 'c'
+              | Some Quarantined -> 'X'
+              | None -> '.'
+            in
+            Printf.sprintf "%5s" (String.make 1 c))
+          ks
+      in
+      Printf.sprintf "%8g %s" alpha (String.concat " " marks)
+    in
+    (header :: List.map row alphas)
+    @ [ "legend: # done   c cached   ! done after retry   X quarantined   . pending" ]
+  end
+
+let spark_lines st =
+  let cells =
+    (Hashtbl.fold [@lint.allow "D3" "fully ordered by the sort below"])
+      (fun key series acc -> (key, List.rev !series) :: acc)
+      st.series []
+  in
+  let cells =
+    (* Longest series first; ties broken by (alpha, k) so the frame does
+       not depend on hash order. *)
+    List.sort
+      (fun (ka, a) (kb, b) ->
+        match compare (List.length b) (List.length a) with
+        | 0 -> compare ka kb
+        | c -> c)
+      (List.filter (fun (_, s) -> s <> []) cells)
+  in
+  match cells with
+  | [] -> []
+  | _ ->
+      let top = List.filteri (fun i _ -> i < 4) cells in
+      let chart title pick =
+        let series =
+          List.map
+            (fun (((alpha, k) : key), samples) ->
+              {
+                Ncg_stats.Ascii_chart.label = Printf.sprintf "a=%g k=%d" alpha k;
+                points =
+                  List.filter_map
+                    (fun (round, sc, awake) ->
+                      let y = pick sc awake in
+                      if Float.is_finite y then Some (float_of_int round, y)
+                      else None)
+                    samples;
+              })
+            top
+        in
+        title :: [ Ncg_stats.Ascii_chart.render ~width:56 ~height:10 series ]
+      in
+      chart "social cost by round (most-sampled cells):" (fun sc _ -> sc)
+      @ chart "awake players by round:" (fun _ awake -> float_of_int awake)
+
+let render st =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let quarantined =
+    (Hashtbl.fold [@lint.allow "D3" "order-independent count"])
+      (fun _ s acc -> if s = Quarantined then acc + 1 else acc)
+      st.cells 0
+  in
+  let cached =
+    (Hashtbl.fold [@lint.allow "D3" "order-independent count"])
+      (fun _ s acc -> if s = Cached then acc + 1 else acc)
+      st.cells 0
+  in
+  line "ncg_top — sweep dashboard";
+  line "cells: %d/%s done (%d cached, %d quarantined) — %d events, %d skipped lines"
+    st.finished
+    (if st.total > 0 then string_of_int st.total else "?")
+    cached quarantined st.events st.skipped;
+  line "";
+  List.iter (fun l -> line "%s" l) (grid_lines st);
+  (match spark_lines st with
+  | [] -> ()
+  | lines ->
+      line "";
+      List.iter (fun l -> line "%s" l) lines);
+  (match st.alerts with
+  | [] -> ()
+  | alerts ->
+      line "";
+      line "alerts (newest first):";
+      List.iter (fun a -> line "  %s" a) alerts);
+  Buffer.contents b
+
+(* Reads complete lines appended since [pos]; a trailing partial line is
+   left for the next poll. *)
+let read_new path pos =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      if len <= pos then (pos, [])
+      else begin
+        seek_in ic pos;
+        let chunk = really_input_string ic (len - pos) in
+        match String.rindex_opt chunk '\n' with
+        | None -> (pos, [])
+        | Some i ->
+            let complete = String.sub chunk 0 i in
+            (pos + i + 1, String.split_on_char '\n' complete)
+      end)
+
+let live path once interval =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "ncg_top: %s: no such file\n" path;
+    2
+  end
+  else begin
+    let st = new_live () in
+    let pos = ref 0 in
+    let step () =
+      let np, lines = read_new path !pos in
+      pos := np;
+      List.iter (process_line st) lines
+    in
+    if once then begin
+      step ();
+      print_string (render st);
+      0
+    end
+    else begin
+      Sys.catch_break true;
+      (try
+         while true do
+           step ();
+           if Unix.isatty Unix.stdout then print_string "\027[2J\027[H";
+           print_string (render st);
+           flush stdout;
+           Unix.sleepf interval
+         done
+       with Sys.Break -> print_newline ());
+      0
+    end
+  end
+
+(* --- Post-hoc mode --------------------------------------------------------- *)
+
+exception Bad_input of string
+
+let failf fmt = Printf.ksprintf (fun s -> raise (Bad_input s)) fmt
+
+type ph_cell = {
+  ph_alpha : float;
+  ph_k : int;
+  ph_wall : float option;
+  ph_rounds : float option;
+  ph_quality : float option;
+  ph_converged : float option;
+  ph_probes : Ncg_obs.Probe.snapshot;
+}
+
+let read_doc path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error e -> failf "%s: %s" path e
+  in
+  match Json.of_string contents with
+  | Ok j -> j
+  | Error e -> failf "%s: %s" path e
+
+(* Any document with a "cells" list is accepted — the experiment
+   telemetry and both bench outputs share the per-cell shape this report
+   needs. *)
+let load_cells path =
+  let j = read_doc path in
+  let schema = Option.value (str_opt (member "schema" j)) ~default:"(no schema)" in
+  let cells =
+    match member "cells" j with
+    | Some (Json.List cells) -> cells
+    | _ -> failf "%s: no \"cells\" list (schema %s)" path schema
+  in
+  let parse i c =
+    let ctx = Printf.sprintf "%s: cells[%d]" path i in
+    let req name =
+      match num_opt (member name c) with
+      | Some v -> v
+      | None -> failf "%s: missing %s" ctx name
+    in
+    {
+      ph_alpha = req "alpha";
+      ph_k = int_of_float (req "k");
+      ph_wall = num_opt (member "wall_seconds" c);
+      ph_rounds = num_opt (member "rounds_mean" c);
+      ph_quality = num_opt (member "quality_mean" c);
+      ph_converged = num_opt (member "converged_frac" c);
+      ph_probes =
+        (match member "probes" c with
+        | None -> []
+        | Some pj -> (
+            match Ncg_obs.Probe.of_json pj with
+            | Ok snap -> snap
+            | Error e -> failf "%s: probes: %s" ctx e));
+    }
+  in
+  (schema, List.mapi parse cells)
+
+let probe_samples cell name =
+  match List.assoc_opt name cell.ph_probes with
+  | None -> []
+  | Some ts -> Timeseries.to_list ts
+
+let fmt_opt = function Some f -> Printf.sprintf "%.4g" f | None -> "-"
+
+let fmt_num = Printf.sprintf "%.4g"
+
+let cell_label c = Printf.sprintf "alpha=%g k=%d" c.ph_alpha c.ph_k
+
+let summary_table md cells =
+  Markdown.table md
+    ~header:
+      [ "alpha"; "k"; "wall s"; "rounds"; "quality"; "converged"; "probe samples" ]
+    (List.map
+       (fun c ->
+         [
+           fmt_num c.ph_alpha;
+           string_of_int c.ph_k;
+           fmt_opt c.ph_wall;
+           fmt_opt c.ph_rounds;
+           fmt_opt c.ph_quality;
+           fmt_opt c.ph_converged;
+           string_of_int
+             (List.length (probe_samples c (Ncg_obs.Probe.name Ncg_obs.Probe.social_cost)));
+         ])
+       cells)
+
+let convergence_section md c =
+  let sc = probe_samples c (Ncg_obs.Probe.name Ncg_obs.Probe.social_cost) in
+  let awake = probe_samples c (Ncg_obs.Probe.name Ncg_obs.Probe.awake_players) in
+  Markdown.heading md 2 (Printf.sprintf "Convergence: %s (trial-0 exemplar)" (cell_label c));
+  Markdown.table md
+    ~header:[ "round"; "social cost"; "awake players" ]
+    (List.map
+       (fun (x, y) ->
+         [
+           string_of_int (int_of_float x);
+           fmt_num y;
+           (match List.assoc_opt x awake with Some a -> fmt_num a | None -> "-");
+         ])
+       sc);
+  let chart label points =
+    {
+      Ncg_stats.Ascii_chart.label;
+      points = List.filter (fun (_, y) -> Float.is_finite y) points;
+    }
+  in
+  Markdown.code_block md
+    (Ncg_stats.Ascii_chart.render ~width:56 ~height:12 [ chart "social cost" sc ]);
+  Markdown.code_block md
+    (Ncg_stats.Ascii_chart.render ~width:56 ~height:10
+       [ chart "awake players" awake ])
+
+let comparison_section md ~path_a ~path_b cells_a cells_b =
+  Markdown.heading md 2 "Cross-run comparison";
+  Markdown.paragraph md
+    (Printf.sprintf "A = `%s`, B = `%s`; cells matched on (alpha, k)." path_a path_b);
+  let final_sc c =
+    match
+      Timeseries.last
+        (Option.value
+           (List.assoc_opt (Ncg_obs.Probe.name Ncg_obs.Probe.social_cost) c.ph_probes)
+           ~default:(Timeseries.create ()))
+    with
+    | Some (_, y) -> Some y
+    | None -> None
+  in
+  let rows =
+    List.filter_map
+      (fun a ->
+        match
+          List.find_opt (fun b -> b.ph_alpha = a.ph_alpha && b.ph_k = a.ph_k) cells_b
+        with
+        | None -> None
+        | Some b ->
+            Some
+              [
+                fmt_num a.ph_alpha;
+                string_of_int a.ph_k;
+                fmt_opt a.ph_wall;
+                fmt_opt b.ph_wall;
+                fmt_opt a.ph_rounds;
+                fmt_opt b.ph_rounds;
+                fmt_opt (final_sc a);
+                fmt_opt (final_sc b);
+              ])
+      cells_a
+  in
+  Markdown.table md
+    ~header:
+      [
+        "alpha"; "k"; "wall A"; "wall B"; "rounds A"; "rounds B"; "final SC A";
+        "final SC B";
+      ]
+    rows;
+  let unmatched =
+    List.filter
+      (fun a ->
+        not
+          (List.exists (fun b -> b.ph_alpha = a.ph_alpha && b.ph_k = a.ph_k) cells_b))
+      cells_a
+  in
+  if unmatched <> [] then
+    Markdown.paragraph md
+      (Printf.sprintf "%d cell(s) of A have no (alpha, k) match in B: %s."
+         (List.length unmatched)
+         (String.concat ", " (List.map cell_label unmatched)))
+
+let post_hoc telemetry compare_with out =
+  try
+    let schema, cells = load_cells telemetry in
+    let md = Markdown.create () in
+    Markdown.heading md 1 "Convergence report";
+    Markdown.paragraph md
+      (Printf.sprintf "Source: `%s` (schema `%s`), %d cells." telemetry schema
+         (List.length cells));
+    summary_table md cells;
+    let with_series =
+      List.sort
+        (fun a b ->
+          compare
+            (List.length (probe_samples b (Ncg_obs.Probe.name Ncg_obs.Probe.social_cost)))
+            (List.length (probe_samples a (Ncg_obs.Probe.name Ncg_obs.Probe.social_cost))))
+        (List.filter
+           (fun c ->
+             probe_samples c (Ncg_obs.Probe.name Ncg_obs.Probe.social_cost) <> [])
+           cells)
+    in
+    (match with_series with
+    | [] ->
+        Markdown.paragraph md
+          "No probe series in this document — run the sweep with probes enabled \
+           (they are on by default; check for --no-probes)."
+    | _ -> List.iter (convergence_section md) (List.filteri (fun i _ -> i < 3) with_series));
+    (match compare_with with
+    | None -> ()
+    | Some other ->
+        let _, cells_b = load_cells other in
+        comparison_section md ~path_a:telemetry ~path_b:other cells cells_b);
+    let rendered = Markdown.to_string md in
+    (match out with
+    | Some path ->
+        Ncg_obs.Atomic_file.write path rendered;
+        Printf.printf "wrote %s\n" path
+    | None -> print_string rendered);
+    0
+  with Bad_input msg ->
+    Printf.eprintf "ncg_top: %s\n" msg;
+    1
+
+(* --- CLI ------------------------------------------------------------------- *)
+
+open Cmdliner
+
+let events_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"EVENTS"
+        ~doc:"Events JSONL file written by a sweep's --events flag (live mode).")
+
+let once_arg =
+  Arg.(
+    value & flag
+    & info [ "once" ]
+        ~doc:"Render a single frame from the current file contents and exit \
+              (for CI and replays) instead of following the file.")
+
+let interval_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "interval" ] ~docv:"SECONDS" ~doc:"Polling interval in follow mode.")
+
+let post_hoc_arg =
+  Arg.(
+    value & flag
+    & info [ "post-hoc" ]
+        ~doc:"Render a Markdown convergence report from $(b,--telemetry) instead \
+              of tailing an events file. Parse errors are fatal (exit 1).")
+
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:
+          "Telemetry JSON document (any schema with a per-cell \"cells\" list: \
+           ncg.experiment.telemetry/4, ncg.bench.experiment/3, \
+           ncg.bench.fullgrid/1).")
+
+let compare_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "compare" ] ~docv:"FILE"
+        ~doc:"Second telemetry document; adds a cross-run comparison table \
+              matched on (alpha, k).")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:"Write the post-hoc report here (atomically) instead of stdout.")
+
+let run events once interval post_hoc_mode telemetry compare_with out =
+  if post_hoc_mode then
+    match telemetry with
+    | None ->
+        prerr_endline "ncg_top: --post-hoc requires --telemetry FILE";
+        2
+    | Some t -> post_hoc t compare_with out
+  else
+    match events with
+    | None ->
+        prerr_endline
+          "ncg_top: an EVENTS.jsonl argument is required in live mode (or use \
+           --post-hoc)";
+        2
+    | Some path -> live path once interval
+
+let cmd =
+  let doc = "live sweep dashboard and post-hoc convergence reports" in
+  Cmd.v
+    (Cmd.info "ncg_top" ~doc)
+    Term.(
+      const run $ events_arg $ once_arg $ interval_arg $ post_hoc_arg
+      $ telemetry_arg $ compare_arg $ out_arg)
+
+let () = exit (Cmd.eval' cmd)

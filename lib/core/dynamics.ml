@@ -41,10 +41,25 @@ type result = {
   trace : Trace.t;
 }
 
+(* How far an accepted move reaches, measured inside the view where
+   distances from the player are already known: the symmetric-difference
+   size of the target sets, and the largest view distance of any newly
+   bought edge — the per-round locality signals the probe layer records. *)
+type move_stats = { edit_distance : int; radius : int }
+
+let move_stats_of (view : View.t) ~targets =
+  let before = view.View.owned in
+  let added = List.filter (fun t -> not (List.mem t before)) targets in
+  let removed = List.filter (fun t -> not (List.mem t targets)) before in
+  let radius =
+    List.fold_left (fun acc t -> max acc view.View.dist.(t)) 0 added
+  in
+  { edit_distance = List.length added + List.length removed; radius }
+
 (* On an accepted move, also returns the player's view-local cost before
    and after — already computed by the oracles, and what the structured
-   event log reports per move. *)
-let best_response_step ?ws config strategy g u =
+   event log reports per move — plus the move's locality stats. *)
+let best_response_step_stats ?ws config strategy g u =
   let ws = match ws with Some w -> w | None -> Workspace.create () in
   let view = View.extract ~scratch:ws.Workspace.bfs strategy g ~k:config.k u in
   let improvement =
@@ -77,8 +92,17 @@ let best_response_step ?ws config strategy g u =
   in
   Option.map
     (fun (targets, old_cost, new_cost) ->
-      (Strategy.with_owned strategy u (View.to_host view targets), old_cost, new_cost))
+      ( Strategy.with_owned strategy u (View.to_host view targets),
+        old_cost,
+        new_cost,
+        move_stats_of view ~targets ))
     improvement
+
+let best_response_step ?ws config strategy g u =
+  Option.map
+    (fun (strategy', old_cost, new_cost, _stats) ->
+      (strategy', old_cost, new_cost))
+    (best_response_step_stats ?ws config strategy g u)
 
 (* "buy" = only additions, "drop" = only removals, "swap" = both. *)
 let move_kind ~before ~after =
@@ -115,6 +139,38 @@ let run_untraced config strategy0 =
   let moves = ref [] in
   let outcome = ref None in
   let round = ref 0 in
+  (* Social cost of the current full profile, on the trajectory's BFS
+     scratch — zero-allocation, so probing does not disturb the per-cell
+     GC contract. NaN if the network disconnected (mirrors
+     [Game.social_cost] returning [None]). *)
+  let social_cost_now () =
+    let g = !g in
+    let sum_use = ref 0 in
+    let connected = ref true in
+    let u = ref 0 in
+    while !connected && !u < n do
+      if Bfs.run ws.Workspace.bfs g !u ~radius:max_int < n then
+        connected := false
+      else begin
+        let dist = Bfs.dist_array ws.Workspace.bfs in
+        (match config.variant with
+        | Game.Max ->
+            let ecc = ref 0 in
+            for v = 0 to n - 1 do
+              if dist.(v) > !ecc then ecc := dist.(v)
+            done;
+            sum_use := !sum_use + !ecc
+        | Game.Sum ->
+            for v = 0 to n - 1 do
+              sum_use := !sum_use + dist.(v)
+            done);
+        incr u
+      end
+    done;
+    if !connected then
+      (config.alpha *. float_of_int (Graph.size g)) +. float_of_int !sum_use
+    else nan
+  in
   while !outcome = None && !round < config.max_rounds do
     incr round;
     Ncg_fault.Cancel.checkpoint ();
@@ -123,18 +179,38 @@ let run_untraced config strategy0 =
         (match sweep_rng with
         | Some rng -> Ncg_prng.Rng.shuffle rng player_order
         | None -> ());
+        let probing = Ncg_obs.Probe.recording () in
+        let gap_max = ref 0. in
+        let gap_total = ref 0. in
+        let edits = ref 0 in
+        let reach = ref 0 in
+        let nodes0 =
+          if probing then Ncg_obs.Metrics.(read set_cover_nodes) else 0
+        in
+        let cutoffs0 =
+          if probing then
+            Ncg_obs.Metrics.(read set_cover_cutoffs + read sum_bb_cutoffs)
+          else 0
+        in
         let changes = ref 0 in
         Array.iter
           (fun u ->
             match
               Ncg_fault.Cancel.with_step_budget config.move_budget (fun () ->
-                  best_response_step ~ws config !strategy !g u)
+                  best_response_step_stats ~ws config !strategy !g u)
             with
-            | Some (strategy', old_cost, new_cost) ->
+            | Some (strategy', old_cost, new_cost, stats) ->
                 let before = Strategy.owned !strategy u in
                 let after = Strategy.owned strategy' u in
                 moves :=
                   { Trace.round = !round; player = u; before; after } :: !moves;
+                if probing then begin
+                  let gap = old_cost -. new_cost in
+                  if gap > !gap_max then gap_max := gap;
+                  gap_total := !gap_total +. gap;
+                  edits := !edits + stats.edit_distance;
+                  if stats.radius > !reach then reach := stats.radius
+                end;
                 if Ncg_obs.Events.active () then
                   Ncg_obs.Events.emit "dynamics.move"
                     [
@@ -150,6 +226,32 @@ let run_untraced config strategy0 =
                 incr total_moves
             | None -> ())
           player_order;
+        if probing then begin
+          let x = float_of_int !round in
+          let sc = social_cost_now () in
+          Ncg_obs.Probe.(sample social_cost) ~x sc;
+          Ncg_obs.Probe.(sample awake_players) ~x (float_of_int !changes);
+          Ncg_obs.Probe.(sample br_gap_max) ~x !gap_max;
+          Ncg_obs.Probe.(sample br_gap_total) ~x !gap_total;
+          Ncg_obs.Probe.(sample move_edit_distance) ~x (float_of_int !edits);
+          Ncg_obs.Probe.(sample move_locality_radius) ~x (float_of_int !reach);
+          Ncg_obs.Probe.(sample set_cover_nodes) ~x
+            (float_of_int (Ncg_obs.Metrics.(read set_cover_nodes) - nodes0));
+          Ncg_obs.Probe.(sample bb_cutoffs) ~x
+            (float_of_int
+               (Ncg_obs.Metrics.(read set_cover_cutoffs + read sum_bb_cutoffs)
+               - cutoffs0));
+          if Ncg_obs.Events.active () then
+            Ncg_obs.Events.emit "dynamics.round"
+              [
+                ("round", Ncg_obs.Json.Int !round);
+                ("alpha", Ncg_obs.Json.Float config.alpha);
+                ("k", Ncg_obs.Json.Int config.k);
+                ("awake", Ncg_obs.Json.Int !changes);
+                ("moves", Ncg_obs.Json.Int !total_moves);
+                ("social_cost", Ncg_obs.Json.Float sc);
+              ]
+        end;
         if config.collect_features then
           features :=
             Features.collect config.variant ~alpha:config.alpha ~k:config.k

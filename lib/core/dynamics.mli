@@ -58,6 +58,16 @@ type result = {
 }
 
 (** [run config strategy] executes the dynamics from the initial profile.
+
+    When an {!Ncg_obs.Probe} collector is installed in the calling
+    domain, every round samples the built-in probes (social cost, awake
+    players, best-response gaps, move edit distance and locality radius,
+    solver effort deltas) with [x = round], and — when an
+    {!Ncg_obs.Events} sink is also active — emits one ["dynamics.round"]
+    structured event per round. Probing reuses the trajectory's BFS
+    scratch, so it allocates nothing; with no collector installed each
+    probe point is a domain-local read and a branch.
+
     @raise Invalid_argument if the initial network is disconnected (the
     paper assumes players start on a connected network). *)
 val run : config -> Strategy.t -> result

@@ -138,6 +138,7 @@ type cell_result = {
   runs : run_stats list;
   counters : Ncg_obs.Metrics.snapshot;
   histograms : Ncg_obs.Histogram.snapshot;
+  probes : Ncg_obs.Probe.snapshot;
   gc : Ncg_obs.Gc_stats.snapshot;
   spans : Ncg_obs.Span.t;
   wall_ns : int64;
@@ -176,8 +177,15 @@ let report_progress ~sweep_started ~finished ~total ~histograms =
        (if Float.is_nan eta then "-" else Printf.sprintf "%.1fs" eta)
        p99)
 
-let run_cell ~make_initial ~make_config ~trials:count ~cell_seed (cell : cell) =
+let run_cell ?(probes = true) ~make_initial ~make_config ~trials:count
+    ~cell_seed (cell : cell) =
   let started = Ncg_obs.Clock.now_ns () in
+  (* The round-level probe series of the cell's exemplar trajectory
+     (trial 0). One trial bounds the payload and the probing overhead
+     while still being a pure function of the cell: trial 0's seed comes
+     from [derive_seeds] before any fan-out, so the series are identical
+     whatever [domains] is. *)
+  let probe_snap = ref (Ncg_obs.Probe.empty_snapshot ()) in
   let ((runs, spans, gc, wall_ns), counters), histograms =
     (* Histogram and counter collectors are installed in the domain
        that runs the cell, so the snapshots depend only on the cell's
@@ -195,7 +203,17 @@ let run_cell ~make_initial ~make_config ~trials:count ~cell_seed (cell : cell) =
                   List.init count (fun j ->
                       Ncg_obs.Span.with_span
                         (Printf.sprintf "trial %d" j)
-                        (fun () -> run_one config (make_initial ~seed:seeds.(j)))))
+                        (fun () ->
+                          if probes && j = 0 then begin
+                            let r, snap =
+                              Ncg_obs.Probe.collect (fun () ->
+                                  run_one config
+                                    (make_initial ~seed:seeds.(j)))
+                            in
+                            probe_snap := snap;
+                            r
+                          end
+                          else run_one config (make_initial ~seed:seeds.(j)))))
             in
             let gc =
               Ncg_obs.Gc_stats.diff ~before:gc_before
@@ -210,6 +228,7 @@ let run_cell ~make_initial ~make_config ~trials:count ~cell_seed (cell : cell) =
     runs;
     counters;
     histograms;
+    probes = !probe_snap;
     gc;
     spans;
     wall_ns;
@@ -234,8 +253,12 @@ module Json = Ncg_obs.Json
    instead of once per radius, so bfs.calls (and the other counter
    snapshots) differ from /3 even though the CSV-visible results are
    bit-identical — a cached /3 cell would disagree with a recompute on
-   the counters section. *)
-let cell_payload_schema = "ncg.store.cell/4"
+   the counters section. /5: the payload gained the round-level probe
+   series of the exemplar trial, new branch-and-bound cutoff counters
+   registered (shape change), and probing's per-round social-cost BFS
+   shifts bfs.calls — /4 records would disagree with a recompute on all
+   three. *)
+let cell_payload_schema = "ncg.store.cell/5"
 
 let bool_of_json name = function
   | Json.Bool b -> b
@@ -301,6 +324,7 @@ let cell_result_to_json (r : cell_result) =
       ("runs", Json.List (List.map run_stats_to_json r.runs));
       ("counters", Ncg_obs.Metrics.to_json r.counters);
       ("histograms", Ncg_obs.Histogram.to_json_exact r.histograms);
+      ("probes", Ncg_obs.Probe.to_json r.probes);
       ("gc", Ncg_obs.Gc_stats.to_json r.gc);
       ("spans", Ncg_obs.Span.to_json_exact r.spans);
       ("wall_ns", Json.Int (Int64.to_int r.wall_ns));
@@ -336,6 +360,7 @@ let cell_result_of_json = function
             runs;
             counters = sub "counters" Ncg_obs.Metrics.of_json;
             histograms = sub "histograms" Ncg_obs.Histogram.of_json_exact;
+            probes = sub "probes" Ncg_obs.Probe.of_json;
             gc = sub "gc" Ncg_obs.Gc_stats.of_json;
             spans = sub "spans" Ncg_obs.Span.of_json_exact;
             wall_ns = Int64.of_int (int_of_json "wall_ns" (f "wall_ns"));
@@ -345,11 +370,13 @@ let cell_result_of_json = function
       with Failure msg -> Error ("cell_result_of_json: " ^ msg))
   | _ -> Error "cell_result_of_json: expected an object"
 
-let cell_cache_key ~context ~seed ~trials ~cell_seed (cell : cell) =
+let cell_cache_key ?(probes = true) ~context ~seed ~trials ~cell_seed
+    (cell : cell) =
   Ncg_store.Cache_key.make
     (context
     @ [
         ("payload_schema", Json.String cell_payload_schema);
+        ("probes", Json.Bool probes);
         ("seed", Json.Int seed);
         ("alpha", Json.Float cell.alpha);
         ("k", Json.Int cell.k);
@@ -395,8 +422,8 @@ let cell_failure_to_json (f : cell_failure) =
     ]
 
 let sweep_supervised ?(domains = 1) ?(max_retries = 0) ?(retry_backoff_ns = 0L)
-    ?cell_deadline_ns ?store ?(store_context = []) ~make_initial ~make_config
-    ~cells ~trials:count ~seed () =
+    ?cell_deadline_ns ?store ?(store_context = []) ?(probes = true)
+    ~make_initial ~make_config ~cells ~trials:count ~seed () =
   let cells = Array.of_list cells in
   let total = Array.length cells in
   let cell_seeds = derive_seeds ~seed ~count:total in
@@ -405,7 +432,7 @@ let sweep_supervised ?(domains = 1) ?(max_retries = 0) ?(retry_backoff_ns = 0L)
     | None -> [||]
     | Some _ ->
         Array.init total (fun i ->
-            cell_cache_key ~context:store_context ~seed ~trials:count
+            cell_cache_key ~probes ~context:store_context ~seed ~trials:count
               ~cell_seed:cell_seeds.(i) cells.(i))
   in
   (* Cached cells are resolved up front on the calling domain, before the
@@ -449,7 +476,7 @@ let sweep_supervised ?(domains = 1) ?(max_retries = 0) ?(retry_backoff_ns = 0L)
     | None ->
         Ncg_fault.Inject.(hit sweep_cell);
         let r =
-          run_cell ~make_initial ~make_config ~trials:count
+          run_cell ~probes ~make_initial ~make_config ~trials:count
             ~cell_seed:cell_seeds.(i) cell
         in
         (* Persist as soon as the cell finishes, on the domain that ran
@@ -525,11 +552,11 @@ let sweep_supervised ?(domains = 1) ?(max_retries = 0) ?(retry_backoff_ns = 0L)
 let sweep_failures outcomes =
   List.filter_map (function Ok _ -> None | Error f -> Some f) outcomes
 
-let sweep ?domains ?store ?store_context ~make_initial ~make_config ~cells
-    ~trials ~seed () =
+let sweep ?domains ?store ?store_context ?probes ~make_initial ~make_config
+    ~cells ~trials ~seed () =
   let outcomes =
-    sweep_supervised ?domains ?store ?store_context ~make_initial ~make_config
-      ~cells ~trials ~seed ()
+    sweep_supervised ?domains ?store ?store_context ?probes ~make_initial
+      ~make_config ~cells ~trials ~seed ()
   in
   (* Legacy contract: every cell still ran (the executor quarantines
      instead of aborting), then the lowest-index failure re-raises —

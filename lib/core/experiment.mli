@@ -112,6 +112,10 @@ type cell_result = {
       (** per-cell counts: BFS calls, solver nodes, best responses, … *)
   histograms : Ncg_obs.Histogram.snapshot;
       (** per-cell latency histograms (best response, set cover, …) *)
+  probes : Ncg_obs.Probe.snapshot;
+      (** round-level series (social cost, awake set, …) of the cell's
+          exemplar trajectory (trial 0); all-empty when the sweep ran
+          with [probes:false] *)
   gc : Ncg_obs.Gc_stats.snapshot;  (** GC delta across the cell *)
   spans : Ncg_obs.Span.t;  (** per-cell span tree (one child per trial) *)
   wall_ns : int64;  (** cell wall time on its domain *)
@@ -127,8 +131,17 @@ val grid : alphas:float list -> ks:int list -> cell list
     single instrumented cell exactly as {!sweep} would: [cell_seed] must
     be the cell's entry in [derive_seeds ~seed ~count:(List.length
     cells)] for the sweep being reproduced. This is the engine behind
-    [ncg_experiment --only-cell]. *)
+    [ncg_experiment --only-cell].
+
+    [probes] (default true) installs an {!Ncg_obs.Probe} collector
+    around trial 0, recording the round-level convergence series of the
+    cell's exemplar trajectory into the [probes] field. The switch never
+    touches the RNG streams or [runs] — CSVs are byte-identical either
+    way — but it does shift [counters] (probing evaluates the social
+    cost each round) and the GC delta, so it participates in
+    {!cell_cache_key}. *)
 val run_cell :
+  ?probes:bool ->
   make_initial:(seed:int -> Strategy.t) ->
   make_config:(cell -> Dynamics.config) ->
   trials:int ->
@@ -196,6 +209,7 @@ val sweep_supervised :
   ?cell_deadline_ns:int64 ->
   ?store:Ncg_store.Store.t ->
   ?store_context:(string * Ncg_obs.Json.t) list ->
+  ?probes:bool ->
   make_initial:(seed:int -> Strategy.t) ->
   make_config:(cell -> Dynamics.config) ->
   cells:cell list ->
@@ -217,6 +231,7 @@ val sweep :
   ?domains:int ->
   ?store:Ncg_store.Store.t ->
   ?store_context:(string * Ncg_obs.Json.t) list ->
+  ?probes:bool ->
   make_initial:(seed:int -> Strategy.t) ->
   make_config:(cell -> Dynamics.config) ->
   cells:cell list ->
@@ -244,8 +259,10 @@ val cell_result_of_json : Ncg_obs.Json.t -> (cell_result, string) result
     content-addressed key {!sweep} uses: [context] (caller-supplied
     fingerprint of the graph class and dynamics config) plus the sweep
     seed, the cell's [(alpha, k)], the trial count, the cell's derived
-    seed, and the store + payload schema versions. *)
+    seed, the probes switch (default true — probing shifts the counter
+    and GC sections) and the store + payload schema versions. *)
 val cell_cache_key :
+  ?probes:bool ->
   context:(string * Ncg_obs.Json.t) list ->
   seed:int ->
   trials:int ->

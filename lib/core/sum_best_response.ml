@@ -179,7 +179,8 @@ let branch_and_bound ?(max_candidates = 34) ~alpha (v : View.t) =
     else begin
       match completion_bound included idx with
       | None -> () (* even with every undecided edge some vertex is cut *)
-      | Some lb when lb >= !best.cost -. 1e-12 -> ()
+      | Some lb when lb >= !best.cost -. 1e-12 ->
+          Ncg_obs.Metrics.(incr sum_bb_cutoffs)
       | Some _ ->
           go (idx + 1) (candidates.(idx) :: included);
           go (idx + 1) included

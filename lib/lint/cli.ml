@@ -19,10 +19,12 @@ let run root json_out =
      time, so the live registry is the ground truth for F1 — a site
      renamed in inject.ml without updating callers fails the lint. *)
   let known_sites = Ncg_fault.Inject.sites () in
+  (* Same trick for O1: linking ncg_obs registered the built-in probes. *)
+  let known_probes = Ncg_obs.Probe.names () in
   let reports =
     List.map
       (fun rel ->
-        let ctx = Ncg_lint.Lint.ctx_for_path ~known_sites rel in
+        let ctx = Ncg_lint.Lint.ctx_for_path ~known_sites ~known_probes rel in
         Ncg_lint.Lint.check_file ~ctx ~display:rel (Filename.concat root rel))
       files
   in

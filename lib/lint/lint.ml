@@ -12,6 +12,7 @@ type ctx = {
   fault_registry : bool;  (* F1 also watches bare [site] calls here *)
   global_state : bool;  (* P1 on: library code reachable from the executor *)
   known_sites : string list;  (* F1: the registered fault-site names *)
+  known_probes : string list;  (* O1: the registered probe names *)
 }
 
 let contains_sub s sub =
@@ -19,7 +20,7 @@ let contains_sub s sub =
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
   m = 0 || go 0
 
-let ctx_for_path ~known_sites path =
+let ctx_for_path ~known_sites ~known_probes path =
   let path = String.map (fun c -> if c = '\\' then '/' else c) path in
   let p = "/" ^ path in
   let in_dir d = contains_sub p ("/" ^ d ^ "/") in
@@ -29,6 +30,7 @@ let ctx_for_path ~known_sites path =
     fault_registry = in_dir "lib/fault";
     global_state = in_dir "lib";
     known_sites;
+    known_probes;
   }
 
 type violation = {
@@ -251,12 +253,29 @@ let run_checks ~ctx ~filename str =
       | _ -> false
     in
     if is_site_call then
-      match args with
+      (match args with
       | (Asttypes.Nolabel, { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ })
         :: _ ->
           if not (List.mem s ctx.known_sites) then
             add_viol loc Rules.F1
               (Printf.sprintf "fault site %S is not in the registered site list" s)
+      | _ -> ());
+    (* O1: a probe name literal handed to Probe.find or Probe.register
+       must already be in the live registry — the namespace is closed,
+       like fault sites. (Registrations in lib/obs/probe.ml itself ran at
+       lint-process init, so the built-ins are always "known".) *)
+    let is_probe_call =
+      match List.rev parts with
+      | ("find" | "register") :: rest -> rest <> [] && List.mem "Probe" parts
+      | _ -> false
+    in
+    if is_probe_call then
+      match args with
+      | (Asttypes.Nolabel, { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ })
+        :: _ ->
+          if not (List.mem s ctx.known_probes) then
+            add_viol loc Rules.O1
+              (Printf.sprintf "probe name %S is not in the registered probe list" s)
       | _ -> ()
   in
   let default = Ast_iterator.default_iterator in

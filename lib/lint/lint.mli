@@ -13,12 +13,14 @@ type ctx = {
   fault_registry : bool;  (** F1 also watches bare [site] calls here *)
   global_state : bool;  (** P1 on: library code reachable from the executor *)
   known_sites : string list;  (** F1: the registered fault-site names *)
+  known_probes : string list;  (** O1: the registered probe names *)
 }
 
 (** Zone assignment for a root-relative path: [lib/prng/*] is
     [prng_exempt], [lib/obs/*] is [clock_exempt], [lib/fault/*] is
     [fault_registry], anything under [lib/] has [global_state]. *)
-val ctx_for_path : known_sites:string list -> string -> ctx
+val ctx_for_path :
+  known_sites:string list -> known_probes:string list -> string -> ctx
 
 type violation = {
   file : string;

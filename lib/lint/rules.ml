@@ -1,6 +1,6 @@
-type id = D1 | D2 | D3 | D4 | P1 | A1 | F1 | L1
+type id = D1 | D2 | D3 | D4 | P1 | A1 | F1 | O1 | L1
 
-let all = [ D1; D2; D3; D4; P1; A1; F1; L1 ]
+let all = [ D1; D2; D3; D4; P1; A1; F1; O1; L1 ]
 
 let to_string = function
   | D1 -> "D1"
@@ -10,6 +10,7 @@ let to_string = function
   | P1 -> "P1"
   | A1 -> "A1"
   | F1 -> "F1"
+  | O1 -> "O1"
   | L1 -> "L1"
 
 let of_string = function
@@ -20,6 +21,7 @@ let of_string = function
   | "P1" -> Some P1
   | "A1" -> Some A1
   | "F1" -> Some F1
+  | "O1" -> Some O1
   | "L1" -> Some L1
   | _ -> None
 
@@ -31,6 +33,7 @@ let title = function
   | P1 -> "unsynchronized top-level mutable state"
   | A1 -> "bare output channel for artifact writes"
   | F1 -> "unregistered fault site"
+  | O1 -> "unregistered probe name"
   | L1 -> "malformed lint annotation"
 
 let contract = function
@@ -62,6 +65,11 @@ let contract = function
       "Every fault site named in code must exist in Inject's registered site \
        list; an orphan name would silently never fire, making a fault plan \
        test vacuous."
+  | O1 ->
+      "Probe names form a closed namespace like fault sites: every probe \
+       name literal handed to Ncg_obs.Probe.find or Probe.register must be \
+       in the live registry (Probe.names ()), or a dashboard filter / probe \
+       lookup silently matches nothing."
   | L1 ->
       "[@lint.allow \"RULE\" \"why\"] must name a known rule and carry a \
        non-empty justification; [@lint.domain_local \"why\"] likewise — \
@@ -79,4 +87,5 @@ let hint = function
        [@@lint.domain_local \"why this is safe\"]"
   | A1 -> "use Ncg_obs.Json.to_file, Ncg_obs.Atomic_file.write, or lib/store"
   | F1 -> "register the site in lib/fault/inject.ml next to the built-ins"
+  | O1 -> "register the probe in lib/obs/probe.ml next to the built-ins"
   | L1 -> "write [@lint.allow \"RULE\" \"justification\"] with both parts present"

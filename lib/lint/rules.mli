@@ -2,8 +2,8 @@
 
     Each rule mechanizes one convention the reproducibility story already
     relies on: determinism (D1–D4), parallel safety (P1), artifact
-    atomicity (A1) and fault-site hygiene (F1). L1 polices the
-    suppression annotations themselves. *)
+    atomicity (A1), fault-site hygiene (F1) and probe-name hygiene (O1).
+    L1 polices the suppression annotations themselves. *)
 
 type id =
   | D1  (** no [Random.*] outside lib/prng *)
@@ -13,6 +13,7 @@ type id =
   | P1  (** top-level mutable state must be synchronized or annotated *)
   | A1  (** no bare [open_out]; artifact writes go through atomic helpers *)
   | F1  (** fault-site literals must be registered in {!Ncg_fault.Inject} *)
+  | O1  (** probe-name literals must be registered in [Ncg_obs.Probe] *)
   | L1  (** lint annotations must name a rule and justify themselves *)
 
 (** Every rule, in catalogue order. *)

@@ -38,11 +38,13 @@ let bfs_calls = register "bfs.calls"
 let view_extracts = register "view.extracts"
 let set_cover_solves = register "set_cover.solves"
 let set_cover_nodes = register "set_cover.bb_nodes"
+let set_cover_cutoffs = register "set_cover.bb_cutoffs"
 let set_cover_greedy = register "set_cover.greedy_runs"
 let best_response_calls = register "best_response.calls"
 let best_response_radii = register "best_response.radii_tried"
 let sum_best_response_calls = register "sum_best_response.calls"
 let sum_bb_nodes = register "sum_best_response.bb_nodes"
+let sum_bb_cutoffs = register "sum_best_response.bb_cutoffs"
 let dynamics_rounds = register "dynamics.rounds"
 let dynamics_moves = register "dynamics.moves"
 
@@ -60,6 +62,11 @@ let add c n =
 
 let incr c = add c 1
 let recording () = Domain.DLS.get current <> None
+
+let read c =
+  match Domain.DLS.get current with
+  | None -> 0
+  | Some col -> col.counts.(c)
 
 type snapshot = (string * int) list
 

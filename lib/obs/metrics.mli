@@ -45,6 +45,8 @@ val set_cover_solves : counter  (** exact/budgeted [Set_cover.solve] calls *)
 
 val set_cover_nodes : counter  (** branch-and-bound nodes expanded *)
 
+val set_cover_cutoffs : counter  (** lower-bound prunes in [Set_cover.solve] *)
+
 val set_cover_greedy : counter  (** greedy warm starts / greedy solves *)
 
 val best_response_calls : counter  (** [Best_response.compute] invocations *)
@@ -54,6 +56,8 @@ val best_response_radii : counter  (** dominating-set radii (h values) tried *)
 val sum_best_response_calls : counter  (** [Sum_best_response.improving] calls *)
 
 val sum_bb_nodes : counter  (** SumNCG branch-and-bound nodes expanded *)
+
+val sum_bb_cutoffs : counter  (** SumNCG lower-bound prunes *)
 
 val dynamics_rounds : counter  (** completed best-response rounds *)
 
@@ -69,6 +73,11 @@ val add : counter -> int -> unit
 
 (** True when a collector is installed in the calling domain. *)
 val recording : unit -> bool
+
+(** [read c] is [c]'s count in the current domain's collector (0 when no
+    collector is installed). Round-level probes use deltas of [read] to
+    attribute solver effort to individual dynamics rounds. *)
+val read : counter -> int
 
 (** {1 Collecting} *)
 

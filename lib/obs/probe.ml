@@ -1,0 +1,169 @@
+type probe = int
+
+let registry_capacity = 32
+let default_series_capacity = 64
+
+let name_table =
+  Array.make registry_capacity ""
+[@@lint.domain_local "written only on the main domain at init time, read-only after fan-out"]
+
+let by_name : (string, int) Hashtbl.t =
+  Hashtbl.create registry_capacity
+[@@lint.domain_local "written only on the main domain at init time, read-only after fan-out"]
+
+let registered =
+  ref 0
+[@@lint.domain_local "written only on the main domain at init time, read-only after fan-out"]
+
+(* Same init-time-only discipline as Metrics.register: the registry is
+   plain unsynchronized state, safe exactly because every [register]
+   call happens in the main domain before any fan-out. *)
+let register name =
+  if name = "" then invalid_arg "Probe.register: empty name";
+  if not (Domain.is_main_domain ()) then
+    invalid_arg "Probe.register: register at init time from the main domain only";
+  match Hashtbl.find_opt by_name name with
+  | Some p -> p
+  | None ->
+      if !registered >= registry_capacity then
+        invalid_arg "Probe.register: registry full";
+      let p = !registered in
+      name_table.(p) <- name;
+      Hashtbl.replace by_name name p;
+      incr registered;
+      p
+
+let name p = name_table.(p)
+let names () = List.init !registered (fun i -> name_table.(i))
+let find n = Hashtbl.find_opt by_name n
+
+let social_cost = register "dynamics.social_cost"
+let awake_players = register "dynamics.awake_players"
+let br_gap_max = register "dynamics.br_gap_max"
+let br_gap_total = register "dynamics.br_gap_total"
+let move_edit_distance = register "dynamics.move_edit_distance"
+let move_locality_radius = register "dynamics.move_locality_radius"
+let set_cover_nodes = register "solver.set_cover_nodes"
+let bb_cutoffs = register "solver.bb_cutoffs"
+
+(* Series are materialized lazily, so probes that never fire in a given
+   configuration (e.g. the Sum engine's under Max) cost nothing. *)
+type collector = { capacity : int; series : Timeseries.t option array }
+
+let current : collector option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let recording () = Domain.DLS.get current <> None
+
+let series_of col p =
+  match col.series.(p) with
+  | Some s -> s
+  | None ->
+      let s = Timeseries.create ~capacity:col.capacity () in
+      col.series.(p) <- Some s;
+      s
+
+let sample p ~x y =
+  match Domain.DLS.get current with
+  | None -> ()
+  | Some col -> Timeseries.push (series_of col p) ~x y
+
+let sample_lazy p ~x f =
+  match Domain.DLS.get current with
+  | None -> ()
+  | Some col -> Timeseries.push_lazy (series_of col p) ~x f
+
+type snapshot = (string * Timeseries.t) list
+
+let snapshot_of col =
+  List.init !registered (fun i ->
+      ( name_table.(i),
+        match col.series.(i) with
+        | Some s -> s
+        | None -> Timeseries.create ~capacity:col.capacity () ))
+
+let empty_snapshot ?(capacity = default_series_capacity) () =
+  List.init !registered (fun i ->
+      (name_table.(i), Timeseries.create ~capacity ()))
+
+let collect ?(capacity = default_series_capacity) f =
+  let col = { capacity; series = Array.make registry_capacity None } in
+  let prev = Domain.DLS.get current in
+  Domain.DLS.set current (Some col);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set current prev)
+    (fun () ->
+      let result = f () in
+      (result, snapshot_of col))
+
+let equal_snapshot a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (na, sa) (nb, sb) -> na = nb && Timeseries.equal sa sb)
+       a b
+
+let schema = "ncg.obs.probes/1"
+
+let to_json snap =
+  let capacity =
+    match snap with
+    | (_, s) :: _ -> Timeseries.capacity s
+    | [] -> default_series_capacity
+  in
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("capacity", Json.Int capacity);
+      ( "series",
+        Json.Obj
+          (List.filter_map
+             (fun (n, s) ->
+               if Timeseries.pushed s = 0 then None
+               else Some (n, Timeseries.to_json s))
+             snap) );
+    ]
+
+let of_json = function
+  | Json.Obj fields -> (
+      let exception Bad of string in
+      try
+        (match List.assoc_opt "schema" fields with
+        | Some (Json.String s) when s = schema -> ()
+        | Some (Json.String s) ->
+            raise (Bad (Printf.sprintf "unknown schema %S" s))
+        | _ -> raise (Bad "missing schema"));
+        let capacity =
+          match List.assoc_opt "capacity" fields with
+          | Some (Json.Int c) -> c
+          | _ -> raise (Bad "missing capacity")
+        in
+        let series =
+          match List.assoc_opt "series" fields with
+          | Some (Json.Obj s) -> s
+          | _ -> raise (Bad "missing series")
+        in
+        let decode n j =
+          match Timeseries.of_json j with
+          | Ok s -> s
+          | Error msg -> raise (Bad (Printf.sprintf "probe %S: %s" n msg))
+        in
+        let tbl = Hashtbl.create 16 in
+        List.iter (fun (n, j) -> Hashtbl.replace tbl n (decode n j)) series;
+        let base =
+          List.init !registered (fun i ->
+              let n = name_table.(i) in
+              ( n,
+                match Hashtbl.find_opt tbl n with
+                | Some s -> s
+                | None -> Timeseries.create ~capacity () ))
+        in
+        let extras =
+          List.filter_map
+            (fun (n, _) ->
+              if Hashtbl.mem by_name n then None
+              else Option.map (fun s -> (n, s)) (Hashtbl.find_opt tbl n))
+            series
+        in
+        Ok (base @ extras)
+      with Bad msg -> Error ("Probe.of_json: " ^ msg))
+  | _ -> Error "Probe.of_json: expected an object"

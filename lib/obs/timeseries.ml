@@ -1,0 +1,147 @@
+type t = {
+  capacity : int;
+  xs : float array;
+  ys : float array;
+  mutable len : int;
+  mutable stride : int;
+  mutable pushed : int;
+}
+
+(* Invariant: stored sample [i] is the sample pushed at index
+   [i * stride]. Decimation keeps the even-indexed stored samples (push
+   indices 0, 2*stride, 4*stride, …) and doubles the stride, so the
+   invariant is preserved and the retained subsequence stays evenly
+   spaced and in push order. *)
+
+let create ?(capacity = 64) () =
+  if capacity < 2 then invalid_arg "Timeseries.create: capacity must be >= 2";
+  {
+    capacity;
+    xs = Array.make capacity 0.;
+    ys = Array.make capacity 0.;
+    len = 0;
+    stride = 1;
+    pushed = 0;
+  }
+
+let capacity t = t.capacity
+let length t = t.len
+let is_empty t = t.len = 0
+let stride t = t.stride
+let pushed t = t.pushed
+
+let wants t =
+  t.pushed mod t.stride = 0
+  && (t.len < t.capacity || t.pushed mod (2 * t.stride) = 0)
+
+let decimate t =
+  let m = (t.len + 1) / 2 in
+  for i = 0 to m - 1 do
+    t.xs.(i) <- t.xs.(2 * i);
+    t.ys.(i) <- t.ys.(2 * i)
+  done;
+  t.len <- m;
+  t.stride <- 2 * t.stride
+
+let push_lazy t ~x f =
+  (if t.pushed mod t.stride = 0 then begin
+     if t.len = t.capacity then decimate t;
+     (* After a decimation the current push index may no longer sit on
+        the doubled stride (odd capacities); re-check before storing. *)
+     if t.pushed mod t.stride = 0 then begin
+       t.xs.(t.len) <- x;
+       t.ys.(t.len) <- f ();
+       t.len <- t.len + 1
+     end
+   end);
+  t.pushed <- t.pushed + 1
+
+let push t ~x y = push_lazy t ~x (fun () -> y)
+
+let to_list t = List.init t.len (fun i -> (t.xs.(i), t.ys.(i)))
+
+let last t =
+  if t.len = 0 then None else Some (t.xs.(t.len - 1), t.ys.(t.len - 1))
+
+let feq a b = Float.compare a b = 0
+
+let equal a b =
+  a.capacity = b.capacity && a.len = b.len && a.stride = b.stride
+  && a.pushed = b.pushed
+  &&
+  let ok = ref true in
+  for i = 0 to a.len - 1 do
+    if not (feq a.xs.(i) b.xs.(i) && feq a.ys.(i) b.ys.(i)) then ok := false
+  done;
+  !ok
+
+let schema = "ncg.obs.timeseries/1"
+
+(* Json.float_repr flattens non-finite floats to null; a series must
+   round-trip them exactly (NaN marks e.g. a disconnected network's
+   social cost), so they get explicit string spellings. *)
+let sample_to_json f =
+  if Float.is_nan f then Json.String "nan"
+  else if f = Float.infinity then Json.String "inf"
+  else if f = Float.neg_infinity then Json.String "-inf"
+  else Json.Float f
+
+let sample_of_json name = function
+  | Json.Float f -> f
+  | Json.Int i -> float_of_int i
+  | Json.String "nan" -> Float.nan
+  | Json.String "inf" -> Float.infinity
+  | Json.String "-inf" -> Float.neg_infinity
+  | _ -> failwith (Printf.sprintf "field %S: expected a sample" name)
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("capacity", Json.Int t.capacity);
+      ("stride", Json.Int t.stride);
+      ("pushed", Json.Int t.pushed);
+      ("xs", Json.List (List.init t.len (fun i -> sample_to_json t.xs.(i))));
+      ("ys", Json.List (List.init t.len (fun i -> sample_to_json t.ys.(i))));
+    ]
+
+let of_json = function
+  | Json.Obj fields -> (
+      let field name =
+        match List.assoc_opt name fields with
+        | Some v -> v
+        | None -> failwith (Printf.sprintf "missing field %S" name)
+      in
+      let int name =
+        match field name with
+        | Json.Int i -> i
+        | _ -> failwith (Printf.sprintf "field %S: expected an int" name)
+      in
+      let samples name =
+        match field name with
+        | Json.List items -> List.map (sample_of_json name) items
+        | _ -> failwith (Printf.sprintf "field %S: expected a list" name)
+      in
+      try
+        (match field "schema" with
+        | Json.String s when s = schema -> ()
+        | Json.String s -> failwith (Printf.sprintf "unknown schema %S" s)
+        | _ -> failwith "missing schema");
+        let cap = int "capacity" in
+        let t = create ~capacity:cap () in
+        t.stride <- int "stride";
+        t.pushed <- int "pushed";
+        if t.stride < 1 then failwith "field \"stride\": must be >= 1";
+        let xs = samples "xs" and ys = samples "ys" in
+        if List.length xs <> List.length ys then
+          failwith "xs and ys must have the same length";
+        if List.length xs > cap then failwith "more samples than capacity";
+        List.iter2
+          (fun x y ->
+            t.xs.(t.len) <- x;
+            t.ys.(t.len) <- y;
+            t.len <- t.len + 1)
+          xs ys;
+        Ok t
+      with Failure msg -> Error ("Timeseries.of_json: " ^ msg))
+  | _ -> Error "Timeseries.of_json: expected an object"

@@ -282,7 +282,9 @@ let solve ?ws ?max_size ?(node_budget = max_int) inst =
         end
         else if depth + 1 < !best_card then begin
           let lb = lower_bound ws candidates uncovered in
-          if depth + lb < !best_card then begin
+          if depth + lb >= !best_card then
+            Ncg_obs.Metrics.(incr set_cover_cutoffs)
+          else begin
             (* Branch on the uncovered element with fewest live candidates. *)
             let pick = ref (-1) and pick_count = ref max_int in
             Bitset.iter

@@ -139,8 +139,8 @@ let test_derive_seeds_golden () =
   check_bool "seed 0 stream frozen" true
     (Experiment.derive_seeds ~seed:0 ~count:4 = golden_0)
 
-let sweep_fixture ~domains =
-  Experiment.sweep ~domains
+let sweep_fixture ?probes ~domains () =
+  Experiment.sweep ?probes ~domains
     ~make_initial:(fun ~seed -> Experiment.initial_tree ~seed ~n:12)
     ~make_config:(fun (c : Experiment.cell) ->
       {
@@ -151,7 +151,7 @@ let sweep_fixture ~domains =
     ~trials:3 ~seed:2014 ()
 
 let test_sweep_shape () =
-  let results = sweep_fixture ~domains:1 in
+  let results = sweep_fixture ~domains:1 () in
   check_int "six cells" 6 (List.length results);
   let first = List.hd results in
   check_bool "cell order row-major" true
@@ -187,10 +187,10 @@ let test_sweep_deterministic_across_domains () =
      per-cell counters, histogram sample counts and GC allocated words,
      whatever the fan-out. (Histogram bucket placement and GC collection
      counts are timing-dependent and deliberately excluded.) *)
-  let reference = sweep_fixture ~domains:1 in
+  let reference = sweep_fixture ~domains:1 () in
   List.iter
     (fun domains ->
-      let results = sweep_fixture ~domains in
+      let results = sweep_fixture ~domains () in
       List.iter2
         (fun (a : Experiment.cell_result) (b : Experiment.cell_result) ->
           let cell_check what ok =
@@ -207,15 +207,53 @@ let test_sweep_deterministic_across_domains () =
             = Ncg_obs.Histogram.counts_only b.Experiment.histograms);
           cell_check "gc allocated words"
             (Ncg_obs.Gc_stats.allocated_words a.Experiment.gc
-            = Ncg_obs.Gc_stats.allocated_words b.Experiment.gc))
+            = Ncg_obs.Gc_stats.allocated_words b.Experiment.gc);
+          cell_check "probe series"
+            (Ncg_obs.Probe.equal_snapshot a.Experiment.probes b.Experiment.probes))
         reference results)
     [ 2; 4 ]
+
+let test_probes_toggle_and_series () =
+  (* Disabling probes must not change the run statistics — the CSV and
+     every downstream summary is a pure function of [runs]. *)
+  let on = sweep_fixture ~domains:2 () in
+  let off = sweep_fixture ~probes:false ~domains:2 () in
+  List.iter2
+    (fun (a : Experiment.cell_result) (b : Experiment.cell_result) ->
+      check_bool "runs identical with probes off" true
+        (a.Experiment.runs = b.Experiment.runs);
+      check_bool "probes-off snapshot is the empty shape" true
+        (Ncg_obs.Probe.equal_snapshot b.Experiment.probes
+           (Ncg_obs.Probe.empty_snapshot ())))
+    on off;
+  (* With probes on, the exemplar trial recorded per-round series. *)
+  let first = List.hd on in
+  let series probe =
+    List.assoc (Ncg_obs.Probe.name probe) first.Experiment.probes
+  in
+  check_bool "social-cost series sampled" false
+    (Ncg_obs.Timeseries.is_empty (series Ncg_obs.Probe.social_cost));
+  check_bool "awake-players series sampled" false
+    (Ncg_obs.Timeseries.is_empty (series Ncg_obs.Probe.awake_players));
+  (* Probing shifts counters (the per-round social-cost BFS), which is
+     exactly why the flag participates in the cell cache key. *)
+  let key probes =
+    Experiment.cell_cache_key ~probes ~context:[] ~seed:1 ~trials:2 ~cell_seed:7
+      { Experiment.alpha = 0.5; k = 2 }
+  in
+  check_bool "cache key depends on the probes flag" false (key true = key false);
+  (* Cell payload codec (ncg.store.cell/5) round-trips the series. *)
+  match Experiment.cell_result_of_json (Experiment.cell_result_to_json first) with
+  | Ok rt ->
+      check_bool "payload round-trips probe series" true
+        (Ncg_obs.Probe.equal_snapshot rt.Experiment.probes first.Experiment.probes)
+  | Error e -> Alcotest.failf "cell payload did not round-trip: %s" e
 
 let test_sweep_counters_isolated_per_cell () =
   (* Counts recorded inside a sweep must not leak into an enclosing
      collector beyond the totals, and totals equal the cell sum. *)
   let results, outer =
-    Ncg_obs.Metrics.collect (fun () -> sweep_fixture ~domains:2)
+    Ncg_obs.Metrics.collect (fun () -> sweep_fixture ~domains:2 ())
   in
   let totals = Experiment.sweep_counters results in
   (* Spawned-domain cells count into their own collectors only; the
@@ -276,5 +314,7 @@ let () =
             test_sweep_deterministic_across_domains;
           Alcotest.test_case "per-cell counter isolation" `Quick
             test_sweep_counters_isolated_per_cell;
+          Alcotest.test_case "probes toggle + exemplar series" `Quick
+            test_probes_toggle_and_series;
         ] );
     ]

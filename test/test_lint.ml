@@ -11,13 +11,14 @@ let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let check_string = Alcotest.(check string)
 let known_sites = [ "sweep.cell"; "bfs.traverse" ]
+let known_probes = [ "dynamics.social_cost"; "solver.bb_cutoffs" ]
 
 (* Zone contexts, derived exactly as the driver derives them. *)
-let lib_ctx = Lint.ctx_for_path ~known_sites "lib/core/fixture.ml"
-let bin_ctx = Lint.ctx_for_path ~known_sites "bin/fixture.ml"
-let prng_ctx = Lint.ctx_for_path ~known_sites "lib/prng/fixture.ml"
-let obs_ctx = Lint.ctx_for_path ~known_sites "lib/obs/fixture.ml"
-let fault_ctx = Lint.ctx_for_path ~known_sites "lib/fault/fixture.ml"
+let lib_ctx = Lint.ctx_for_path ~known_sites ~known_probes "lib/core/fixture.ml"
+let bin_ctx = Lint.ctx_for_path ~known_sites ~known_probes "bin/fixture.ml"
+let prng_ctx = Lint.ctx_for_path ~known_sites ~known_probes "lib/prng/fixture.ml"
+let obs_ctx = Lint.ctx_for_path ~known_sites ~known_probes "lib/obs/fixture.ml"
+let fault_ctx = Lint.ctx_for_path ~known_sites ~known_probes "lib/fault/fixture.ml"
 
 let rules_of ?(ctx = lib_ctx) source =
   let r = Lint.check_source ~ctx ~filename:"fixture.ml" source in
@@ -115,6 +116,18 @@ let test_f1 () =
   accepts {|let s = site "no.such.site"|};
   (* Non-literal arguments cannot be checked syntactically. *)
   accepts {|let s = Inject.site name|}
+
+let test_o1 () =
+  rejects Rules.O1 {|let p = Ncg_obs.Probe.find "no.such.probe"|};
+  rejects Rules.O1 {|let p = Probe.find "no.such.probe"|};
+  rejects Rules.O1 {|let p = Probe.register "no.such.probe"|};
+  accepts {|let p = Ncg_obs.Probe.find "dynamics.social_cost"|};
+  accepts {|let p = Probe.register "solver.bb_cutoffs"|};
+  (* A bare [find] is some other function (Hashtbl.find, List.find...). *)
+  accepts {|let p = find "no.such.probe"|};
+  accepts {|let x = Hashtbl.find table "no.such.probe"|};
+  (* Non-literal arguments cannot be checked syntactically. *)
+  accepts {|let p = Ncg_obs.Probe.find name|}
 
 let test_l1 () =
   rejects Rules.L1 {|let x = (Hashtbl.fold [@lint.allow "D3"]) f t []|};
@@ -276,10 +289,11 @@ let test_live_tree_clean () =
        (fun f -> String.length f > 9 && String.sub f 0 9 = "examples/")
        files);
   let known_sites = Ncg_fault.Inject.sites () in
+  let known_probes = Ncg_obs.Probe.names () in
   let dirty =
     List.filter_map
       (fun rel ->
-        let ctx = Lint.ctx_for_path ~known_sites rel in
+        let ctx = Lint.ctx_for_path ~known_sites ~known_probes rel in
         let r = Lint.check_file ~ctx ~display:rel (Filename.concat root rel) in
         if r.Lint.violations = [] && r.Lint.parse_error = None then None
         else Some (Report.to_human [ r ]))
@@ -301,6 +315,7 @@ let () =
           Alcotest.test_case "P1 global state" `Quick test_p1;
           Alcotest.test_case "A1 bare open_out" `Quick test_a1;
           Alcotest.test_case "F1 fault sites" `Quick test_f1;
+          Alcotest.test_case "O1 probe names" `Quick test_o1;
           Alcotest.test_case "L1 malformed annotations" `Quick test_l1;
         ] );
       ( "suppressions",

@@ -644,6 +644,178 @@ let test_events_progress_toggle () =
   check_bool "forced on" true (Events.progress_enabled ());
   Events.set_progress false
 
+(* --- Timeseries ----------------------------------------------------------- *)
+
+module Timeseries = Ncg_obs.Timeseries
+module Probe = Ncg_obs.Probe
+
+let ts_of ?capacity ys =
+  let t = Timeseries.create ?capacity () in
+  List.iteri (fun i y -> Timeseries.push t ~x:(float_of_int i) y) ys;
+  t
+
+let test_ts_basic () =
+  let t = Timeseries.create ~capacity:4 () in
+  check_bool "empty" true (Timeseries.is_empty t);
+  Timeseries.push t ~x:0. 10.;
+  Timeseries.push t ~x:1. 11.;
+  check_int "length" 2 (Timeseries.length t);
+  check_int "stride 1 before overflow" 1 (Timeseries.stride t);
+  check_bool "last" true (Timeseries.last t = Some (1., 11.));
+  Timeseries.push t ~x:2. 12.;
+  Timeseries.push t ~x:3. 13.;
+  Timeseries.push t ~x:4. 14.;
+  check_bool "bounded" true (Timeseries.length t <= 4);
+  check_int "pushed counts everything" 5 (Timeseries.pushed t);
+  check_bool "stride doubled" true (Timeseries.stride t > 1);
+  (* The decimation invariant: retained sample i is push index i*stride. *)
+  List.iteri
+    (fun i (x, _) ->
+      check_bool "x = i * stride" true
+        (x = float_of_int (i * Timeseries.stride t)))
+    (Timeseries.to_list t);
+  Alcotest.check_raises "capacity < 2 rejected"
+    (Invalid_argument "Timeseries.create: capacity must be >= 2") (fun () ->
+      ignore (Timeseries.create ~capacity:1 ()))
+
+let ts_capacity_and_ys_gen =
+  QCheck.(pair (int_range 2 17) (list_of_size Gen.(int_range 0 120) float))
+
+let prop_ts_capacity_bound =
+  QCheck.Test.make ~name:"length <= capacity after every push" ~count:300
+    ts_capacity_and_ys_gen (fun (capacity, ys) ->
+      let t = Timeseries.create ~capacity () in
+      List.for_all
+        (fun y ->
+          Timeseries.push t ~x:(float_of_int (Timeseries.pushed t)) y;
+          Timeseries.length t <= capacity)
+        ys)
+
+let prop_ts_deterministic =
+  QCheck.Test.make ~name:"downsampling is deterministic" ~count:200
+    ts_capacity_and_ys_gen (fun (capacity, ys) ->
+      Timeseries.equal (ts_of ~capacity ys) (ts_of ~capacity ys))
+
+let prop_ts_order_preserving =
+  QCheck.Test.make
+    ~name:"retained samples are an ordered subsequence of the pushes" ~count:200
+    ts_capacity_and_ys_gen (fun (capacity, ys) ->
+      let t = ts_of ~capacity ys in
+      let xs = List.map fst (Timeseries.to_list t) in
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      let stride = float_of_int (Timeseries.stride t) in
+      increasing xs
+      && List.for_all
+           (fun x -> Float.rem x stride = 0. && x < float_of_int (List.length ys))
+           xs)
+
+let ts_weird_gen =
+  let open QCheck.Gen in
+  let y =
+    frequency
+      [
+        (8, float);
+        (1, return nan);
+        (1, return infinity);
+        (1, return neg_infinity);
+      ]
+  in
+  pair (int_range 2 9) (list_size (int_range 0 50) y)
+
+let prop_ts_codec_roundtrip =
+  QCheck.Test.make ~name:"JSON codec round-trips exactly (NaN-safe)" ~count:300
+    (QCheck.make
+       ~print:(fun (cap, ys) ->
+         Printf.sprintf "capacity=%d ys=[%s]" cap
+           (String.concat "; " (List.map (Printf.sprintf "%h") ys)))
+       ts_weird_gen)
+    (fun (capacity, ys) ->
+      let t = ts_of ~capacity ys in
+      match Timeseries.of_json (Timeseries.to_json t) with
+      | Ok t' -> Timeseries.equal t t'
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+(* --- Probe ---------------------------------------------------------------- *)
+
+let test_probe_registry () =
+  let names = Probe.names () in
+  check_bool "built-ins registered" true
+    (List.mem "dynamics.social_cost" names && List.mem "solver.bb_cutoffs" names);
+  check_string "name" "dynamics.social_cost" (Probe.name Probe.social_cost);
+  check_bool "find" true (Probe.find "dynamics.social_cost" = Some Probe.social_cost);
+  (* Computed name, so the O1 closed-namespace lint cannot (and must not)
+     flag this negative lookup. *)
+  check_bool "find unknown" true (Probe.find ("dynamics." ^ "nope") = None)
+
+let test_probe_collect () =
+  check_bool "not recording outside" false (Probe.recording ());
+  Probe.sample Probe.social_cost ~x:0. 1.0;
+  (* no-op, not a crash *)
+  let (), snap =
+    Probe.collect (fun () ->
+        check_bool "recording inside" true (Probe.recording ());
+        Probe.sample Probe.social_cost ~x:1. 42.;
+        Probe.sample Probe.social_cost ~x:2. 41.;
+        Probe.sample Probe.awake_players ~x:1. 3.)
+  in
+  check_bool "recording off after" false (Probe.recording ());
+  check_int "snapshot covers the whole registry"
+    (List.length (Probe.names ()))
+    (List.length snap);
+  check_int "two social-cost samples" 2
+    (Timeseries.length (List.assoc "dynamics.social_cost" snap));
+  check_int "one awake sample" 1
+    (Timeseries.length (List.assoc "dynamics.awake_players" snap));
+  check_bool "unsampled probes are empty series" true
+    (Timeseries.is_empty (List.assoc "solver.bb_cutoffs" snap));
+  check_bool "snapshot codec round-trips" true
+    (match Probe.of_json (Probe.to_json snap) with
+    | Ok s -> Probe.equal_snapshot snap s
+    | Error _ -> false);
+  check_bool "empty snapshot codec round-trips" true
+    (match Probe.of_json (Probe.to_json (Probe.empty_snapshot ())) with
+    | Ok s -> Probe.equal_snapshot (Probe.empty_snapshot ()) s
+    | Error _ -> false)
+
+let test_probe_nesting_shadows () =
+  let (((), inner), outer) =
+    Probe.collect (fun () ->
+        Probe.sample Probe.social_cost ~x:0. 5.;
+        Probe.collect (fun () -> Probe.sample Probe.social_cost ~x:0. 7.))
+  in
+  let sc snap = Timeseries.to_list (List.assoc "dynamics.social_cost" snap) in
+  check_bool "inner saw only its own sample" true (sc inner = [ (0., 7.) ]);
+  (* Series do not merge on exit: the outer collector keeps exactly what
+     it recorded itself. *)
+  check_bool "outer unchanged by inner" true (sc outer = [ (0., 5.) ])
+
+let test_probe_lazy () =
+  let evaluated = ref false in
+  Probe.sample_lazy Probe.social_cost ~x:0. (fun () ->
+      evaluated := true;
+      1.0);
+  check_bool "lazy thunk skipped without a collector" false !evaluated;
+  let (), snap =
+    Probe.collect (fun () ->
+        Probe.sample_lazy Probe.social_cost ~x:0. (fun () ->
+            evaluated := true;
+            9.0))
+  in
+  check_bool "lazy thunk ran under a collector" true !evaluated;
+  check_bool "and recorded" true
+    (Timeseries.to_list (List.assoc "dynamics.social_cost" snap) = [ (0., 9.0) ])
+
+let test_progress_auto_suppression () =
+  (* Under the test runner stderr is a pipe, so the TTY autodetection
+     must have left the live progress line disabled from process start.
+     (Guarded: a human running the binary on a real terminal is exempt.) *)
+  if not (Unix.isatty Unix.stderr) then
+    check_bool "auto-suppressed when stderr is not a TTY" false
+      (Events.progress_enabled ())
+
 let () =
   Alcotest.run "obs"
     [
@@ -710,6 +882,23 @@ let () =
       ( "events",
         [
           Alcotest.test_case "jsonl sink" `Quick test_events_sink;
+          Alcotest.test_case "progress auto-suppression" `Quick
+            test_progress_auto_suppression;
           Alcotest.test_case "progress toggle" `Quick test_events_progress_toggle;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "push / decimate / invariants" `Quick test_ts_basic;
+          QCheck_alcotest.to_alcotest prop_ts_capacity_bound;
+          QCheck_alcotest.to_alcotest prop_ts_deterministic;
+          QCheck_alcotest.to_alcotest prop_ts_order_preserving;
+          QCheck_alcotest.to_alcotest prop_ts_codec_roundtrip;
+        ] );
+      ( "probe",
+        [
+          Alcotest.test_case "registry" `Quick test_probe_registry;
+          Alcotest.test_case "collect + codec" `Quick test_probe_collect;
+          Alcotest.test_case "nesting shadows" `Quick test_probe_nesting_shadows;
+          Alcotest.test_case "lazy sampling" `Quick test_probe_lazy;
         ] );
     ]
