@@ -60,10 +60,7 @@ module Json = Ncg_obs.Json
 let default_alphas = [ 0.5; 1.0; 2.0; 5.0 ]
 let default_ks = [ 2; 3; 4; 5; 1000 ]
 
-let header =
-  "class,n,p,alpha,k,trials,converged_frac,cycled_frac,rounds_mean,rounds_ci,\
-   quality_mean,quality_ci,unfairness_mean,unfairness_ci,diameter_mean,\
-   max_degree_mean,max_bought_mean,min_view_mean,avg_view_mean,social_cost_mean"
+let header = Experiment.csv_header
 
 let cell_json graph_class n p trials (r : Experiment.cell_result) =
   Json.Obj
@@ -138,56 +135,6 @@ let write_trace path (results : Experiment.cell_result list) =
     (Ncg_obs.Chrome_trace.event_count trace)
     path
 
-(* Everything outside (seed, alpha, k, trials) that determines a cell's
-   output must appear in the cache key; Experiment adds the seed-derived
-   parts, this is the rest. Probing default_config means a change to the
-   defaults (max_rounds, epsilon, ...) invalidates old records instead of
-   silently replaying them. *)
-let store_context graph_class n p budget move_budget =
-  let probe =
-    {
-      (Dynamics.default_config ~alpha:1.0 ~k:2) with
-      Dynamics.solver = `Budgeted budget;
-      collect_features = false;
-      move_budget;
-    }
-  in
-  let solver =
-    match probe.Dynamics.solver with
-    | `Exact -> "exact"
-    | `Greedy -> "greedy"
-    | `Budgeted b -> Printf.sprintf "budgeted:%d" b
-  in
-  let response =
-    match probe.Dynamics.response with
-    | `Best -> "best"
-    | `Local_moves -> "local_moves"
-  in
-  let sum_mode =
-    match probe.Dynamics.sum_mode with
-    | `Exact b -> Printf.sprintf "exact:%d" b
-    | `Branch_and_bound b -> Printf.sprintf "branch_and_bound:%d" b
-    | `Local_search -> "local_search"
-  in
-  let order =
-    match probe.Dynamics.order with
-    | `Round_robin -> "round_robin"
-    | `Random_sweep s -> Printf.sprintf "random_sweep:%d" s
-  in
-  [
-    ("class", Json.String graph_class);
-    ("n", Json.Int n);
-    ("p", Json.Float p);
-    ("variant", Json.String (Ncg.Game.variant_to_string probe.Dynamics.variant));
-    ("solver", Json.String solver);
-    ("response", Json.String response);
-    ("sum_mode", Json.String sum_mode);
-    ("order", Json.String order);
-    ("max_rounds", Json.Int probe.Dynamics.max_rounds);
-    ("epsilon", Json.Float probe.Dynamics.epsilon);
-    ("move_budget", Json.Int probe.Dynamics.move_budget);
-  ]
-
 let parse_only_cell s =
   match String.index_opt s ':' with
   | Some i -> (
@@ -218,7 +165,7 @@ let install_signal_handlers () =
 let run graph_class n p alphas ks trials seed budget domains store_dir resume
     no_cache only_cell telemetry trace_out events quiet no_progress no_probes
     fault_plan_spec fault_seed max_retries retry_backoff_ms cell_deadline_ms
-    move_budget =
+    move_budget by_cell_seeds =
   if quiet || no_progress then Ncg_obs.Events.set_progress false;
   let probes = not no_probes in
   let fault_plan =
@@ -241,26 +188,38 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
   install_signal_handlers ();
   let alphas = if alphas = [] then default_alphas else alphas in
   let ks = if ks = [] then default_ks else ks in
-  let make_initial =
-    match graph_class with
-    | "tree" -> fun ~seed -> Ncg.Experiment.initial_tree ~seed ~n
-    | "gnp" -> fun ~seed -> Ncg.Experiment.initial_gnp ~seed ~n ~p
-    | "ba" -> fun ~seed -> Ncg.Experiment.initial_ba ~seed ~n ~m:2
-    | "ws" -> fun ~seed -> Ncg.Experiment.initial_ws ~seed ~n ~k:4 ~beta:0.2
-    | other -> failwith (Printf.sprintf "unknown graph class %S" other)
-  in
-  let make_config (cell : Experiment.cell) =
+  (* One spec record drives everything downstream — the same compiler
+     the sweep service uses, so a served cell and a one-shot cell are
+     built from identical constructors. *)
+  let spec =
     {
-      (Dynamics.default_config ~alpha:cell.Experiment.alpha ~k:cell.Experiment.k) with
-      Dynamics.solver = `Budgeted budget;
-      collect_features = false;
+      Ncg.Sweep_spec.graph_class;
+      n;
+      p;
+      alphas;
+      ks;
+      trials;
+      seed;
+      budget;
       move_budget;
+      probes;
     }
   in
-  let cells = Experiment.grid ~alphas ~ks in
+  (match Ncg.Sweep_spec.validate spec with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "ncg_experiment: %s\n%!" msg;
+      exit 2);
+  let make_initial = Ncg.Sweep_spec.make_initial spec in
+  let make_config = Ncg.Sweep_spec.make_config spec in
+  let cells = Ncg.Sweep_spec.cells spec in
   let total = List.length cells in
-  let cell_seeds = Experiment.derive_seeds ~seed ~count:total in
-  let context = store_context graph_class n p budget move_budget in
+  let cell_seeds =
+    if by_cell_seeds then
+      Array.of_list (List.map (Ncg.Sweep_spec.cell_seed spec) cells)
+    else Experiment.derive_seeds ~seed ~count:total
+  in
+  let context = Ncg.Sweep_spec.context spec in
   let key_of idx cell =
     Experiment.cell_cache_key ~probes ~context ~seed ~trials
       ~cell_seed:cell_seeds.(idx) cell
@@ -421,8 +380,8 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
         Experiment.sweep_supervised ~domains ~max_retries ~retry_backoff_ns
           ?cell_deadline_ns
           ?store:(if no_cache then None else store)
-          ~store_context:context ~probes ~make_initial ~make_config ~cells
-          ~trials ~seed ()
+          ~store_context:context ~probes ~cell_seeds ~make_initial ~make_config
+          ~cells ~trials ~seed ()
   in
   let outcomes =
     match events with
@@ -461,27 +420,9 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
   print_endline header;
   List.iter
     (fun (r : Experiment.cell_result) ->
-      let runs = r.Experiment.runs in
-      let s f = Ncg.Experiment.summarize f runs in
-      let mean f = (s f).Ncg_stats.Summary.mean in
-      let quality = s (fun r -> r.Ncg.Experiment.quality) in
-      let rounds = s (fun r -> float_of_int r.Ncg.Experiment.rounds) in
-      let unfair = s (fun r -> r.Ncg.Experiment.unfairness) in
-      Printf.printf
-        "%s,%d,%g,%g,%d,%d,%.2f,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n%!"
-        graph_class n p r.Experiment.cell.Experiment.alpha
-        r.Experiment.cell.Experiment.k trials
-        (Ncg.Experiment.fraction (fun r -> r.Ncg.Experiment.converged) runs)
-        (Ncg.Experiment.fraction (fun r -> r.Ncg.Experiment.cycled) runs)
-        rounds.Ncg_stats.Summary.mean rounds.Ncg_stats.Summary.ci95
-        quality.Ncg_stats.Summary.mean quality.Ncg_stats.Summary.ci95
-        unfair.Ncg_stats.Summary.mean unfair.Ncg_stats.Summary.ci95
-        (mean (fun r -> float_of_int r.Ncg.Experiment.diameter))
-        (mean (fun r -> float_of_int r.Ncg.Experiment.max_degree))
-        (mean (fun r -> float_of_int r.Ncg.Experiment.max_bought))
-        (mean (fun r -> float_of_int r.Ncg.Experiment.min_view))
-        (mean (fun r -> r.Ncg.Experiment.avg_view))
-        (mean (fun r -> r.Ncg.Experiment.social_cost)))
+      print_string (Experiment.csv_row ~graph_class ~n ~p ~trials r);
+      print_newline ();
+      flush stdout)
     results;
   (match telemetry with
   | None -> ()
@@ -702,6 +643,14 @@ let move_budget =
                (0 = unlimited); an exhausted budget fails the move's \
                cell with a timeout.")
 
+let by_cell_seeds =
+  Arg.(value & flag & info [ "by-cell-seeds" ]
+         ~doc:"Derive each cell's seed from (seed, alpha, k) instead of \
+               its grid position, matching the sweep service's \
+               derivation: overlapping grids then agree on every shared \
+               cell, at the cost of different results from the default \
+               (position-keyed) derivation.")
+
 let cmd =
   let doc = "grid experiments over (alpha, k) printing CSV series" in
   Cmd.v
@@ -710,6 +659,6 @@ let cmd =
           $ domains $ store_dir $ resume $ no_cache $ only_cell $ telemetry
           $ trace_out $ events $ quiet $ no_progress $ no_probes
           $ fault_plan_spec $ fault_seed $ max_retries $ retry_backoff_ms
-          $ cell_deadline_ms $ move_budget)
+          $ cell_deadline_ms $ move_budget $ by_cell_seeds)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,254 @@
+(* ncg_submit: sweep client for ncg_served.
+
+   Builds a Sweep_spec from the same flags ncg_experiment takes, submits
+   it over the wire, polls until the job completes, and prints the CSV —
+   byte-identical rows to `ncg_experiment --by-cell-seeds` over the same
+   grid, whatever mix of cache hits, dedup and worker crashes produced
+   them. Exit codes: 0 clean, 1 connection/protocol trouble, 2 usage,
+   3 completed with quarantined cells. *)
+
+open Cmdliner
+module Json = Ncg_obs.Json
+module Protocol = Ncg_service.Protocol
+
+let die fmt = Printf.ksprintf (fun msg ->
+    Printf.eprintf "ncg_submit: %s\n%!" msg;
+    exit 1) fmt
+
+let connect_or_die spec =
+  match Protocol.parse_addr spec with
+  | Error msg ->
+      Printf.eprintf "ncg_submit: %s\n%!" msg;
+      exit 2
+  | Ok addr -> (
+      try Protocol.connect addr
+      with Unix.Unix_error (e, _, _) ->
+        die "cannot connect to %s: %s" (Protocol.addr_to_string addr)
+          (Unix.error_message e))
+
+let rpc ic oc req =
+  Protocol.send_line oc (Protocol.request_to_json req);
+  match Protocol.recv_line ic with
+  | Ok (Some j) -> (
+      match Protocol.response_of_json j with
+      | Ok r -> r
+      | Error msg -> die "bad response: %s" msg)
+  | Ok None -> die "daemon hung up"
+  | Error msg -> die "%s" msg
+
+let int_field name fields =
+  match List.assoc_opt name fields with
+  | Some (Json.Int i) -> i
+  | _ -> die "response missing integer field %S" name
+
+let str_of = function Json.String s -> s | _ -> die "expected a string"
+
+(* --- subscribe mode: stream raw event lines to stdout ------------------- *)
+
+let subscribe_main ic oc =
+  (match rpc ic oc Protocol.Subscribe with
+  | Protocol.Resp_ok _ -> ()
+  | Protocol.Resp_error msg -> die "subscribe rejected: %s" msg);
+  let rec stream () =
+    match input_line ic with
+    | line ->
+        print_endline line;
+        stream ()
+    | exception End_of_file -> ()
+  in
+  stream ();
+  exit 0
+
+(* --- status mode --------------------------------------------------------- *)
+
+let status_main ic oc job =
+  match rpc ic oc (Protocol.Status { job }) with
+  | Protocol.Resp_error msg -> die "%s" msg
+  | Protocol.Resp_ok fields ->
+      print_endline (Json.to_string (Json.Obj fields));
+      exit 0
+
+(* --- stats mode ---------------------------------------------------------- *)
+
+let stats_main ic oc =
+  match rpc ic oc Protocol.Stats with
+  | Protocol.Resp_error msg -> die "%s" msg
+  | Protocol.Resp_ok fields ->
+      print_string (Json.to_string_pretty (Json.Obj fields));
+      exit 0
+
+(* --- submit mode --------------------------------------------------------- *)
+
+let submit_main ic oc spec deadline_ms poll_ms quiet =
+  (match Ncg.Sweep_spec.validate spec with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "ncg_submit: %s\n%!" msg;
+      exit 2);
+  let job, total =
+    match rpc ic oc (Protocol.Submit { spec; deadline_ms }) with
+    | Protocol.Resp_error msg -> die "submit rejected: %s" msg
+    | Protocol.Resp_ok fields ->
+        if not quiet then
+          Printf.eprintf
+            "ncg_submit: job %d accepted (%d cells: %d cached, %d deduped, %d queued)\n%!"
+            (int_field "job" fields) (int_field "total" fields)
+            (int_field "cached" fields) (int_field "deduped" fields)
+            (int_field "queued" fields);
+        (int_field "job" fields, int_field "total" fields)
+  in
+  let rec wait () =
+    match rpc ic oc (Protocol.Status { job }) with
+    | Protocol.Resp_error msg -> die "%s" msg
+    | Protocol.Resp_ok fields -> (
+        match List.assoc_opt "state" fields with
+        | Some (Json.String "running") ->
+            if not quiet then
+              Ncg_obs.Events.progress
+                (Printf.sprintf "job %d: %d/%d cells" job
+                   (int_field "done" fields) total);
+            Unix.sleepf (float_of_int poll_ms /. 1000.);
+            wait ()
+        | Some (Json.String "done") -> Ncg_obs.Events.progress_done ()
+        | Some (Json.String "expired") ->
+            Ncg_obs.Events.progress_done ();
+            die "job %d expired before completing" job
+        | _ -> die "unrecognized job state")
+  in
+  wait ();
+  match rpc ic oc (Protocol.Results { job }) with
+  | Protocol.Resp_error msg -> die "%s" msg
+  | Protocol.Resp_ok fields ->
+      let header =
+        match List.assoc_opt "header" fields with
+        | Some (Json.String h) -> h
+        | _ -> die "results missing header"
+      in
+      let rows =
+        match List.assoc_opt "rows" fields with
+        | Some (Json.List rows) -> List.map str_of rows
+        | _ -> die "results missing rows"
+      in
+      let quarantined =
+        match List.assoc_opt "quarantined" fields with
+        | Some (Json.List q) -> q
+        | _ -> []
+      in
+      print_endline header;
+      List.iter print_endline rows;
+      List.iter
+        (fun q ->
+          Printf.eprintf "ncg_submit: quarantined: %s\n%!" (Json.to_string q))
+        quarantined;
+      if quarantined <> [] then exit 3 else exit 0
+
+(* --- CLI ----------------------------------------------------------------- *)
+
+let run connect graph_class n p alphas ks trials seed budget move_budget
+    no_probes deadline_ms poll_ms status_job subscribe stats quiet =
+  if quiet then Ncg_obs.Events.set_progress false;
+  let ic, oc = connect_or_die connect in
+  let hello =
+    Protocol.Hello { client = Printf.sprintf "ncg_submit-%d" (Unix.getpid ()) }
+  in
+  (match rpc ic oc hello with
+  | Protocol.Resp_ok _ -> ()
+  | Protocol.Resp_error msg -> die "hello rejected: %s" msg);
+  if subscribe then subscribe_main ic oc
+  else if stats then stats_main ic oc
+  else
+    match status_job with
+    | Some job -> status_main ic oc job
+    | None ->
+        let spec =
+          {
+            Ncg.Sweep_spec.graph_class;
+            n;
+            p;
+            alphas =
+              (if alphas = [] then Ncg.Sweep_spec.default.Ncg.Sweep_spec.alphas
+               else alphas);
+            ks =
+              (if ks = [] then Ncg.Sweep_spec.default.Ncg.Sweep_spec.ks
+               else ks);
+            trials;
+            seed;
+            budget;
+            move_budget;
+            probes = not no_probes;
+          }
+        in
+        submit_main ic oc spec deadline_ms poll_ms quiet
+
+let connect =
+  Arg.(value & opt string "unix:ncg.sock" & info [ "connect" ] ~docv:"ADDR"
+         ~doc:"Daemon address (unix:PATH or tcp:HOST:PORT).")
+
+let graph_class =
+  Arg.(value & opt string "tree" & info [ "class" ] ~docv:"CLASS"
+         ~doc:"Initial graph class: tree, gnp, ba or ws.")
+
+let n = Arg.(value & opt int 50 & info [ "n" ] ~docv:"N" ~doc:"Players.")
+
+let p =
+  Arg.(value & opt float 0.1 & info [ "p" ] ~docv:"P"
+         ~doc:"Edge probability (gnp).")
+
+let alphas =
+  Arg.(value & opt (list float) [] & info [ "alphas" ] ~docv:"LIST"
+         ~doc:"Alpha grid.")
+
+let ks =
+  Arg.(value & opt (list int) [] & info [ "ks" ] ~docv:"LIST"
+         ~doc:"View radius grid.")
+
+let trials =
+  Arg.(value & opt int 5 & info [ "trials" ] ~docv:"T" ~doc:"Seeds per cell.")
+
+let seed = Arg.(value & opt int 2014 & info [ "seed" ] ~doc:"Base seed.")
+
+let budget =
+  Arg.(value & opt int 50_000 & info [ "budget" ]
+         ~doc:"Branch-and-bound node budget per best response.")
+
+let move_budget =
+  Arg.(value & opt int 1_000_000 & info [ "move-budget" ] ~docv:"N"
+         ~doc:"Cooperative checkpoint polls allowed per player move.")
+
+let no_probes =
+  Arg.(value & flag & info [ "no-probes" ]
+         ~doc:"Skip round-level probe collection (changes cache keys).")
+
+let deadline_ms =
+  Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:"Give the job up if not done within MS of submission.")
+
+let poll_ms =
+  Arg.(value & opt int 200 & info [ "poll-ms" ] ~docv:"MS"
+         ~doc:"Status poll period while waiting.")
+
+let status_job =
+  Arg.(value & opt (some int) None & info [ "status" ] ~docv:"JOB"
+         ~doc:"Print another job's status as JSON and exit.")
+
+let subscribe =
+  Arg.(value & flag & info [ "subscribe" ]
+         ~doc:"Stream the daemon's event log to stdout until killed.")
+
+let stats =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"Print daemon statistics as JSON and exit.")
+
+let quiet =
+  Arg.(value & flag & info [ "quiet" ]
+         ~doc:"No submission banner, no progress line.")
+
+let cmd =
+  let doc = "submit sweeps to a running ncg_served daemon" in
+  Cmd.v
+    (Cmd.info "ncg_submit" ~doc)
+    Term.(const run $ connect $ graph_class $ n $ p $ alphas $ ks $ trials
+          $ seed $ budget $ move_budget $ no_probes $ deadline_ms $ poll_ms
+          $ status_job $ subscribe $ stats $ quiet)
+
+let () = exit (Cmd.eval cmd)

@@ -5,10 +5,18 @@
 
      dune exec bin/ncg_top.exe -- events.jsonl            # follow
      dune exec bin/ncg_top.exe -- --once events.jsonl     # one frame (CI)
+     dune exec bin/ncg_top.exe -- unix:ncg.sock           # watch a daemon
+     dune exec bin/ncg_top.exe -- tcp:host:7214           # ... remotely
+
+   Besides regular files (polled by offset), the EVENTS argument may be
+   a service address (unix:PATH / tcp:HOST:PORT — ncg_top subscribes to
+   a running ncg_served daemon's event stream) or a FIFO (lines arrive
+   pushed; mkfifo + redirect a subscriber into it).
 
    It renders a progress grid over the (alpha, k) plane from sweep.cell
-   events, convergence sparklines from dynamics.round events (emitted
-   when probes and events are both enabled), and the latest retry /
+   events (and their service.* counterparts emitted by ncg_served),
+   convergence sparklines from dynamics.round events (emitted when
+   probes and events are both enabled), and the latest retry /
    quarantine alerts. Torn or foreign lines are counted and skipped — a
    live tail always sees partial writes.
 
@@ -131,6 +139,47 @@ let process_line st line =
                      (match member "will_retry" j with
                      | Some (Json.Bool false) -> " — giving up"
                      | _ -> "")))
+        (* The ncg_served daemon speaks its own event vocabulary; map it
+           onto the same grid so one dashboard serves both sources. A
+           subscriber can watch several jobs at once, so totals are the
+           running sum of distinct queued work (cached cells resolve
+           instantly and are marked directly). *)
+        | Some "service.submit" ->
+            (match int_opt (member "total" j) with
+            | Some t -> st.total <- st.total + t
+            | None -> ());
+            (match int_opt (member "cached" j) with
+            | Some c -> st.finished <- st.finished + c
+            | None -> ())
+        | Some "service.complete" -> (
+            st.finished <- st.finished + 1;
+            match key_of_event j with
+            | None -> ()
+            | Some key -> Hashtbl.replace st.cells key Done)
+        | Some "service.requeue" -> (
+            match key_of_event j with
+            | None -> ()
+            | Some ((alpha, k) as key) ->
+                let prev = Option.value (Hashtbl.find_opt st.retries key) ~default:0 in
+                Hashtbl.replace st.retries key (prev + 1);
+                alert st
+                  (Printf.sprintf "requeue alpha=%g k=%d (%s)" alpha k
+                     (Option.value (str_opt (member "reason" j)) ~default:"?")))
+        | Some "service.quarantine" -> (
+            st.finished <- st.finished + 1;
+            match key_of_event j with
+            | None -> ()
+            | Some ((alpha, k) as key) ->
+                Hashtbl.replace st.cells key Quarantined;
+                alert st
+                  (Printf.sprintf "QUARANTINED alpha=%g k=%d: %s" alpha k
+                     (Option.value (str_opt (member "error" j)) ~default:"?")))
+        | Some "service.job_expired" ->
+            alert st
+              (Printf.sprintf "job %s EXPIRED before completing"
+                 (match int_opt (member "job" j) with
+                 | Some id -> string_of_int id
+                 | None -> "?"))
         | Some "dynamics.round" -> (
             match
               ( key_of_event j,
@@ -281,38 +330,147 @@ let read_new path pos =
             (pos + i + 1, String.split_on_char '\n' complete)
       end)
 
+let clear_and_render st =
+  if Unix.isatty Unix.stdout then print_string "\027[2J\027[H";
+  print_string (render st);
+  flush stdout
+
+let live_file path once interval =
+  let st = new_live () in
+  let pos = ref 0 in
+  let step () =
+    let np, lines = read_new path !pos in
+    pos := np;
+    List.iter (process_line st) lines
+  in
+  if once then begin
+    step ();
+    print_string (render st);
+    0
+  end
+  else begin
+    Sys.catch_break true;
+    (try
+       while true do
+         step ();
+         clear_and_render st;
+         Unix.sleepf interval
+       done
+     with Sys.Break -> print_newline ());
+    0
+  end
+
+(* Pushed sources (a daemon subscription or a FIFO) block on read, so a
+   reader thread feeds lines into a queue and the render loop wakes on
+   its own clock. --once drains the stream to EOF first — useful for
+   FIFOs with a finite writer; against a live daemon it renders when the
+   daemon shuts down. *)
+let live_stream ic once interval =
+  let st = new_live () in
+  if once then begin
+    (try
+       while true do
+         process_line st (input_line ic)
+       done
+     with End_of_file | Sys_error _ -> ());
+    print_string (render st);
+    0
+  end
+  else begin
+    let pending = Queue.create () in
+    let mutex = Mutex.create () in
+    let eof = ref false in
+    let _reader =
+      Thread.create
+        (fun () ->
+          (try
+             while true do
+               let line = input_line ic in
+               Mutex.lock mutex;
+               Queue.push line pending;
+               Mutex.unlock mutex
+             done
+           with End_of_file | Sys_error _ -> ());
+          Mutex.lock mutex;
+          eof := true;
+          Mutex.unlock mutex)
+        ()
+    in
+    Sys.catch_break true;
+    let finished = ref false in
+    (try
+       while not !finished do
+         Mutex.lock mutex;
+         while not (Queue.is_empty pending) do
+           process_line st (Queue.pop pending)
+         done;
+         let at_eof = !eof in
+         Mutex.unlock mutex;
+         clear_and_render st;
+         if at_eof then finished := true else Unix.sleepf interval
+       done;
+       if !finished then print_endline "ncg_top: event stream closed"
+     with Sys.Break -> print_newline ());
+    0
+  end
+
+(* Subscribe to a running ncg_served daemon: hello, subscribe, then the
+   connection carries raw event lines until either side closes. *)
+let subscribe_to_daemon addr =
+  let module Protocol = Ncg_service.Protocol in
+  let ic, oc = Protocol.connect addr in
+  let rpc req =
+    Protocol.send_line oc (Protocol.request_to_json req);
+    match Protocol.recv_line ic with
+    | Ok (Some j) -> Protocol.response_of_json j
+    | Ok None -> Error "daemon hung up"
+    | Error msg -> Error msg
+  in
+  let check = function
+    | Ok (Protocol.Resp_ok _) -> Ok ()
+    | Ok (Protocol.Resp_error msg) -> Error msg
+    | Error msg -> Error msg
+  in
+  match check (rpc (Protocol.Hello { client = Printf.sprintf "ncg_top-%d" (Unix.getpid ()) })) with
+  | Error msg -> Error msg
+  | Ok () -> (
+      match check (rpc Protocol.Subscribe) with
+      | Error msg -> Error msg
+      | Ok () -> Ok ic)
+
 let live path once interval =
-  if not (Sys.file_exists path) then begin
+  let looks_like_addr =
+    String.length path > 4
+    && (String.sub path 0 5 = "unix:"
+        || (String.length path > 3 && String.sub path 0 4 = "tcp:"))
+  in
+  if looks_like_addr then begin
+    match Ncg_service.Protocol.parse_addr path with
+    | Error msg ->
+        Printf.eprintf "ncg_top: %s\n" msg;
+        2
+    | Ok addr -> (
+        match subscribe_to_daemon addr with
+        | Ok ic -> live_stream ic once interval
+        | Error msg ->
+            Printf.eprintf "ncg_top: cannot subscribe to %s: %s\n" path msg;
+            1
+        | exception Unix.Unix_error (e, _, _) ->
+            Printf.eprintf "ncg_top: cannot connect to %s: %s\n" path
+              (Unix.error_message e);
+            1)
+  end
+  else if not (Sys.file_exists path) then begin
     Printf.eprintf "ncg_top: %s: no such file\n" path;
     2
   end
-  else begin
-    let st = new_live () in
-    let pos = ref 0 in
-    let step () =
-      let np, lines = read_new path !pos in
-      pos := np;
-      List.iter (process_line st) lines
-    in
-    if once then begin
-      step ();
-      print_string (render st);
-      0
-    end
-    else begin
-      Sys.catch_break true;
-      (try
-         while true do
-           step ();
-           if Unix.isatty Unix.stdout then print_string "\027[2J\027[H";
-           print_string (render st);
-           flush stdout;
-           Unix.sleepf interval
-         done
-       with Sys.Break -> print_newline ());
-      0
-    end
+  else if (Unix.stat path).Unix.st_kind = Unix.S_FIFO then begin
+    (* Opening a FIFO read-only blocks until a writer appears — exactly
+       the "waiting for the sweep to start" behaviour we want. *)
+    let ic = open_in_bin path in
+    live_stream ic once interval
   end
+  else live_file path once interval
 
 (* --- Post-hoc mode --------------------------------------------------------- *)
 
@@ -540,7 +698,10 @@ let events_arg =
     value
     & pos 0 (some string) None
     & info [] ~docv:"EVENTS"
-        ~doc:"Events JSONL file written by a sweep's --events flag (live mode).")
+        ~doc:"Event source for live mode: a JSONL file written by a sweep's \
+              --events flag, a FIFO carrying event lines, or a running \
+              ncg_served daemon's address (unix:PATH or tcp:HOST:PORT) to \
+              subscribe to.")
 
 let once_arg =
   Arg.(

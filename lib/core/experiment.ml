@@ -149,6 +149,21 @@ type cell_result = {
 let grid ~alphas ~ks =
   List.concat_map (fun alpha -> List.map (fun k -> { alpha; k }) ks) alphas
 
+(* Position-independent cell seeds: a pure function of (seed, alpha, k),
+   chained through SplitMix64 so nearby cells get unrelated streams. Two
+   sweeps that share a cell agree on its seed whatever the rest of their
+   grids look like — the property the sweep service's cross-client dedup
+   relies on (derive_seeds keys on grid *position*, so overlapping grids
+   would disagree on shared cells). *)
+let cell_seed_of_cell ~seed (cell : cell) =
+  let step state salt =
+    Ncg_prng.Splitmix64.next (Ncg_prng.Splitmix64.create (Int64.logxor state salt))
+  in
+  let s0 = step (Int64.of_int seed) 0x6e63675f63656c6cL (* "ncg_cell" *) in
+  let s1 = step s0 (Int64.bits_of_float cell.alpha) in
+  let s2 = step s1 (Int64.of_int cell.k) in
+  Int64.to_int s2
+
 (* The live progress line: cells done/total, ETA extrapolated from the
    average cell so far, and the just-finished cell's best-response p99.
    Rendered only when stderr is an interactive TTY (or forced on), so
@@ -422,11 +437,18 @@ let cell_failure_to_json (f : cell_failure) =
     ]
 
 let sweep_supervised ?(domains = 1) ?(max_retries = 0) ?(retry_backoff_ns = 0L)
-    ?cell_deadline_ns ?store ?(store_context = []) ?(probes = true)
+    ?cell_deadline_ns ?store ?(store_context = []) ?(probes = true) ?cell_seeds
     ~make_initial ~make_config ~cells ~trials:count ~seed () =
   let cells = Array.of_list cells in
   let total = Array.length cells in
-  let cell_seeds = derive_seeds ~seed ~count:total in
+  let cell_seeds =
+    match cell_seeds with
+    | Some a ->
+        if Array.length a <> total then
+          invalid_arg "sweep_supervised: cell_seeds length mismatch";
+        a
+    | None -> derive_seeds ~seed ~count:total
+  in
   let keys =
     match store with
     | None -> [||]
@@ -581,3 +603,34 @@ let fraction p runs =
   if total = 0 then nan
   else
     float_of_int (List.length (List.filter p runs)) /. float_of_int total
+
+(* --- CSV rendering -------------------------------------------------------
+   One definition shared by ncg_experiment and the sweep service, so a
+   served cell's row is byte-identical to a one-shot run's by
+   construction — the cross-process determinism contract is a string
+   equality, not a float-formatting coincidence. *)
+
+let csv_header =
+  "class,n,p,alpha,k,trials,converged_frac,cycled_frac,rounds_mean,rounds_ci,\
+   quality_mean,quality_ci,unfairness_mean,unfairness_ci,diameter_mean,\
+   max_degree_mean,max_bought_mean,min_view_mean,avg_view_mean,social_cost_mean"
+
+let csv_row ~graph_class ~n ~p ~trials (r : cell_result) =
+  let runs = r.runs in
+  let mean f = (summarize f runs).Summary.mean in
+  let quality = summarize (fun r -> r.quality) runs in
+  let rounds = summarize (fun r -> float_of_int r.rounds) runs in
+  let unfair = summarize (fun r -> r.unfairness) runs in
+  Printf.sprintf
+    "%s,%d,%g,%g,%d,%d,%.2f,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%.2f,%.2f,%.2f,%.2f,%.2f"
+    graph_class n p r.cell.alpha r.cell.k trials
+    (fraction (fun r -> r.converged) runs)
+    (fraction (fun r -> r.cycled) runs)
+    rounds.Summary.mean rounds.Summary.ci95 quality.Summary.mean
+    quality.Summary.ci95 unfair.Summary.mean unfair.Summary.ci95
+    (mean (fun r -> float_of_int r.diameter))
+    (mean (fun r -> float_of_int r.max_degree))
+    (mean (fun r -> float_of_int r.max_bought))
+    (mean (fun r -> float_of_int r.min_view))
+    (mean (fun r -> r.avg_view))
+    (mean (fun r -> r.social_cost))

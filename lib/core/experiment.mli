@@ -201,7 +201,12 @@ val cell_failure_to_json : cell_failure -> Ncg_obs.Json.t
     contract as {!sweep}) to a sequential no-fault run, for any
     [domains], retry budget or fault plan; and for a fixed plan (and
     deterministic faults — raises, not wall-clock deadlines) the failure
-    vector is identical too. *)
+    vector is identical too.
+
+    [cell_seeds] overrides the per-cell seed array (one entry per cell,
+    raising [Invalid_argument] on a length mismatch) in place of
+    {!derive_seeds}; pass {!cell_seed_of_cell}-derived seeds to make the
+    sweep agree with the service's position-independent derivation. *)
 val sweep_supervised :
   ?domains:int ->
   ?max_retries:int ->
@@ -210,6 +215,7 @@ val sweep_supervised :
   ?store:Ncg_store.Store.t ->
   ?store_context:(string * Ncg_obs.Json.t) list ->
   ?probes:bool ->
+  ?cell_seeds:int array ->
   make_initial:(seed:int -> Strategy.t) ->
   make_config:(cell -> Dynamics.config) ->
   cells:cell list ->
@@ -296,3 +302,26 @@ val summarize : (run_stats -> float) -> run_stats list -> Ncg_stats.Summary.t
 
 (** Fraction of runs satisfying a predicate. *)
 val fraction : (run_stats -> bool) -> run_stats list -> float
+
+(** [cell_seed_of_cell ~seed cell] is a {e position-independent} cell
+    seed: a pure function of [(seed, cell.alpha, cell.k)], unlike
+    {!derive_seeds} which keys on the cell's index in the grid. Two
+    sweeps over {e overlapping} grids agree on every shared cell's seed
+    under this derivation, which is what lets the sweep service dedup
+    cells across clients and still hand every client byte-identical
+    rows. [ncg_experiment --by-cell-seeds] uses the same derivation so a
+    one-shot run of the union grid reproduces the served results
+    exactly. *)
+val cell_seed_of_cell : seed:int -> cell -> int
+
+(** The CSV header row shared by [ncg_experiment] and the sweep
+    service. *)
+val csv_header : string
+
+(** [csv_row ~graph_class ~n ~p ~trials r] renders one result row
+    (no trailing newline) in the exact format of {!csv_header}. Both
+    [ncg_experiment] and the service daemon render through this
+    function, so byte-identity of served vs one-shot CSVs is structural,
+    not coincidental. *)
+val csv_row :
+  graph_class:string -> n:int -> p:float -> trials:int -> cell_result -> string

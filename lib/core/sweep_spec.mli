@@ -1,0 +1,74 @@
+(** Sweep submissions as data: one record naming everything that
+    determines a sweep's results.
+
+    [ncg_experiment] builds its sweep inline from CLI flags; the sweep
+    service receives the same parameters over a socket. This module is
+    the single compiler from that record to the {!Experiment} calls, so
+    both paths construct {e the same} initial graphs, dynamics configs,
+    store contexts and cache keys — the served-vs-one-shot byte-identity
+    contract is then structural, not a matter of keeping two
+    definitions in sync.
+
+    Cell seeds come from {!Experiment.cell_seed_of_cell} — the
+    position-{e independent} derivation — so two specs whose grids
+    overlap agree on every shared cell, which is what makes cross-client
+    dedup sound. A one-shot [ncg_experiment] run reproduces a served
+    result with [--by-cell-seeds]. *)
+
+type t = {
+  graph_class : string;  (** ["tree"], ["gnp"], ["ba"] or ["ws"] *)
+  n : int;
+  p : float;  (** edge probability, used by ["gnp"] only *)
+  alphas : float list;
+  ks : int list;
+  trials : int;
+  seed : int;
+  budget : int;  (** branch-and-bound node budget per best response *)
+  move_budget : int;
+  probes : bool;  (** round-level probe collection (part of cache keys) *)
+}
+
+(** [ncg_experiment]'s defaults: tree, n = 50, p = 0.1, the paper grid,
+    5 trials, seed 2014. *)
+val default : t
+
+val graph_classes : string list
+
+(** Structural sanity: known class, n ≥ 2, non-empty finite grids,
+    positive trials/ks. *)
+val validate : t -> (unit, string) result
+
+(** The initial-graph constructor for the spec's class (same shapes as
+    [ncg_experiment]: BA with m = 2, WS with k = 4, beta = 0.2).
+    Raises [Failure] on an unknown class — call {!validate} first on
+    untrusted input. *)
+val make_initial : t -> seed:int -> Strategy.t
+
+val make_config : t -> Experiment.cell -> Dynamics.config
+
+(** The store-context fingerprint (class, n, p, dynamics settings) —
+    field-for-field what [ncg_experiment] writes into its cache keys. *)
+val context : t -> (string * Ncg_obs.Json.t) list
+
+(** The [(alpha, k)] grid, in {!Experiment.grid} order. *)
+val cells : t -> Experiment.cell list
+
+(** Position-independent per-cell seed ({!Experiment.cell_seed_of_cell}). *)
+val cell_seed : t -> Experiment.cell -> int
+
+(** Full content-addressed key for one cell of this spec. *)
+val cache_key : t -> Experiment.cell -> Ncg_store.Cache_key.t
+
+(** Compute one cell ({!Experiment.run_cell} with this spec's
+    constructors and seed derivation). *)
+val run_cell : t -> Experiment.cell -> Experiment.cell_result
+
+(** Render one result row ({!Experiment.csv_row} with this spec's
+    class/n/p/trials). *)
+val csv_row : t -> Experiment.cell_result -> string
+
+(** Wire codec, schema ["ncg.service.spec/1"]. [of_json] validates. *)
+val schema : string
+
+val to_json : t -> Ncg_obs.Json.t
+val of_json : Ncg_obs.Json.t -> (t, string) result

@@ -59,6 +59,18 @@ val record_log_append : site
 (** ["record_log.append"] — inside [Record_log.append], between framing
     and the write; the only site where short-write rules act *)
 
+val service_accept : site
+(** ["service.accept"] — in the sweep daemon ([ncg_served]), after a
+    client connection is accepted and before its handler starts *)
+
+val service_dispatch : site
+(** ["service.dispatch"] — in the daemon scheduler, as a leased cell is
+    handed to a worker *)
+
+val queue_lease : site
+(** ["queue.lease"] — entry of [Ncg_store.Work_queue.lease], before any
+    queue state changes (a firing raise leaves the queue intact) *)
+
 (** {1 Plans} *)
 
 type action =

@@ -1,0 +1,69 @@
+(** Wire protocol of the sweep service: newline-delimited JSON.
+
+    Every request is one compact JSON line tagged
+    ["schema": "ncg.service.request/1"], every reply one line tagged
+    ["ncg.service.response/1"]. A connection is a sequence of
+    request/response pairs — except after a successful {!Subscribe},
+    when the server stops reading and streams raw
+    {!Ncg_obs.Events}-format JSONL lines until the client disconnects
+    ([ncg_top --events unix:PATH] consumes this stream directly).
+
+    The same protocol serves sweep clients ([ncg_submit]: {!Hello},
+    {!Submit}, {!Status}, {!Results}) and worker processes
+    ([ncg_served --worker]: {!Lease}, {!Complete}, {!Fail}); the daemon
+    treats a dropped worker connection as a crash and requeues its
+    leased cells. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+(** [parse_addr s] accepts [unix:PATH], [tcp:HOST:PORT], and bare
+    [PATH] (shorthand for [unix:PATH]). *)
+val parse_addr : string -> (addr, string) result
+
+val addr_to_string : addr -> string
+
+type request =
+  | Hello of { client : string }
+  | Submit of {
+      spec : Ncg.Sweep_spec.t;
+      deadline_ms : int option;
+          (** job expires this long after submission; expired jobs
+              report [state = "expired"] and release queued cells *)
+    }
+  | Status of { job : int }
+  | Results of { job : int }
+  | Lease of { worker : string }
+  | Complete of { worker : string; task : int; result : Ncg_obs.Json.t }
+  | Fail of { worker : string; task : int; error : string }
+  | Subscribe
+  | Stats
+
+val request_schema : string
+val request_to_json : request -> Ncg_obs.Json.t
+val request_of_json : Ncg_obs.Json.t -> (request, string) result
+
+(** Replies: [Resp_ok fields] renders as [{"ok": true, ...fields}],
+    [Resp_error msg] as [{"ok": false, "error": msg}]. *)
+type response =
+  | Resp_ok of (string * Ncg_obs.Json.t) list
+  | Resp_error of string
+
+val response_schema : string
+val response_to_json : response -> Ncg_obs.Json.t
+val response_of_json : Ncg_obs.Json.t -> (response, string) result
+
+(** {1 Line transport} *)
+
+(** [send_line oc json] writes the compact rendering plus ['\n'] and
+    flushes. *)
+val send_line : out_channel -> Ncg_obs.Json.t -> unit
+
+(** [recv_line ic] reads one line and parses it; [Ok None] on EOF. *)
+val recv_line : in_channel -> (Ncg_obs.Json.t option, string) result
+
+(** {1 Connecting} *)
+
+(** [connect addr] opens a client socket and returns buffered channels
+    over it (closing the returned [out_channel] closes the socket).
+    Raises [Unix.Unix_error] on failure. *)
+val connect : addr -> in_channel * out_channel

@@ -1,0 +1,573 @@
+module Json = Ncg_obs.Json
+module Events = Ncg_obs.Events
+module Metrics = Ncg_obs.Metrics
+module Store = Ncg_store.Store
+module Work_queue = Ncg_store.Work_queue
+module Cache_key = Ncg_store.Cache_key
+module Sweep_spec = Ncg.Sweep_spec
+module Experiment = Ncg.Experiment
+
+type config = {
+  store_dir : string;
+  max_retries : int;
+  default_deadline_ms : int option;
+  max_cells : int option;
+}
+
+type job_state = Running | Done | Expired
+
+type job = {
+  id : int;
+  client : string;
+  spec : Sweep_spec.t;
+  cells : Experiment.cell array;
+  keys : string array;  (** canonical key bytes, index-aligned with cells *)
+  results : Experiment.cell_result option array;
+  mutable quarantined : (int * string) list;  (** (cell index, error) *)
+  mutable remaining : int;
+  deadline_ns : int64 option;  (** absolute, monotonic clock *)
+  mutable state : job_state;
+}
+
+type task = {
+  task_id : int;
+  spec : Sweep_spec.t;
+  cell : Experiment.cell;
+  attempts : int;
+}
+
+type leased = { l_key : Cache_key.t; l_spec : Sweep_spec.t;
+                l_cell : Experiment.cell; l_worker : string }
+
+type t = {
+  config : config;
+  store : Store.t;
+  queue : Work_queue.t;
+  mutex : Mutex.t;
+  jobs : (int, job) Hashtbl.t;
+  mutable next_job : int;
+  (* Cross-client dedup registry. [waiters]: canonical key -> (job id,
+     cell index) list still expecting that cell. [inflight]: canonical
+     key -> queue entry id, present from enqueue to terminal state.
+     [leased_tasks]: queue id -> decoded task while leased. *)
+  waiters : (string, (int * int) list ref) Hashtbl.t;
+  inflight : (string, int) Hashtbl.t;
+  leased_tasks : (int, leased) Hashtbl.t;
+  (* Plain counters for the stats verb — [Metrics] counters only record
+     under a collector, a daemon wants always-on numbers. *)
+  mutable n_requests : int;
+  mutable n_cache_hits : int;
+  mutable n_dedup_hits : int;
+  mutable n_completions : int;
+  mutable n_requeues : int;
+  mutable n_quarantines : int;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* --- Task payloads ------------------------------------------------------- *)
+
+let task_schema = "ncg.service.task/1"
+
+let task_payload spec (cell : Experiment.cell) =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.String task_schema);
+         ("spec", Sweep_spec.to_json spec);
+         ("alpha", Json.Float cell.Experiment.alpha);
+         ("k", Json.Int cell.Experiment.k);
+       ])
+
+let task_of_payload payload =
+  let ( let* ) = Result.bind in
+  let* j = Json.of_string payload in
+  let member name =
+    match j with Json.Obj f -> List.assoc_opt name f | _ -> None
+  in
+  let* () =
+    match member "schema" with
+    | Some (Json.String s) when String.equal s task_schema -> Ok ()
+    | _ -> Error "task: bad schema"
+  in
+  let* spec =
+    match member "spec" with
+    | Some s -> Sweep_spec.of_json s
+    | None -> Error "task: missing spec"
+  in
+  let* alpha =
+    match member "alpha" with
+    | Some (Json.Float a) -> Ok a
+    | Some (Json.Int a) -> Ok (float_of_int a)
+    | _ -> Error "task: missing alpha"
+  in
+  let* k =
+    match member "k" with
+    | Some (Json.Int k) -> Ok k
+    | _ -> Error "task: missing k"
+  in
+  Ok (spec, { Experiment.alpha; k })
+
+(* --- Lifecycle ----------------------------------------------------------- *)
+
+let create config =
+  let store = Store.open_dir config.store_dir in
+  let queue_path = Filename.concat config.store_dir "queue.log" in
+  let queue, recovery = Work_queue.openfile queue_path in
+  let t =
+    {
+      config;
+      store;
+      queue;
+      mutex = Mutex.create ();
+      jobs = Hashtbl.create 16;
+      next_job = 0;
+      waiters = Hashtbl.create 64;
+      inflight = Hashtbl.create 64;
+      leased_tasks = Hashtbl.create 16;
+      n_requests = 0;
+      n_cache_hits = 0;
+      n_dedup_hits = 0;
+      n_completions = 0;
+      n_requeues = 0;
+      n_quarantines = 0;
+    }
+  in
+  (* Re-adopt work recovered from the log: entries of a previous daemon
+     whose clients are gone. Completed results will land in the store
+     (warming it for resubmissions); entries whose payload no longer
+     decodes (schema drift) are dropped. *)
+  List.iter
+    (fun (e : Work_queue.entry) ->
+      match task_of_payload e.Work_queue.payload with
+      | Ok (spec, cell) ->
+          let key = Sweep_spec.cache_key spec cell in
+          Hashtbl.replace t.inflight (Cache_key.to_string key) e.Work_queue.id
+      | Error _ -> Work_queue.cancel queue ~id:e.Work_queue.id)
+    (Work_queue.pending_entries queue);
+  if Events.active () then
+    Events.emit "service.queue_recovered"
+      [
+        ("replayed", Json.Int recovery.Work_queue.replayed);
+        ("reclaimed", Json.Int recovery.Work_queue.reclaimed);
+        ("dropped_bytes", Json.Int recovery.Work_queue.dropped_bytes);
+        ("pending", Json.Int (Work_queue.pending queue));
+      ];
+  t
+
+let close t =
+  locked t (fun () ->
+      Work_queue.close t.queue;
+      Store.close t.store)
+
+let store t = t.store
+
+(* --- Job resolution ------------------------------------------------------ *)
+
+let emit_job_done job =
+  if Events.active () then
+    Events.emit "service.job_done"
+      [
+        ("job", Json.Int job.id);
+        ("client", Json.String job.client);
+        ("total", Json.Int (Array.length job.cells));
+        ("quarantined", Json.Int (List.length job.quarantined));
+      ]
+
+let resolve_cell job idx outcome =
+  (match outcome with
+  | Ok r -> job.results.(idx) <- Some r
+  | Error msg -> job.quarantined <- (idx, msg) :: job.quarantined);
+  job.remaining <- job.remaining - 1;
+  if job.remaining = 0 && job.state = Running then begin
+    job.state <- Done;
+    emit_job_done job
+  end
+
+(* Hand [outcome] to every job still waiting on [key]. *)
+let resolve_waiters t key outcome =
+  match Hashtbl.find_opt t.waiters key with
+  | None -> ()
+  | Some lst ->
+      Hashtbl.remove t.waiters key;
+      List.iter
+        (fun (job_id, idx) ->
+          match Hashtbl.find_opt t.jobs job_id with
+          | Some job when job.state <> Expired -> resolve_cell job idx outcome
+          | _ -> ())
+        (List.rev !lst)
+
+(* --- Submit -------------------------------------------------------------- *)
+
+type submit_info = {
+  job : int;
+  total : int;
+  cached : int;
+  deduped : int;
+  queued : int;
+}
+
+let submit t ~client ?deadline_ms spec =
+  locked t (fun () ->
+      t.n_requests <- t.n_requests + 1;
+      match Sweep_spec.validate spec with
+      | Error msg -> Error msg
+      | Ok () -> (
+          let cells = Array.of_list (Sweep_spec.cells spec) in
+          let total = Array.length cells in
+          match t.config.max_cells with
+          | Some cap when total > cap ->
+              Error
+                (Printf.sprintf "grid has %d cells, server caps jobs at %d"
+                   total cap)
+          | _ ->
+              let deadline_ms =
+                match deadline_ms with
+                | Some _ as d -> d
+                | None -> t.config.default_deadline_ms
+              in
+              let deadline_ns =
+                Option.map
+                  (fun ms ->
+                    Int64.add (Ncg_obs.Clock.now_ns ())
+                      (Int64.of_float (float_of_int ms *. 1e6)))
+                  deadline_ms
+              in
+              let keys = Array.map (Sweep_spec.cache_key spec) cells in
+              let job =
+                {
+                  id = t.next_job;
+                  client;
+                  spec;
+                  cells;
+                  keys = Array.map Cache_key.to_string keys;
+                  results = Array.make total None;
+                  quarantined = [];
+                  remaining = total;
+                  deadline_ns;
+                  state = Running;
+                }
+              in
+              t.next_job <- t.next_job + 1;
+              Hashtbl.replace t.jobs job.id job;
+              let cached = ref 0 and deduped = ref 0 and queued = ref 0 in
+              Array.iteri
+                (fun idx key ->
+                  let key_s = job.keys.(idx) in
+                  match Experiment.store_lookup t.store key with
+                  | Some r ->
+                      incr cached;
+                      t.n_cache_hits <- t.n_cache_hits + 1;
+                      Metrics.(incr service_cache_hits);
+                      resolve_cell job idx (Ok r)
+                  | None ->
+                      let waiters =
+                        match Hashtbl.find_opt t.waiters key_s with
+                        | Some lst -> lst
+                        | None ->
+                            let lst = ref [] in
+                            Hashtbl.replace t.waiters key_s lst;
+                            lst
+                      in
+                      waiters := (job.id, idx) :: !waiters;
+                      if Hashtbl.mem t.inflight key_s then begin
+                        incr deduped;
+                        t.n_dedup_hits <- t.n_dedup_hits + 1;
+                        Metrics.(incr service_dedup_hits)
+                      end
+                      else begin
+                        let payload = task_payload spec cells.(idx) in
+                        let id = Work_queue.enqueue t.queue ~payload in
+                        Hashtbl.replace t.inflight key_s id;
+                        incr queued
+                      end)
+                keys;
+              if Events.active () then
+                Events.emit "service.submit"
+                  [
+                    ("job", Json.Int job.id);
+                    ("client", Json.String client);
+                    ("total", Json.Int total);
+                    ("cached", Json.Int !cached);
+                    ("deduped", Json.Int !deduped);
+                    ("queued", Json.Int !queued);
+                    ("queue_depth", Json.Int (Work_queue.pending t.queue));
+                  ];
+              Ok
+                {
+                  job = job.id;
+                  total;
+                  cached = !cached;
+                  deduped = !deduped;
+                  queued = !queued;
+                }))
+
+(* --- Introspection ------------------------------------------------------- *)
+
+let job_state_string = function
+  | Running -> "running"
+  | Done -> "done"
+  | Expired -> "expired"
+
+let status t ~job =
+  locked t (fun () ->
+      t.n_requests <- t.n_requests + 1;
+      Option.map
+        (fun j ->
+          [
+            ("job", Json.Int j.id);
+            ("state", Json.String (job_state_string j.state));
+            ("total", Json.Int (Array.length j.cells));
+            ("done", Json.Int (Array.length j.cells - j.remaining));
+            ("quarantined", Json.Int (List.length j.quarantined));
+          ])
+        (Hashtbl.find_opt t.jobs job))
+
+let results t ~job =
+  locked t (fun () ->
+      t.n_requests <- t.n_requests + 1;
+      match Hashtbl.find_opt t.jobs job with
+      | None -> Error (Printf.sprintf "unknown job %d" job)
+      | Some j when j.state = Running ->
+          Error
+            (Printf.sprintf "job %d still running (%d/%d cells)" job
+               (Array.length j.cells - j.remaining)
+               (Array.length j.cells))
+      | Some j when j.state = Expired ->
+          Error (Printf.sprintf "job %d expired before completing" job)
+      | Some j ->
+          let rows = ref [] in
+          for idx = Array.length j.cells - 1 downto 0 do
+            match j.results.(idx) with
+            | Some r -> rows := Sweep_spec.csv_row j.spec r :: !rows
+            | None -> ()
+          done;
+          let quarantined =
+            List.rev_map
+              (fun (idx, msg) ->
+                (j.cells.(idx).Experiment.alpha, j.cells.(idx).Experiment.k, msg))
+              j.quarantined
+          in
+          Ok (!rows, quarantined))
+
+(* --- Worker plane -------------------------------------------------------- *)
+
+let lease t ~worker =
+  locked t (fun () ->
+      t.n_requests <- t.n_requests + 1;
+      Ncg_fault.Inject.(hit service_dispatch);
+      match Work_queue.lease t.queue ~worker with
+      | None -> None
+      | Some entry -> (
+          match task_of_payload entry.Work_queue.payload with
+          | Error _ ->
+              (* Undecodable payloads were culled at [create]; one here
+                 means in-memory corruption — drop the entry. *)
+              Work_queue.requeue t.queue ~id:entry.Work_queue.id;
+              Work_queue.cancel t.queue ~id:entry.Work_queue.id;
+              None
+          | Ok (spec, cell) ->
+              let key = Sweep_spec.cache_key spec cell in
+              Hashtbl.replace t.leased_tasks entry.Work_queue.id
+                { l_key = key; l_spec = spec; l_cell = cell; l_worker = worker };
+              if Events.active () then
+                Events.emit "service.lease"
+                  [
+                    ("task", Json.Int entry.Work_queue.id);
+                    ("worker", Json.String worker);
+                    ("alpha", Json.Float cell.Experiment.alpha);
+                    ("k", Json.Int cell.Experiment.k);
+                    ("attempts", Json.Int entry.Work_queue.attempts);
+                  ];
+              Some
+                {
+                  task_id = entry.Work_queue.id;
+                  spec;
+                  cell;
+                  attempts = entry.Work_queue.attempts;
+                }))
+
+let requeue_task t id (l : leased) reason =
+  Work_queue.requeue t.queue ~id;
+  Hashtbl.remove t.leased_tasks id;
+  t.n_requeues <- t.n_requeues + 1;
+  Metrics.(incr service_requeues);
+  if Events.active () then
+    Events.emit ~severity:Events.Warn "service.requeue"
+      [
+        ("task", Json.Int id);
+        ("worker", Json.String l.l_worker);
+        ("alpha", Json.Float l.l_cell.Experiment.alpha);
+        ("k", Json.Int l.l_cell.Experiment.k);
+        ("reason", Json.String reason);
+      ]
+
+let quarantine_task t id (l : leased) error =
+  (* Terminal state for a queue entry that keeps failing: return it to
+     pending, then cancel — both transitions are durable records, so a
+     restarted daemon sees it as resolved, not as work. *)
+  Work_queue.requeue t.queue ~id;
+  Work_queue.cancel t.queue ~id;
+  Hashtbl.remove t.leased_tasks id;
+  let key_s = Cache_key.to_string l.l_key in
+  Hashtbl.remove t.inflight key_s;
+  t.n_quarantines <- t.n_quarantines + 1;
+  Metrics.(incr service_quarantines);
+  if Events.active () then
+    Events.emit ~severity:Events.Error "service.quarantine"
+      [
+        ("task", Json.Int id);
+        ("alpha", Json.Float l.l_cell.Experiment.alpha);
+        ("k", Json.Int l.l_cell.Experiment.k);
+        ("error", Json.String error);
+      ];
+  resolve_waiters t key_s (Error error)
+
+let complete t ~worker ~task result_json =
+  locked t (fun () ->
+      t.n_requests <- t.n_requests + 1;
+      match Hashtbl.find_opt t.leased_tasks task with
+      | None -> Error (Printf.sprintf "task %d is not leased" task)
+      | Some l when not (String.equal l.l_worker worker) ->
+          Error
+            (Printf.sprintf "task %d is leased to %S, not %S" task l.l_worker
+               worker)
+      | Some l -> (
+          match Experiment.cell_result_of_json result_json with
+          | Error msg ->
+              requeue_task t task l ("undecodable result: " ^ msg);
+              Error (Printf.sprintf "task %d: undecodable result (%s)" task msg)
+          | Ok r ->
+              (* Single store write per distinct cell, by the daemon:
+                 the store's inserts counter counts unique executions. *)
+              Experiment.store_insert t.store l.l_key r;
+              Work_queue.complete t.queue ~id:task;
+              Hashtbl.remove t.leased_tasks task;
+              let key_s = Cache_key.to_string l.l_key in
+              Hashtbl.remove t.inflight key_s;
+              t.n_completions <- t.n_completions + 1;
+              Metrics.(incr service_completions);
+              if Events.active () then
+                Events.emit "service.complete"
+                  [
+                    ("task", Json.Int task);
+                    ("worker", Json.String worker);
+                    ("alpha", Json.Float l.l_cell.Experiment.alpha);
+                    ("k", Json.Int l.l_cell.Experiment.k);
+                    ("queue_depth", Json.Int (Work_queue.pending t.queue));
+                  ];
+              resolve_waiters t key_s (Ok r);
+              Ok ()))
+
+let fail t ~worker ~task ~error =
+  locked t (fun () ->
+      t.n_requests <- t.n_requests + 1;
+      match Hashtbl.find_opt t.leased_tasks task with
+      | None -> Error (Printf.sprintf "task %d is not leased" task)
+      | Some l when not (String.equal l.l_worker worker) ->
+          Error
+            (Printf.sprintf "task %d is leased to %S, not %S" task l.l_worker
+               worker)
+      | Some l ->
+          let attempts = Work_queue.attempts t.queue ~id:task in
+          if attempts > t.config.max_retries then
+            quarantine_task t task l error
+          else requeue_task t task l error;
+          Ok ())
+
+let worker_lost t ~worker =
+  locked t (fun () ->
+      let ids = Work_queue.leases_of t.queue ~worker in
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt t.leased_tasks id with
+          | Some l -> requeue_task t id l "worker connection lost"
+          | None ->
+              (* leased directly through the queue (tests) — still
+                 return it *)
+              Work_queue.requeue t.queue ~id)
+        ids;
+      List.length ids)
+
+(* --- Deadlines ----------------------------------------------------------- *)
+
+let tick t =
+  locked t (fun () ->
+      let now = Ncg_obs.Clock.now_ns () in
+      (Hashtbl.iter [@lint.allow "D3" "per-job expiry is order-independent"])
+        (fun _ job ->
+          match (job.state, job.deadline_ns) with
+          | Running, Some deadline when Int64.compare now deadline > 0 ->
+              job.state <- Expired;
+              if Events.active () then
+                Events.emit ~severity:Events.Warn "service.job_expired"
+                  [
+                    ("job", Json.Int job.id);
+                    ("client", Json.String job.client);
+                    ("remaining", Json.Int job.remaining);
+                  ];
+              (* Release queued cells nobody else waits for. *)
+              Array.iteri
+                (fun idx key_s ->
+                  if job.results.(idx) = None
+                     && not (List.mem_assoc idx job.quarantined)
+                  then begin
+                    (match Hashtbl.find_opt t.waiters key_s with
+                    | Some lst ->
+                        lst :=
+                          List.filter
+                            (fun (jid, i) -> not (jid = job.id && i = idx))
+                            !lst;
+                        if !lst = [] then begin
+                          Hashtbl.remove t.waiters key_s;
+                          match Hashtbl.find_opt t.inflight key_s with
+                          | Some qid when not (Hashtbl.mem t.leased_tasks qid)
+                            ->
+                              Work_queue.cancel t.queue ~id:qid;
+                              Hashtbl.remove t.inflight key_s
+                          | _ -> ()
+                        end
+                    | None -> ())
+                  end)
+                job.keys
+          | _ -> ())
+        t.jobs)
+
+let idle t =
+  locked t (fun () ->
+      Work_queue.pending t.queue = 0
+      && Work_queue.leased t.queue = 0
+      && (Hashtbl.fold [@lint.allow "D3" "conjunction is order-independent"])
+           (fun _ job acc -> acc && job.state <> Running)
+           t.jobs true)
+
+let stats_fields t =
+  locked t (fun () ->
+      let count state =
+        (Hashtbl.fold [@lint.allow "D3" "order-independent counting"])
+          (fun _ j acc -> if j.state = state then acc + 1 else acc)
+          t.jobs 0
+      in
+      [
+        ( "jobs",
+          Json.Obj
+            [
+              ("running", Json.Int (count Running));
+              ("done", Json.Int (count Done));
+              ("expired", Json.Int (count Expired));
+            ] );
+        ("queue", Work_queue.stats_to_json t.queue);
+        ("store", Store.stats_to_json (Store.stats t.store));
+        ( "counters",
+          Json.Obj
+            [
+              ("requests", Json.Int t.n_requests);
+              ("cache_hits", Json.Int t.n_cache_hits);
+              ("dedup_hits", Json.Int t.n_dedup_hits);
+              ("completions", Json.Int t.n_completions);
+              ("requeues", Json.Int t.n_requeues);
+              ("quarantines", Json.Int t.n_quarantines);
+            ] );
+      ])

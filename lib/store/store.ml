@@ -48,6 +48,19 @@ let pid_alive pid =
   | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
   | exception Unix.Unix_error (_, _, _) -> true
 
+let stale_pid = function
+  | None -> true (* unreadable/torn lock file *)
+  | Some pid -> pid <> Unix.getpid () && not (pid_alive pid)
+
+(* Stale-lock takeover must be atomic: the naive check-then-remove lets
+   two simultaneous openers both sweep, with the second remove deleting
+   the first opener's *fresh* lock — two handles on one log. Instead a
+   contender claims the observed-stale lock file with rename(2) (exactly
+   one rename of a given file succeeds; losers see ENOENT and re-race
+   the O_EXCL create), then re-checks the claimed file's contents: if it
+   turns out live — the file was replaced by a fresh lock between the
+   staleness probe and the rename — it is restored with link(2) (atomic,
+   fails EEXIST rather than clobbering) and the opener reports Locked. *)
 let rec acquire_lock ?(sweep_stale = true) dir =
   let path = Filename.concat dir lock_name in
   match Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 with
@@ -60,13 +73,29 @@ let rec acquire_lock ?(sweep_stale = true) dir =
       Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> w 0)
   | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
       let holder = read_lock_pid path in
-      let stale =
-        match holder with
-        | None -> true (* unreadable/torn lock file *)
-        | Some pid -> pid <> Unix.getpid () && not (pid_alive pid)
-      in
+      let stale = stale_pid holder in
       if stale && sweep_stale then begin
-        (try Sys.remove path with Sys_error _ -> ());
+        let claim = path ^ ".claim." ^ string_of_int (Unix.getpid ()) in
+        (match Unix.rename path claim with
+        | () ->
+            let claimed = read_lock_pid claim in
+            if stale_pid claimed then
+              (* Confirmed stale; we own the claim file exclusively, so
+                 this remove can never hit a live lock. *)
+              try Sys.remove claim with Sys_error _ -> ()
+            else begin
+              (* We raced a fresh acquisition: restore the live lock
+                 (unless yet another opener already created a new one)
+                 and report the holder. *)
+              (try Unix.link claim path
+               with Unix.Unix_error ((Unix.EEXIST | Unix.EPERM), _, _) -> ());
+              (try Sys.remove claim with Sys_error _ -> ());
+              raise (Locked { dir; pid = Option.value claimed ~default:(-1) })
+            end
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+            (* Another contender claimed it first; fall through and
+               re-race the create below. *)
+            ());
         (* One retry: if we lose the O_EXCL race after the sweep, the
            new owner is alive and we report it. *)
         acquire_lock ~sweep_stale:false dir

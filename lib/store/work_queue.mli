@@ -1,0 +1,91 @@
+(** Persistent lease/complete/requeue work queue over a {!Record_log}.
+
+    The coordination substrate of the sweep daemon ([lib/service]): the
+    daemon enqueues cells, workers lease them one at a time, and every
+    transition — enqueue, lease, complete, requeue, cancel — is one
+    CRC-framed record appended to [queue.log], so the queue state is a
+    pure fold over the log and survives a SIGKILL of the daemon at any
+    byte offset (torn tails are truncated by {!Record_log} recovery).
+
+    {b Lease semantics.} A lease hands the oldest pending entry (lowest
+    id — deterministic, FIFO) to a named worker. Leases are
+    process-lifetime claims, not time-based: a worker that crashes never
+    returns its lease, so
+    - at runtime the {e daemon} detects the dead worker (connection
+      drop) and calls {!requeue}, and
+    - on {!openfile} every entry that was left leased is {e reclaimed}
+      to pending (counted in [recovery.reclaimed]) — a restarted daemon
+      re-dispatches exactly the in-flight cells.
+
+    Re-leasing after a requeue increments the entry's [attempts], which
+    is how the daemon's retry budget is expressed.
+
+    A handle is not thread-safe; callers serialize (the daemon's
+    scheduler holds one mutex over queue + store). {!lease} passes
+    through the ["queue.lease"] fault site
+    ({!Ncg_fault.Inject.queue_lease}) {e before} touching any state, so
+    an injected raise leaves the queue intact. *)
+
+type t
+
+(** One queue entry. [payload] is opaque to the queue (the daemon stores
+    a serialized cell task). [attempts] starts at 1 on the first lease
+    and grows by 1 per requeue. *)
+type entry = { id : int; payload : string; attempts : int }
+
+(** Replay facts from {!openfile}. *)
+type recovery = {
+  replayed : int;  (** complete records recovered *)
+  dropped_bytes : int;  (** torn-tail bytes truncated *)
+  reclaimed : int;  (** leased entries reverted to pending *)
+}
+
+(** [openfile ?sync path] opens (creating if necessary) the queue log at
+    [path], folds the records into the in-memory state, and reclaims
+    orphaned leases. [sync] as in {!Record_log.openfile}. *)
+val openfile : ?sync:bool -> string -> t * recovery
+
+(** [enqueue t ~payload] appends an enqueue record and returns the new
+    entry's id (ids are dense, starting at 0, never reused). *)
+val enqueue : t -> payload:string -> int
+
+(** [lease t ~worker] leases the oldest pending entry to [worker], or
+    [None] when nothing is pending. Fires ["queue.lease"] first. *)
+val lease : t -> worker:string -> entry option
+
+(** [complete t ~id] marks a leased entry done. Raises [Invalid_argument]
+    if [id] is not currently leased. *)
+val complete : t -> id:int -> unit
+
+(** [requeue t ~id] returns a leased entry to pending (attempts + 1) —
+    the dead-worker and failed-attempt path. Raises [Invalid_argument]
+    if [id] is not currently leased. *)
+val requeue : t -> id:int -> unit
+
+(** [cancel t ~id] drops a {e pending} entry (expired client, quarantined
+    cell). No-op when [id] is not pending. *)
+val cancel : t -> id:int -> unit
+
+(** [leases_of t ~worker] is the ids currently leased to [worker], oldest
+    first — the set a daemon requeues when the worker's connection
+    drops. *)
+val leases_of : t -> worker:string -> int list
+
+(** Every pending entry, oldest first — how a restarted daemon re-adopts
+    work recovered from the log (including just-reclaimed leases). *)
+val pending_entries : t -> entry list
+
+(** Current state counts. *)
+val pending : t -> int
+
+val leased : t -> int
+val completed : t -> int
+val cancelled : t -> int
+
+(** Attempts a pending or leased entry has accumulated (1 before the
+    first lease). Raises [Not_found] for unknown ids. *)
+val attempts : t -> id:int -> int
+
+val close : t -> unit
+
+val stats_to_json : t -> Ncg_obs.Json.t

@@ -1,0 +1,433 @@
+(* Tests for the sweep service: protocol codecs and addresses, the
+   persistent work queue's lease/requeue/reclaim semantics, and the
+   scheduler's cross-client dedup — the property the daemon exists for:
+   two clients submitting the same cell cost exactly one execution and
+   read back byte-identical CSV rows. *)
+
+module Json = Ncg_obs.Json
+module Protocol = Ncg_service.Protocol
+module Scheduler = Ncg_service.Scheduler
+module Work_queue = Ncg_store.Work_queue
+module Store = Ncg_store.Store
+module Sweep_spec = Ncg.Sweep_spec
+module Experiment = Ncg.Experiment
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "ncg_service_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+(* A grid small enough to execute for real in a unit test. *)
+let tiny_spec =
+  {
+    Sweep_spec.default with
+    Sweep_spec.graph_class = "tree";
+    n = 8;
+    alphas = [ 1.0; 3.0 ];
+    ks = [ 1 ];
+    trials = 1;
+    seed = 7;
+    budget = 10_000;
+    probes = false;
+  }
+
+(* --- Protocol ------------------------------------------------------------- *)
+
+let test_parse_addr () =
+  (match Protocol.parse_addr "unix:/tmp/x.sock" with
+  | Ok (Protocol.Unix_sock p) -> check_string "unix path" "/tmp/x.sock" p
+  | _ -> Alcotest.fail "unix addr");
+  (match Protocol.parse_addr "some/relative.sock" with
+  | Ok (Protocol.Unix_sock p) -> check_string "bare path" "some/relative.sock" p
+  | _ -> Alcotest.fail "bare addr");
+  (match Protocol.parse_addr "tcp:localhost:7214" with
+  | Ok (Protocol.Tcp (h, p)) ->
+      check_string "host" "localhost" h;
+      check_int "port" 7214 p
+  | _ -> Alcotest.fail "tcp addr");
+  check_bool "bad port rejected" true
+    (Result.is_error (Protocol.parse_addr "tcp:host:notaport"));
+  check_bool "unknown scheme rejected" true
+    (Result.is_error (Protocol.parse_addr "http:example.com:80"))
+
+let roundtrip_request req =
+  match Protocol.request_of_json (Protocol.request_to_json req) with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "request did not round-trip: %s" msg
+
+let test_request_roundtrip () =
+  (match roundtrip_request (Protocol.Hello { client = "c1" }) with
+  | Protocol.Hello { client } -> check_string "hello client" "c1" client
+  | _ -> Alcotest.fail "hello");
+  (match
+     roundtrip_request
+       (Protocol.Submit { spec = tiny_spec; deadline_ms = Some 1500 })
+   with
+  | Protocol.Submit { spec; deadline_ms } ->
+      check_bool "spec survives" true (spec = tiny_spec);
+      check_bool "deadline survives" true (deadline_ms = Some 1500)
+  | _ -> Alcotest.fail "submit");
+  (match roundtrip_request (Protocol.Status { job = 3 }) with
+  | Protocol.Status { job } -> check_int "status job" 3 job
+  | _ -> Alcotest.fail "status");
+  (match roundtrip_request (Protocol.Results { job = 4 }) with
+  | Protocol.Results { job } -> check_int "results job" 4 job
+  | _ -> Alcotest.fail "results");
+  (match roundtrip_request (Protocol.Lease { worker = "w0" }) with
+  | Protocol.Lease { worker } -> check_string "lease worker" "w0" worker
+  | _ -> Alcotest.fail "lease");
+  (match
+     roundtrip_request
+       (Protocol.Complete { worker = "w0"; task = 9; result = Json.Int 1 })
+   with
+  | Protocol.Complete { worker; task; result } ->
+      check_string "complete worker" "w0" worker;
+      check_int "complete task" 9 task;
+      check_bool "complete result" true (result = Json.Int 1)
+  | _ -> Alcotest.fail "complete");
+  (match
+     roundtrip_request (Protocol.Fail { worker = "w1"; task = 2; error = "boom" })
+   with
+  | Protocol.Fail { worker; task; error } ->
+      check_string "fail worker" "w1" worker;
+      check_int "fail task" 2 task;
+      check_string "fail error" "boom" error
+  | _ -> Alcotest.fail "fail");
+  (match roundtrip_request Protocol.Subscribe with
+  | Protocol.Subscribe -> ()
+  | _ -> Alcotest.fail "subscribe");
+  match roundtrip_request Protocol.Stats with
+  | Protocol.Stats -> ()
+  | _ -> Alcotest.fail "stats"
+
+let test_response_roundtrip () =
+  let rt r =
+    match Protocol.response_of_json (Protocol.response_to_json r) with
+    | Ok r -> r
+    | Error msg -> Alcotest.failf "response did not round-trip: %s" msg
+  in
+  (match rt (Protocol.Resp_ok [ ("job", Json.Int 1) ]) with
+  | Protocol.Resp_ok fields ->
+      check_bool "ok fields" true (List.assoc_opt "job" fields = Some (Json.Int 1))
+  | _ -> Alcotest.fail "ok");
+  (match rt (Protocol.Resp_error "nope") with
+  | Protocol.Resp_error msg -> check_string "error msg" "nope" msg
+  | _ -> Alcotest.fail "error");
+  check_bool "foreign schema rejected" true
+    (Result.is_error (Protocol.response_of_json (Json.Obj [ ("ok", Json.Bool true) ])))
+
+(* --- Work queue ----------------------------------------------------------- *)
+
+let test_queue_basic () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "queue.log" in
+      let q, recovery = Work_queue.openfile path in
+      check_int "fresh queue replays nothing" 0 recovery.Work_queue.replayed;
+      let a = Work_queue.enqueue q ~payload:"cell-a" in
+      let b = Work_queue.enqueue q ~payload:"cell-b" in
+      check_int "dense ids" 1 (b - a);
+      check_int "pending" 2 (Work_queue.pending q);
+      (match Work_queue.lease q ~worker:"w" with
+      | Some e ->
+          check_int "FIFO: oldest first" a e.Work_queue.id;
+          check_string "payload" "cell-a" e.Work_queue.payload;
+          check_int "first lease attempt" 1 e.Work_queue.attempts
+      | None -> Alcotest.fail "lease should find work");
+      Work_queue.complete q ~id:a;
+      check_int "completed" 1 (Work_queue.completed q);
+      Work_queue.cancel q ~id:b;
+      check_int "cancelled" 1 (Work_queue.cancelled q);
+      check_bool "empty lease" true (Work_queue.lease q ~worker:"w" = None);
+      Work_queue.close q)
+
+let test_queue_requeue_attempts () =
+  with_temp_dir (fun dir ->
+      let q, _ = Work_queue.openfile (Filename.concat dir "queue.log") in
+      let id = Work_queue.enqueue q ~payload:"p" in
+      (match Work_queue.lease q ~worker:"w" with
+      | Some e -> check_int "attempt 1" 1 e.Work_queue.attempts
+      | None -> Alcotest.fail "lease 1");
+      Work_queue.requeue q ~id;
+      (match Work_queue.lease q ~worker:"w" with
+      | Some e -> check_int "attempt 2 after requeue" 2 e.Work_queue.attempts
+      | None -> Alcotest.fail "lease 2");
+      check_bool "complete of unleased raises" true
+        (match Work_queue.complete q ~id:(id + 1) with
+        | () -> false
+        | exception Invalid_argument _ -> true);
+      Work_queue.close q)
+
+let test_queue_reclaims_orphan_leases () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "queue.log" in
+      let q, _ = Work_queue.openfile path in
+      let a = Work_queue.enqueue q ~payload:"a" in
+      let _b = Work_queue.enqueue q ~payload:"b" in
+      ignore (Work_queue.lease q ~worker:"w");
+      (* Simulate a daemon crash: close with entry [a] still leased. *)
+      Work_queue.close q;
+      let q, recovery = Work_queue.openfile path in
+      check_int "orphan lease reclaimed" 1 recovery.Work_queue.reclaimed;
+      check_int "both entries pending again" 2 (Work_queue.pending q);
+      (match Work_queue.pending_entries q with
+      | [ e1; e2 ] ->
+          check_int "oldest first" a e1.Work_queue.id;
+          (* The crash-interrupted lease counts against the retry
+             budget, exactly like a runtime requeue would. *)
+          check_int "reclaim charges the interrupted attempt" 2
+            e1.Work_queue.attempts;
+          check_int "never-leased entry at 1 attempt" 1 e2.Work_queue.attempts
+      | entries ->
+          Alcotest.failf "expected 2 pending entries, got %d" (List.length entries));
+      Work_queue.close q)
+
+(* --- Scheduler ------------------------------------------------------------ *)
+
+let scheduler_config dir =
+  {
+    Scheduler.store_dir = dir;
+    max_retries = 1;
+    default_deadline_ms = None;
+    max_cells = None;
+  }
+
+let submit_ok t ~client spec =
+  match Scheduler.submit t ~client spec with
+  | Ok info -> info
+  | Error msg -> Alcotest.failf "submit failed: %s" msg
+
+(* Drain the queue acting as the worker the daemon would drive,
+   counting real [run_cell] executions. *)
+let work_all t ~worker =
+  let executions = ref 0 in
+  let rec loop () =
+    match Scheduler.lease t ~worker with
+    | None -> ()
+    | Some task ->
+        incr executions;
+        let result =
+          Experiment.cell_result_to_json
+            (Sweep_spec.run_cell task.Scheduler.spec task.Scheduler.cell)
+        in
+        (match Scheduler.complete t ~worker ~task:task.Scheduler.task_id result with
+        | Ok () -> ()
+        | Error msg -> Alcotest.failf "complete failed: %s" msg);
+        loop ()
+  in
+  loop ();
+  !executions
+
+let results_ok t ~job =
+  match Scheduler.results t ~job with
+  | Ok (rows, quarantined) -> (rows, quarantined)
+  | Error msg -> Alcotest.failf "results failed: %s" msg
+
+let test_scheduler_dedup_two_clients () =
+  with_temp_dir (fun dir ->
+      let t = Scheduler.create (scheduler_config dir) in
+      Fun.protect
+        ~finally:(fun () -> Scheduler.close t)
+        (fun () ->
+          (* Two clients submit the same grid before any work happens:
+             the second submission must attach to the first's in-flight
+             cells, not queue duplicates. *)
+          let info1 = submit_ok t ~client:"alice" tiny_spec in
+          let info2 = submit_ok t ~client:"bob" tiny_spec in
+          let cells = List.length (Sweep_spec.cells tiny_spec) in
+          check_int "first submission queues everything" cells
+            info1.Scheduler.queued;
+          check_int "second submission queues nothing" 0 info2.Scheduler.queued;
+          check_int "second submission dedups everything" cells
+            info2.Scheduler.deduped;
+          let executions = work_all t ~worker:"w" in
+          (* The acceptance property: one execution and one store insert
+             per distinct cell, however many clients asked for it. *)
+          check_int "each distinct cell ran exactly once" cells executions;
+          check_int "store inserts == unique executions" cells
+            (Store.stats (Scheduler.store t)).Store.inserts;
+          let rows1, q1 = results_ok t ~job:info1.Scheduler.job in
+          let rows2, q2 = results_ok t ~job:info2.Scheduler.job in
+          check_int "no quarantine" 0 (List.length q1 + List.length q2);
+          check_int "full grid" cells (List.length rows1);
+          check_bool "both clients read byte-identical rows" true
+            (rows1 = rows2)))
+
+let test_scheduler_cache_hit () =
+  with_temp_dir (fun dir ->
+      (* Warm the store through one scheduler lifetime... *)
+      let t = Scheduler.create (scheduler_config dir) in
+      let info = submit_ok t ~client:"warm" tiny_spec in
+      ignore (work_all t ~worker:"w");
+      let rows_first, _ = results_ok t ~job:info.Scheduler.job in
+      Scheduler.close t;
+      (* ...then a fresh daemon over the same store answers from cache:
+         nothing queued, job done at submit time. *)
+      let t = Scheduler.create (scheduler_config dir) in
+      Fun.protect
+        ~finally:(fun () -> Scheduler.close t)
+        (fun () ->
+          let info = submit_ok t ~client:"cold" tiny_spec in
+          let cells = List.length (Sweep_spec.cells tiny_spec) in
+          check_int "all cells cached" cells info.Scheduler.cached;
+          check_int "nothing queued" 0 info.Scheduler.queued;
+          (match Scheduler.status t ~job:info.Scheduler.job with
+          | Some fields ->
+              check_bool "job done immediately" true
+                (List.assoc_opt "state" fields = Some (Json.String "done"))
+          | None -> Alcotest.fail "job status");
+          let rows, _ = results_ok t ~job:info.Scheduler.job in
+          check_bool "cached rows byte-identical to computed ones" true
+            (rows = rows_first)))
+
+let test_scheduler_fail_quarantines () =
+  with_temp_dir (fun dir ->
+      (* max_retries = 1: the second failed attempt is terminal. *)
+      let t = Scheduler.create (scheduler_config dir) in
+      Fun.protect
+        ~finally:(fun () -> Scheduler.close t)
+        (fun () ->
+          let spec = { tiny_spec with Sweep_spec.alphas = [ 2.0 ] } in
+          let info = submit_ok t ~client:"c" spec in
+          check_int "one cell" 1 info.Scheduler.total;
+          let fail_once () =
+            match Scheduler.lease t ~worker:"w" with
+            | Some task -> (
+                match
+                  Scheduler.fail t ~worker:"w" ~task:task.Scheduler.task_id
+                    ~error:"induced"
+                with
+                | Ok () -> ()
+                | Error msg -> Alcotest.failf "fail failed: %s" msg)
+            | None -> Alcotest.fail "expected a leasable task"
+          in
+          fail_once ();
+          (* Attempt 1 failed: requeued, still leasable. *)
+          fail_once ();
+          (* Attempt 2 failed: quarantined — queue is empty now. *)
+          check_bool "no third attempt" true (Scheduler.lease t ~worker:"w" = None);
+          let rows, quarantined = results_ok t ~job:info.Scheduler.job in
+          check_int "no rows" 0 (List.length rows);
+          (match quarantined with
+          | [ (alpha, k, error) ] ->
+              check_bool "cell identity" true (alpha = 2.0 && k = 1);
+              check_string "error carried" "induced" error
+          | _ -> Alcotest.fail "expected exactly one quarantined cell");
+          check_bool "scheduler idle after quarantine" true (Scheduler.idle t)))
+
+let test_scheduler_worker_lost () =
+  with_temp_dir (fun dir ->
+      let t = Scheduler.create (scheduler_config dir) in
+      Fun.protect
+        ~finally:(fun () -> Scheduler.close t)
+        (fun () ->
+          let info = submit_ok t ~client:"c" tiny_spec in
+          (match Scheduler.lease t ~worker:"doomed" with
+          | Some _ -> ()
+          | None -> Alcotest.fail "lease");
+          (* The doomed worker's connection drops: its lease goes back
+             to pending and a healthy worker finishes the job. *)
+          check_int "one lease requeued" 1 (Scheduler.worker_lost t ~worker:"doomed");
+          let cells = List.length (Sweep_spec.cells tiny_spec) in
+          check_int "healthy worker runs the whole grid" cells
+            (work_all t ~worker:"healthy");
+          let rows, quarantined = results_ok t ~job:info.Scheduler.job in
+          check_int "no quarantine" 0 (List.length quarantined);
+          check_int "full grid" cells (List.length rows)))
+
+let test_scheduler_deadline_expiry () =
+  with_temp_dir (fun dir ->
+      let t = Scheduler.create (scheduler_config dir) in
+      Fun.protect
+        ~finally:(fun () -> Scheduler.close t)
+        (fun () ->
+          let info =
+            match Scheduler.submit t ~client:"c" ~deadline_ms:0 tiny_spec with
+            | Ok info -> info
+            | Error msg -> Alcotest.failf "submit failed: %s" msg
+          in
+          Unix.sleepf 0.01;
+          Scheduler.tick t;
+          (match Scheduler.status t ~job:info.Scheduler.job with
+          | Some fields ->
+              check_bool "job expired" true
+                (List.assoc_opt "state" fields = Some (Json.String "expired"))
+          | None -> Alcotest.fail "job status");
+          check_bool "results refused for expired job" true
+            (Result.is_error (Scheduler.results t ~job:info.Scheduler.job));
+          (* No other job wants these cells: expiry released them. *)
+          check_bool "queue drained by expiry" true (Scheduler.idle t)))
+
+let test_scheduler_restart_readopts_queue () =
+  with_temp_dir (fun dir ->
+      (* Enqueue work, lease some of it, then "crash" (close without
+         completing). *)
+      let t = Scheduler.create (scheduler_config dir) in
+      let info = submit_ok t ~client:"c" tiny_spec in
+      (match Scheduler.lease t ~worker:"w" with
+      | Some _ -> ()
+      | None -> Alcotest.fail "lease");
+      Scheduler.close t;
+      ignore info;
+      (* The restarted daemon re-adopts the recovered entries as
+         in-flight cells: a resubmission dedups against them instead of
+         double-queueing. *)
+      let t = Scheduler.create (scheduler_config dir) in
+      Fun.protect
+        ~finally:(fun () -> Scheduler.close t)
+        (fun () ->
+          let cells = List.length (Sweep_spec.cells tiny_spec) in
+          let info = submit_ok t ~client:"again" tiny_spec in
+          check_int "resubmission queues nothing" 0 info.Scheduler.queued;
+          check_int "resubmission attaches to recovered work" cells
+            info.Scheduler.deduped;
+          check_int "recovered work runs once" cells (work_all t ~worker:"w");
+          let rows, quarantined = results_ok t ~job:info.Scheduler.job in
+          check_int "no quarantine" 0 (List.length quarantined);
+          check_int "full grid" cells (List.length rows)))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "parse_addr" `Quick test_parse_addr;
+          Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+        ] );
+      ( "work_queue",
+        [
+          Alcotest.test_case "enqueue/lease/complete/cancel" `Quick
+            test_queue_basic;
+          Alcotest.test_case "requeue increments attempts" `Quick
+            test_queue_requeue_attempts;
+          Alcotest.test_case "reopen reclaims orphan leases" `Quick
+            test_queue_reclaims_orphan_leases;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "two clients, one execution per cell" `Quick
+            test_scheduler_dedup_two_clients;
+          Alcotest.test_case "store warm across daemon restarts" `Quick
+            test_scheduler_cache_hit;
+          Alcotest.test_case "retry budget exhausts to quarantine" `Quick
+            test_scheduler_fail_quarantines;
+          Alcotest.test_case "lost worker's lease is requeued" `Quick
+            test_scheduler_worker_lost;
+          Alcotest.test_case "deadline expiry releases queued cells" `Quick
+            test_scheduler_deadline_expiry;
+          Alcotest.test_case "restart re-adopts recovered queue" `Quick
+            test_scheduler_restart_readopts_queue;
+        ] );
+    ]

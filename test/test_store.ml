@@ -531,6 +531,67 @@ let test_store_lock_stale_is_swept () =
           Store.with_dir dir (fun _ -> ()))
         [ Printf.sprintf "%d\n" dead_pid; "not a pid\n"; "" ])
 
+let test_store_lock_takeover_race () =
+  with_temp_dir (fun dir ->
+      (* N processes race Store.open_dir against the same stale lock.
+         The rename(2)-claim takeover must elect exactly one winner; the
+         rest report Locked (never a second acquisition, never a crash).
+         The winner holds its lock until every contender has decided, so
+         no loser can retry against a released lock. *)
+      let n = 6 in
+      let dead_pid =
+        match Unix.fork () with
+        | 0 -> Unix._exit 0
+        | pid ->
+            ignore (Unix.waitpid [] pid);
+            pid
+      in
+      write_file (Filename.concat dir "LOCK") (Printf.sprintf "%d\n" dead_pid);
+      let go = Filename.concat dir "go" in
+      let results = Filename.concat dir "results" in
+      Unix.mkdir results 0o755;
+      let child () =
+        while not (Sys.file_exists go) do
+          Unix.sleepf 0.001
+        done;
+        let outcome, cleanup =
+          match Store.open_dir dir with
+          | store -> ("won", fun () -> Store.close store)
+          | exception Store.Locked _ -> ("locked", fun () -> ())
+          | exception _ -> ("crashed", fun () -> ())
+        in
+        write_file
+          (Filename.concat results (string_of_int (Unix.getpid ())))
+          outcome;
+        while Array.length (Sys.readdir results) < n do
+          Unix.sleepf 0.001
+        done;
+        cleanup ();
+        Unix._exit 0
+      in
+      let pids =
+        List.init n (fun _ ->
+            match Unix.fork () with 0 -> child () | pid -> pid)
+      in
+      write_file go "";
+      List.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids;
+      let outcomes =
+        List.map
+          (fun f -> read_file (Filename.concat results f))
+          (Array.to_list (Sys.readdir results))
+      in
+      let count o = List.length (List.filter (String.equal o) outcomes) in
+      check_int "every contender reported" n (List.length outcomes);
+      check_int "exactly one winner" 1 (count "won");
+      check_int "everyone else saw Locked" (n - 1) (count "locked");
+      (* The winner released on exit; no claim debris left behind. *)
+      Store.with_dir dir (fun _ -> ());
+      Array.iter
+        (fun f ->
+          check_bool "no leftover claim file" false
+            (String.length f >= 10 && String.sub f 0 10 = "LOCK.claim"))
+        (Sys.readdir dir))
+
 let () =
   Alcotest.run "store"
     [
@@ -563,6 +624,8 @@ let () =
             test_store_lock_excludes_second_open;
           Alcotest.test_case "stale lock is swept" `Quick
             test_store_lock_stale_is_swept;
+          Alcotest.test_case "contending openers elect one winner" `Quick
+            test_store_lock_takeover_race;
         ] );
       ( "sweep",
         [
