@@ -34,9 +34,66 @@ let parse_addr_or_die s =
 (* A worker process is a protocol client: lease, compute, complete (or
    fail), repeat. It never opens the store — results travel back over
    the socket and the daemon is the only writer. EOF from the daemon
-   (shutdown) or "draining": true ends the loop. *)
+   (shutdown) or "draining": true ends the loop.
 
-let worker_main connect name poll_ms fault_plan fault_seed =
+   A second connection carries heartbeats: a thread pings every
+   --heartbeat-ms so the daemon knows the worker is alive even while a
+   long cell computes on the main connection. Ping replies also deliver
+   lease revocations — if the daemon revoked the cell currently
+   computing (client cancel), the heartbeat thread trips its
+   cancellation flag and the next cooperative checkpoint abandons it. *)
+
+(* The cell currently computing, shared with the heartbeat thread:
+   (task id, cancellation flag). *)
+let current_task : (int * bool Atomic.t) option Atomic.t = Atomic.make None
+
+let heartbeat_loop addr name heartbeat_ms stop =
+  match Protocol.connect addr with
+  | exception Unix.Unix_error _ -> ()
+  | ic, oc ->
+      let rpc req =
+        try
+          Protocol.send_line oc (Protocol.request_to_json req);
+          Protocol.recv_line ic
+        with Sys_error _ | Unix.Unix_error _ -> Error "connection lost"
+      in
+      (* Plain hello, not a worker hello: this connection holds no
+         leases, so its loss must not requeue anything. *)
+      let _ = rpc (Protocol.Hello { client = name ^ "/hb"; worker = false }) in
+      let rec loop () =
+        if Atomic.get stop then ()
+        else begin
+          Unix.sleepf (float_of_int heartbeat_ms /. 1000.);
+          if Atomic.get stop then ()
+          else
+            match rpc (Protocol.Ping { worker = name }) with
+            | Ok (Some j) ->
+                (match Protocol.response_of_json j with
+                | Ok (Protocol.Resp_ok fields) ->
+                    (match List.assoc_opt "revoked" fields with
+                    | Some (Json.List ids) -> (
+                        let ids =
+                          List.filter_map
+                            (function Json.Int i -> Some i | _ -> None)
+                            ids
+                        in
+                        match Atomic.get current_task with
+                        | Some (task_id, flag) when List.mem task_id ids ->
+                            Atomic.set flag true
+                        | _ -> ())
+                    | _ -> ())
+                | Ok (Protocol.Resp_error _) | Error _ ->
+                    (* dropped beat (e.g. injected heartbeat fault):
+                       keep pinging, the daemon's monitor decides *)
+                    ());
+                loop ()
+            | Ok None | Error _ -> () (* daemon gone: main loop sees EOF too *)
+        end
+      in
+      loop ();
+      (try close_out oc with Sys_error _ -> ())
+
+let worker_main connect name poll_ms heartbeat_ms fault_plan fault_seed =
   install_fault_plan fault_plan fault_seed;
   let addr = parse_addr_or_die connect in
   let ic, oc =
@@ -61,7 +118,7 @@ let worker_main connect name poll_ms fault_plan fault_seed =
         Printf.eprintf "ncg_served: %s\n%!" msg;
         None
   in
-  (match rpc (Protocol.Hello { client = name }) with
+  (match rpc (Protocol.Hello { client = name; worker = true }) with
   | Some (Protocol.Resp_ok _) -> ()
   | Some (Protocol.Resp_error msg) ->
       Printf.eprintf "ncg_served: hello rejected: %s\n%!" msg;
@@ -69,6 +126,12 @@ let worker_main connect name poll_ms fault_plan fault_seed =
   | None ->
       Printf.eprintf "ncg_served: daemon hung up during hello\n%!";
       exit 1);
+  let hb_stop = Atomic.make false in
+  let hb_thread =
+    if heartbeat_ms > 0 then
+      Some (Thread.create (fun () -> heartbeat_loop addr name heartbeat_ms hb_stop) ())
+    else None
+  in
   let member n = function
     | Json.Obj fields -> List.assoc_opt n fields
     | _ -> None
@@ -113,15 +176,25 @@ let worker_main connect name poll_ms fault_plan fault_seed =
             in
             (* Same fault discipline as in-process workers: arm with
                the task id as scope, fire sweep.cell, report failures
-               as failed attempts. *)
+               as failed attempts. The cancellation flag is published
+               for the heartbeat thread, which sets it if the daemon
+               revokes this lease mid-cell. *)
             Ncg_fault.Inject.arm ~scope:task_id;
+            let cancel_flag = Atomic.make false in
+            Atomic.set current_task (Some (task_id, cancel_flag));
             let outcome =
-              Fun.protect ~finally:Ncg_fault.Inject.disarm (fun () ->
+              Fun.protect
+                ~finally:(fun () ->
+                  Atomic.set current_task None;
+                  Ncg_fault.Inject.disarm ())
+                (fun () ->
                   try
                     Ncg_fault.Inject.(hit sweep_cell);
-                    Ok
-                      (Ncg.Experiment.cell_result_to_json
-                         (Ncg.Sweep_spec.run_cell spec cell))
+                    Ncg_fault.Cancel.with_control ~cancel:cancel_flag
+                      (fun () ->
+                        Ok
+                          (Ncg.Experiment.cell_result_to_json
+                             (Ncg.Sweep_spec.run_cell spec cell)))
                   with e -> Error (Printexc.to_string e))
             in
             let report =
@@ -150,13 +223,20 @@ let worker_main connect name poll_ms fault_plan fault_seed =
             end)
   in
   loop ();
+  Atomic.set hb_stop true;
   (try close_out oc with Sys_error _ -> ());
+  (* The heartbeat thread wakes from its sleep, sees the stop flag and
+     exits; don't block shutdown on a full interval. *)
+  (match hb_thread with
+  | Some th when heartbeat_ms <= 1000 -> Thread.join th
+  | _ -> ());
   exit 0
 
 (* --- Daemon mode --------------------------------------------------------- *)
 
 let daemon_main listen_spec store_dir workers poll_ms events fault_plan
-    fault_seed max_retries max_cells deadline_ms tick_ms drain quiet =
+    fault_seed max_retries max_cells deadline_ms tick_ms drain quiet
+    heartbeat_timeout_ms quarantine_failures quarantine_cooldown_ms =
   if quiet then Ncg_obs.Events.set_progress false;
   install_fault_plan fault_plan fault_seed;
   let addr = parse_addr_or_die listen_spec in
@@ -168,6 +248,9 @@ let daemon_main listen_spec store_dir workers poll_ms events fault_plan
           max_retries;
           default_deadline_ms = deadline_ms;
           max_cells;
+          heartbeat_timeout_ms;
+          quarantine_failures;
+          quarantine_cooldown_ms;
         }
     with Ncg_store.Store.Locked { dir; pid } ->
       Printf.eprintf
@@ -210,10 +293,13 @@ let daemon_main listen_spec store_dir workers poll_ms events fault_plan
 (* --- CLI ----------------------------------------------------------------- *)
 
 let run worker connect name listen store workers poll_ms events fault_plan
-    fault_seed max_retries max_cells deadline_ms tick_ms drain quiet =
+    fault_seed max_retries max_cells deadline_ms tick_ms drain quiet
+    heartbeat_ms heartbeat_timeout_ms quarantine_failures
+    quarantine_cooldown_ms =
   if worker then begin
     match connect with
-    | Some connect -> worker_main connect name poll_ms fault_plan fault_seed
+    | Some connect ->
+        worker_main connect name poll_ms heartbeat_ms fault_plan fault_seed
     | None ->
         Printf.eprintf "ncg_served: --worker requires --connect ADDR\n%!";
         exit 2
@@ -221,6 +307,7 @@ let run worker connect name listen store workers poll_ms events fault_plan
   else
     daemon_main listen store workers poll_ms events fault_plan fault_seed
       max_retries max_cells deadline_ms tick_ms drain quiet
+      heartbeat_timeout_ms quarantine_failures quarantine_cooldown_ms
 
 let worker_flag =
   Arg.(value & flag & info [ "worker" ]
@@ -289,12 +376,32 @@ let drain =
 let quiet =
   Arg.(value & flag & info [ "quiet" ] ~doc:"Disable the progress line.")
 
+let heartbeat_ms =
+  Arg.(value & opt int 2000 & info [ "heartbeat-ms" ] ~docv:"MS"
+         ~doc:"Worker mode: ping the daemon this often from a side \
+               connection (0 disables heartbeats).")
+
+let heartbeat_timeout_ms =
+  Arg.(value & opt int 10_000 & info [ "heartbeat-timeout-ms" ] ~docv:"MS"
+         ~doc:"Reclaim leases from external workers silent this long \
+               (0 disables the heartbeat monitor).")
+
+let quarantine_failures =
+  Arg.(value & opt int 3 & info [ "quarantine-failures" ] ~docv:"N"
+         ~doc:"Quarantine a worker after N consecutive failed or \
+               expired attempts.")
+
+let quarantine_cooldown_ms =
+  Arg.(value & opt int 5000 & info [ "quarantine-cooldown-ms" ] ~docv:"MS"
+         ~doc:"Quarantined workers may rejoin (ping) after this long.")
+
 let cmd =
   let doc = "persistent sweep daemon over the content-addressed store" in
   Cmd.v
     (Cmd.info "ncg_served" ~doc)
     Term.(const run $ worker_flag $ connect $ worker_name $ listen $ store $ workers
           $ poll_ms $ events $ fault_plan $ fault_seed $ max_retries
-          $ max_cells $ deadline_ms $ tick_ms $ drain $ quiet)
+          $ max_cells $ deadline_ms $ tick_ms $ drain $ quiet $ heartbeat_ms
+          $ heartbeat_timeout_ms $ quarantine_failures $ quarantine_cooldown_ms)
 
 let () = exit (Cmd.eval cmd)

@@ -5,7 +5,9 @@
    byte-identical rows to `ncg_experiment --by-cell-seeds` over the same
    grid, whatever mix of cache hits, dedup and worker crashes produced
    them. Exit codes: 0 clean, 1 connection/protocol trouble, 2 usage,
-   3 completed with quarantined cells. *)
+   3 completed with quarantined cells, 4 timed out (--timeout-ms, the
+   job is cancelled daemon-side), 130 interrupted (Ctrl-C sends cancel
+   for the unfinished cells before closing the socket). *)
 
 open Cmdliner
 module Json = Ncg_obs.Json
@@ -77,9 +79,23 @@ let stats_main ic oc =
       print_string (Json.to_string_pretty (Json.Obj fields));
       exit 0
 
+(* --- cancel mode --------------------------------------------------------- *)
+
+let cancel_main ic oc job =
+  match rpc ic oc (Protocol.Cancel { job }) with
+  | Protocol.Resp_error msg -> die "%s" msg
+  | Protocol.Resp_ok fields ->
+      print_endline (Json.to_string (Json.Obj fields));
+      exit 0
+
 (* --- submit mode --------------------------------------------------------- *)
 
-let submit_main ic oc spec deadline_ms poll_ms quiet =
+(* Set by the SIGINT handler; the wait loop polls it and turns it into
+   a cancel verb, so Ctrl-C releases the job's queued cells instead of
+   silently abandoning them to the daemon. *)
+let interrupted = Atomic.make false
+
+let submit_main ic oc spec deadline_ms timeout_ms poll_ms quiet =
   (match Ncg.Sweep_spec.validate spec with
   | Ok () -> ()
   | Error msg ->
@@ -97,10 +113,42 @@ let submit_main ic oc spec deadline_ms poll_ms quiet =
             (int_field "queued" fields);
         (int_field "job" fields, int_field "total" fields)
   in
+  (try
+     ignore
+       (Sys.signal Sys.sigint
+          (Sys.Signal_handle (fun _ -> Atomic.set interrupted true)))
+   with Invalid_argument _ | Sys_error _ -> ());
+  let give_up_ns =
+    Option.map
+      (fun ms ->
+        Int64.add (Ncg_obs.Clock.now_ns ())
+          (Int64.of_float (float_of_int ms *. 1e6)))
+      timeout_ms
+  in
+  let cancel_and_exit code reason =
+    Ncg_obs.Events.progress_done ();
+    (match rpc ic oc (Protocol.Cancel { job }) with
+    | Protocol.Resp_ok _ ->
+        Printf.eprintf "ncg_submit: job %d cancelled (%s)\n%!" job reason
+    | Protocol.Resp_error msg ->
+        Printf.eprintf "ncg_submit: cancel after %s failed: %s\n%!" reason msg);
+    (try close_out oc with Sys_error _ -> ());
+    exit code
+  in
   let rec wait () =
-    match rpc ic oc (Protocol.Status { job }) with
-    | Protocol.Resp_error msg -> die "%s" msg
-    | Protocol.Resp_ok fields -> (
+    if Atomic.get interrupted then cancel_and_exit 130 "interrupt";
+    (match give_up_ns with
+    | Some d when Int64.compare (Ncg_obs.Clock.now_ns ()) d > 0 ->
+        cancel_and_exit 4
+          (Printf.sprintf "timeout after %d ms" (Option.get timeout_ms))
+    | _ -> ());
+    match
+      try `Reply (rpc ic oc (Protocol.Status { job }))
+      with Sys_error _ when Atomic.get interrupted -> `Interrupted
+    with
+    | `Interrupted -> cancel_and_exit 130 "interrupt"
+    | `Reply (Protocol.Resp_error msg) -> die "%s" msg
+    | `Reply (Protocol.Resp_ok fields) -> (
         match List.assoc_opt "state" fields with
         | Some (Json.String "running") ->
             if not quiet then
@@ -113,6 +161,9 @@ let submit_main ic oc spec deadline_ms poll_ms quiet =
         | Some (Json.String "expired") ->
             Ncg_obs.Events.progress_done ();
             die "job %d expired before completing" job
+        | Some (Json.String "cancelled") ->
+            Ncg_obs.Events.progress_done ();
+            die "job %d was cancelled" job
         | _ -> die "unrecognized job state")
   in
   wait ();
@@ -145,11 +196,16 @@ let submit_main ic oc spec deadline_ms poll_ms quiet =
 (* --- CLI ----------------------------------------------------------------- *)
 
 let run connect graph_class n p alphas ks trials seed budget move_budget
-    no_probes deadline_ms poll_ms status_job subscribe stats quiet =
+    no_probes deadline_ms timeout_ms poll_ms status_job cancel_job subscribe
+    stats quiet =
   if quiet then Ncg_obs.Events.set_progress false;
   let ic, oc = connect_or_die connect in
   let hello =
-    Protocol.Hello { client = Printf.sprintf "ncg_submit-%d" (Unix.getpid ()) }
+    Protocol.Hello
+      {
+        client = Printf.sprintf "ncg_submit-%d" (Unix.getpid ());
+        worker = false;
+      }
   in
   (match rpc ic oc hello with
   | Protocol.Resp_ok _ -> ()
@@ -157,9 +213,10 @@ let run connect graph_class n p alphas ks trials seed budget move_budget
   if subscribe then subscribe_main ic oc
   else if stats then stats_main ic oc
   else
-    match status_job with
-    | Some job -> status_main ic oc job
-    | None ->
+    match (status_job, cancel_job) with
+    | Some job, _ -> status_main ic oc job
+    | None, Some job -> cancel_main ic oc job
+    | None, None ->
         let spec =
           {
             Ncg.Sweep_spec.graph_class;
@@ -178,7 +235,7 @@ let run connect graph_class n p alphas ks trials seed budget move_budget
             probes = not no_probes;
           }
         in
-        submit_main ic oc spec deadline_ms poll_ms quiet
+        submit_main ic oc spec deadline_ms timeout_ms poll_ms quiet
 
 let connect =
   Arg.(value & opt string "unix:ncg.sock" & info [ "connect" ] ~docv:"ADDR"
@@ -223,6 +280,12 @@ let deadline_ms =
   Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
          ~doc:"Give the job up if not done within MS of submission.")
 
+let timeout_ms =
+  Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS"
+         ~doc:"Give up waiting after MS: cancel the job daemon-side \
+               (releasing its queued cells, revoking its leases) and \
+               exit 4.")
+
 let poll_ms =
   Arg.(value & opt int 200 & info [ "poll-ms" ] ~docv:"MS"
          ~doc:"Status poll period while waiting.")
@@ -230,6 +293,10 @@ let poll_ms =
 let status_job =
   Arg.(value & opt (some int) None & info [ "status" ] ~docv:"JOB"
          ~doc:"Print another job's status as JSON and exit.")
+
+let cancel_job =
+  Arg.(value & opt (some int) None & info [ "cancel" ] ~docv:"JOB"
+         ~doc:"Cancel a running job and exit.")
 
 let subscribe =
   Arg.(value & flag & info [ "subscribe" ]
@@ -248,7 +315,7 @@ let cmd =
   Cmd.v
     (Cmd.info "ncg_submit" ~doc)
     Term.(const run $ connect $ graph_class $ n $ p $ alphas $ ks $ trials
-          $ seed $ budget $ move_budget $ no_probes $ deadline_ms $ poll_ms
-          $ status_job $ subscribe $ stats $ quiet)
+          $ seed $ budget $ move_budget $ no_probes $ deadline_ms $ timeout_ms
+          $ poll_ms $ status_job $ cancel_job $ subscribe $ stats $ quiet)
 
 let () = exit (Cmd.eval cmd)

@@ -55,11 +55,19 @@ type key = float * int
 
 type status = Done | Cached | Quarantined
 
+type wstat = {
+  mutable wstate : string;
+  mutable wleases : int;
+  mutable wdone : int;
+  mutable wexpired : int;
+}
+
 type live = {
   cells : (key, status) Hashtbl.t;
   retries : (key, int) Hashtbl.t;
   series : (key, (int * float * int) list ref) Hashtbl.t;
       (* newest-first (round, social_cost, awake) from dynamics.round *)
+  workers : (string, wstat) Hashtbl.t;  (* from service.worker_* events *)
   mutable total : int;
   mutable finished : int;
   mutable events : int;
@@ -72,12 +80,21 @@ let new_live () =
     cells = Hashtbl.create 64;
     retries = Hashtbl.create 16;
     series = Hashtbl.create 64;
+    workers = Hashtbl.create 8;
     total = 0;
     finished = 0;
     events = 0;
     skipped = 0;
     alerts = [];
   }
+
+let wstat_of st name =
+  match Hashtbl.find_opt st.workers name with
+  | Some w -> w
+  | None ->
+      let w = { wstate = "healthy"; wleases = 0; wdone = 0; wexpired = 0 } in
+      Hashtbl.replace st.workers name w;
+      w
 
 let alert st line =
   st.alerts <- (line :: st.alerts) |> List.filteri (fun i _ -> i < 6)
@@ -151,8 +168,15 @@ let process_line st line =
             (match int_opt (member "cached" j) with
             | Some c -> st.finished <- st.finished + c
             | None -> ())
+        | Some "service.lease" ->
+            (match str_opt (member "worker" j) with
+            | Some name -> (wstat_of st name).wleases <- (wstat_of st name).wleases + 1
+            | None -> ())
         | Some "service.complete" -> (
             st.finished <- st.finished + 1;
+            (match str_opt (member "worker" j) with
+            | Some name -> (wstat_of st name).wdone <- (wstat_of st name).wdone + 1
+            | None -> ());
             match key_of_event j with
             | None -> ()
             | Some key -> Hashtbl.replace st.cells key Done)
@@ -179,6 +203,53 @@ let process_line st line =
               (Printf.sprintf "job %s EXPIRED before completing"
                  (match int_opt (member "job" j) with
                  | Some id -> string_of_int id
+                 | None -> "?"))
+        | Some
+            (( "service.worker_registered" | "service.worker_suspect"
+             | "service.worker_quarantined" | "service.worker_readmitted"
+             | "service.worker_recovered" | "service.worker_lost" ) as ev) -> (
+            match str_opt (member "worker" j) with
+            | None -> ()
+            | Some name ->
+                let w = wstat_of st name in
+                (match ev with
+                | "service.worker_registered" | "service.worker_recovered" ->
+                    w.wstate <- "healthy"
+                | "service.worker_suspect" | "service.worker_readmitted" ->
+                    w.wstate <- "suspect"
+                | "service.worker_quarantined" -> w.wstate <- "quarantined"
+                | _ -> w.wstate <- "drained");
+                match ev with
+                | "service.worker_quarantined" ->
+                    alert st (Printf.sprintf "worker %s QUARANTINED" name)
+                | "service.worker_suspect" ->
+                    alert st (Printf.sprintf "worker %s silent (suspect)" name)
+                | "service.worker_readmitted" ->
+                    alert st (Printf.sprintf "worker %s readmitted on probation" name)
+                | _ -> ())
+        | Some "service.lease_expired" -> (
+            match str_opt (member "worker" j) with
+            | None -> ()
+            | Some name ->
+                let w = wstat_of st name in
+                w.wexpired <- w.wexpired + 1;
+                alert st
+                  (Printf.sprintf "lease %s EXPIRED on silent worker %s"
+                     (match int_opt (member "task" j) with
+                     | Some id -> string_of_int id
+                     | None -> "?")
+                     name))
+        | Some "service.cancel" ->
+            alert st
+              (Printf.sprintf "job %s cancelled (released %s, revoked %s)"
+                 (match int_opt (member "job" j) with
+                 | Some id -> string_of_int id
+                 | None -> "?")
+                 (match int_opt (member "released" j) with
+                 | Some n -> string_of_int n
+                 | None -> "?")
+                 (match int_opt (member "revoked" j) with
+                 | Some n -> string_of_int n
                  | None -> "?"))
         | Some "dynamics.round" -> (
             match
@@ -298,6 +369,22 @@ let render st =
     cached quarantined st.events st.skipped;
   line "";
   List.iter (fun l -> line "%s" l) (grid_lines st);
+  (let workers =
+     (Hashtbl.fold [@lint.allow "D3" "sorted before render"])
+       (fun name w acc -> (name, w) :: acc)
+       st.workers []
+     |> List.sort (fun (a, _) (b, _) -> compare a b)
+   in
+   match workers with
+   | [] -> ()
+   | workers ->
+       line "";
+       line "workers:";
+       List.iter
+         (fun (name, w) ->
+           line "  %-20s %-11s leased=%d done=%d expired=%d" name w.wstate
+             w.wleases w.wdone w.wexpired)
+         workers);
   (match spark_lines st with
   | [] -> ()
   | lines ->
@@ -431,7 +518,7 @@ let subscribe_to_daemon addr =
     | Ok (Protocol.Resp_error msg) -> Error msg
     | Error msg -> Error msg
   in
-  match check (rpc (Protocol.Hello { client = Printf.sprintf "ncg_top-%d" (Unix.getpid ()) })) with
+  match check (rpc (Protocol.Hello { client = Printf.sprintf "ncg_top-%d" (Unix.getpid ()); worker = false })) with
   | Error msg -> Error msg
   | Ok () -> (
       match check (rpc Protocol.Subscribe) with

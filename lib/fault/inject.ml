@@ -53,6 +53,8 @@ let record_log_append = site "record_log.append"
 let service_accept = site "service.accept"
 let service_dispatch = site "service.dispatch"
 let queue_lease = site "queue.lease"
+let service_heartbeat = site "service.heartbeat"
+let service_cancel = site "service.cancel"
 
 (* Plans *)
 

@@ -71,6 +71,15 @@ val queue_lease : site
 (** ["queue.lease"] — entry of [Ncg_store.Work_queue.lease], before any
     queue state changes (a firing raise leaves the queue intact) *)
 
+val service_heartbeat : site
+(** ["service.heartbeat"] — in the daemon scheduler, as a worker [ping]
+    is recorded and before the worker's health state changes (a firing
+    raise drops the heartbeat: the worker stays silent this interval) *)
+
+val service_cancel : site
+(** ["service.cancel"] — in the daemon scheduler, on a client [cancel]
+    before any job or queue state changes *)
+
 (** {1 Plans} *)
 
 type action =

@@ -53,6 +53,10 @@ let service_dedup_hits = register "service.dedup_hits"
 let service_completions = register "service.completions"
 let service_requeues = register "service.requeues"
 let service_quarantines = register "service.quarantines"
+let service_heartbeats = register "service.heartbeats"
+let service_worker_quarantines = register "service.worker_quarantines"
+let service_lease_expiries = register "service.lease_expiries"
+let service_cancels = register "service.cancels"
 let queue_enqueues = register "queue.enqueues"
 let queue_leases = register "queue.leases"
 

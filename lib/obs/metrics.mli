@@ -80,6 +80,18 @@ val service_requeues : counter
 val service_quarantines : counter
 (** cells abandoned after exhausting the retry budget *)
 
+val service_heartbeats : counter
+(** worker [ping]s accepted by the daemon *)
+
+val service_worker_quarantines : counter
+(** workers quarantined after consecutive failed/expired attempts *)
+
+val service_lease_expiries : counter
+(** leases reclaimed from heartbeat-silent workers *)
+
+val service_cancels : counter
+(** client-issued job cancellations *)
+
 val queue_enqueues : counter  (** [Ncg_store.Work_queue] enqueues *)
 
 val queue_leases : counter  (** [Ncg_store.Work_queue] leases granted *)

@@ -31,24 +31,28 @@ let addr_to_string = function
   | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
 
 type request =
-  | Hello of { client : string }
+  | Hello of { client : string; worker : bool }
   | Submit of { spec : Ncg.Sweep_spec.t; deadline_ms : int option }
   | Status of { job : int }
   | Results of { job : int }
   | Lease of { worker : string }
   | Complete of { worker : string; task : int; result : Json.t }
   | Fail of { worker : string; task : int; error : string }
+  | Ping of { worker : string }
+  | Cancel of { job : int }
   | Subscribe
   | Stats
 
-let request_schema = "ncg.service.request/1"
+let request_schema = "ncg.service.request/2"
+let request_schema_v1 = "ncg.service.request/1"
 let response_schema = "ncg.service.response/1"
 
 let request_to_json r =
   let fields =
     match r with
-    | Hello { client } ->
+    | Hello { client; worker } ->
         [ ("verb", Json.String "hello"); ("client", Json.String client) ]
+        @ if worker then [ ("worker", Json.Bool true) ] else []
     | Submit { spec; deadline_ms } ->
         [ ("verb", Json.String "submit"); ("spec", Ncg.Sweep_spec.to_json spec) ]
         @ (match deadline_ms with
@@ -73,6 +77,9 @@ let request_to_json r =
           ("task", Json.Int task);
           ("error", Json.String error);
         ]
+    | Ping { worker } ->
+        [ ("verb", Json.String "ping"); ("worker", Json.String worker) ]
+    | Cancel { job } -> [ ("verb", Json.String "cancel"); ("job", Json.Int job) ]
     | Subscribe -> [ ("verb", Json.String "subscribe") ]
     | Stats -> [ ("verb", Json.String "stats") ]
   in
@@ -96,7 +103,11 @@ let request_of_json j =
   let ( let* ) = Result.bind in
   let* () =
     match member "schema" j with
-    | Some (Json.String s) when String.equal s request_schema -> Ok ()
+    | Some (Json.String s)
+      when String.equal s request_schema || String.equal s request_schema_v1 ->
+        (* v1 requests are a strict subset: same encodings, fewer
+           verbs — PR 8 clients and workers keep working unchanged. *)
+        Ok ()
     | Some (Json.String s) ->
         Error (Printf.sprintf "request: unsupported schema %S" s)
     | _ -> Error "request: missing schema"
@@ -105,7 +116,10 @@ let request_of_json j =
   match verb with
   | "hello" ->
       let* client = str_field "client" j in
-      Ok (Hello { client })
+      let worker =
+        match member "worker" j with Some (Json.Bool b) -> b | _ -> false
+      in
+      Ok (Hello { client; worker })
   | "submit" ->
       let* spec_json =
         match member "spec" j with
@@ -143,6 +157,12 @@ let request_of_json j =
       let* task = int_field "task" j in
       let* error = str_field "error" j in
       Ok (Fail { worker; task; error })
+  | "ping" ->
+      let* worker = str_field "worker" j in
+      Ok (Ping { worker })
+  | "cancel" ->
+      let* job = int_field "job" j in
+      Ok (Cancel { job })
   | "subscribe" -> Ok Subscribe
   | "stats" -> Ok Stats
   | other -> Error (Printf.sprintf "request: unknown verb %S" other)

@@ -9,10 +9,15 @@
     ([ncg_top --events unix:PATH] consumes this stream directly).
 
     The same protocol serves sweep clients ([ncg_submit]: {!Hello},
-    {!Submit}, {!Status}, {!Results}) and worker processes
-    ([ncg_served --worker]: {!Lease}, {!Complete}, {!Fail}); the daemon
-    treats a dropped worker connection as a crash and requeues its
-    leased cells. *)
+    {!Submit}, {!Status}, {!Results}, {!Cancel}) and worker processes
+    ([ncg_served --worker]: {!Lease}, {!Complete}, {!Fail}, {!Ping});
+    the daemon treats a dropped worker connection as a crash and
+    requeues its leased cells, and a heartbeat-silent worker the same
+    way even when its connection looks alive.
+
+    Schema is ["ncg.service.request/2"]; servers also accept
+    ["/1"] requests (a strict subset — same encodings, fewer verbs), so
+    PR 8 clients interoperate unchanged. *)
 
 type addr = Unix_sock of string | Tcp of string * int
 
@@ -23,7 +28,13 @@ val parse_addr : string -> (addr, string) result
 val addr_to_string : addr -> string
 
 type request =
-  | Hello of { client : string }
+  | Hello of {
+      client : string;
+      worker : bool;
+          (** [true] registers [client] in the daemon's worker pool —
+              external workers say this so heartbeat monitoring starts
+              before their first lease *)
+    }
   | Submit of {
       spec : Ncg.Sweep_spec.t;
       deadline_ms : int option;
@@ -35,6 +46,14 @@ type request =
   | Lease of { worker : string }
   | Complete of { worker : string; task : int; result : Ncg_obs.Json.t }
   | Fail of { worker : string; task : int; error : string }
+  | Ping of { worker : string }
+      (** heartbeat: proves the worker is alive between leases (long
+          cells); also serves as the readmission knock after quarantine *)
+  | Cancel of { job : int }
+      (** client gives up on a job: queued cells nobody else waits for
+          are dropped, leased ones have their lease revoked (the
+          worker's in-flight computation is interrupted at the next
+          cooperative checkpoint) *)
   | Subscribe
   | Stats
 

@@ -1,5 +1,5 @@
-(** The daemon's brain: jobs, cross-client dedup, and the persistent
-    work queue, behind one mutex.
+(** The daemon's brain: jobs, cross-client dedup, worker health, and
+    the persistent work queue, behind one mutex.
 
     A {e job} is one client submission: a {!Ncg.Sweep_spec.t} compiled
     to its cell list. On submit every cell is resolved in order of
@@ -20,12 +20,34 @@
     store's [inserts] counter equals the number of distinct cells
     actually computed, the observable the dedup tests pin down.
 
+    {b Fairness.} Leases are handed out round-robin across clients that
+    have pending cells ({!lease} picks each ring client's oldest cell
+    in turn), so a huge early submission no longer starves later small
+    ones. Entries recovered from a previous daemon's log are credited
+    to the pseudo-client ["(recovered)"].
+
+    {b Worker health.} Every worker is tracked in a {!Worker_pool}:
+    leases, completions and failures count toward per-worker stats;
+    heartbeats ({!heartbeat}, or any lease/complete/fail) refresh
+    [last_seen]. {!tick} runs the monitor: leases held by workers
+    silent longer than the heartbeat timeout are durably reclaimed
+    (charging the attempt), and workers accumulating consecutive
+    failed/expired attempts are quarantined — their lease polls answer
+    [Rejected] until the cooldown passes and they ping again.
+
+    {b Cancellation.} {!cancel} detaches a job from every unresolved
+    cell: queued cells nobody else waits for are dropped, leased ones
+    have their lease revoked — the task's [revoked] flag trips the
+    in-process computation's next {!Ncg_fault.Cancel} checkpoint, and
+    remote owners learn from their next heartbeat reply.
+
     Failed attempts requeue until the entry's attempts exceed the retry
     budget, then the cell is {e quarantined}: waiters complete with a
     gap (clients report it and exit non-zero). A worker whose
     connection drops has all its leases requeued ({!worker_lost});
     leases held at daemon crash are reclaimed by
-    {!Ncg_store.Work_queue.openfile} on restart.
+    {!Ncg_store.Work_queue.openfile} on restart — the same durable
+    requeue path the runtime monitor uses ({!Ncg_store.Work_queue.reclaim}).
 
     All entry points lock the scheduler mutex; callers (connection
     handler threads, in-process worker domains) need no other
@@ -41,6 +63,13 @@ type config = {
   default_deadline_ms : int option;
       (** applied to submissions that carry no deadline *)
   max_cells : int option;  (** per-submission grid-size cap *)
+  heartbeat_timeout_ms : int;
+      (** reclaim leases from workers silent this long; [0] disables
+          the monitor (in-process-only daemons need none) *)
+  quarantine_failures : int;
+      (** consecutive failed/expired attempts that quarantine a worker *)
+  quarantine_cooldown_ms : int;
+      (** quarantined workers may knock again (ping) after this long *)
 }
 
 (** Opens the store and the work queue. Queue entries recovered from a
@@ -65,13 +94,13 @@ val submit :
   (submit_info, string) result
 
 (** Job progress as response fields: [state] ("running" / "done" /
-    "expired"), [done], [total], [quarantined]. [None] for unknown
-    jobs. *)
+    "expired" / "cancelled"), [done], [total], [quarantined]. [None]
+    for unknown jobs. *)
 val status : t -> job:int -> (string * Ncg_obs.Json.t) list option
 
 (** [results t ~job] when the job is done: CSV rows in grid order
     (quarantined cells omitted) plus [(alpha, k, error)] per quarantined
-    cell. [Error] while running/expired or for unknown jobs. *)
+    cell. [Error] while running/expired/cancelled or for unknown jobs. *)
 val results :
   t ->
   job:int ->
@@ -84,11 +113,33 @@ type task = {
   spec : Ncg.Sweep_spec.t;
   cell : Ncg.Experiment.cell;
   attempts : int;
+  revoked : bool Atomic.t;
+      (** set on cancellation — in-process executors pass it to
+          [Ncg_fault.Cancel.with_control] so the next checkpoint
+          abandons the cell *)
 }
 
-(** [lease t ~worker] passes the ["service.dispatch"] fault site, then
-    leases the oldest pending cell. [None] when the queue is idle. *)
-val lease : t -> worker:string -> task option
+(** A lease poll's outcome: work, no work, or shed (quarantined
+    worker — poll again after the cooldown, or keep pinging). *)
+type grant = Granted of task | Empty | Rejected of { state : string }
+
+(** [lease t ~worker] registers [worker] in the pool (a lease is a sign
+    of life), passes the ["service.dispatch"] fault site, then leases
+    the fairness pick. [~local:true] marks in-process domains, exempt
+    from heartbeat expiry. *)
+val lease : ?local:bool -> t -> worker:string -> grant
+
+(** Register a worker in the pool before its first lease (the [hello]
+    with [worker = true], or an in-process domain starting up). *)
+val register_worker : ?local:bool -> t -> worker:string -> unit
+
+(** [heartbeat t ~worker] records a ping: fires the
+    ["service.heartbeat"] fault site (a raise drops the beat), then
+    refreshes the worker's [last_seen], possibly readmitting it from
+    quarantine. Returns the worker's pool state and any lease
+    revocations queued for it (task ids whose computation it should
+    abandon). *)
+val heartbeat : t -> worker:string -> string * int list
 
 (** [complete t ~worker ~task result_json] decodes the result, inserts
     it into the store, resolves every waiting job, and completes the
@@ -98,15 +149,24 @@ val complete :
   t -> worker:string -> task:int -> Ncg_obs.Json.t -> (unit, string) result
 
 (** [fail t ~worker ~task ~error] records a failed attempt: requeue
-    while attempts remain, quarantine otherwise. *)
+    while attempts remain, quarantine otherwise. Counts a strike
+    against the worker. *)
 val fail : t -> worker:string -> task:int -> error:string -> (unit, string) result
 
-(** Requeue everything leased to [worker] (connection dropped). Returns
-    how many entries were requeued. *)
+(** Requeue everything leased to [worker] (connection dropped) and mark
+    it drained. Returns how many entries were requeued. *)
 val worker_lost : t -> worker:string -> int
 
+(** [cancel t ~job] fires the ["service.cancel"] fault site, then marks
+    a running job cancelled and detaches it from every unresolved cell.
+    Returns [(released, revoked)]: queued cells dropped and leases
+    revoked. [Error] for unknown or already-terminal jobs. *)
+val cancel : t -> job:int -> (int * int, string) result
+
 (** Expire jobs whose deadline passed (their queued cells are released
-    unless another live job waits on them). Call periodically. *)
+    unless another live job waits on them), then run the heartbeat
+    monitor: reclaim leases from silent workers and quarantine repeat
+    offenders. Call periodically. *)
 val tick : t -> unit
 
 (** True when every submitted job is terminal {e and} the queue holds
@@ -114,8 +174,8 @@ val tick : t -> unit
     work is gone. *)
 val idle : t -> bool
 
-(** Stats fields for the [stats] verb: jobs, queue counts, store
-    stats, request counters. *)
+(** Stats fields for the [stats] verb: jobs, queue counts, store stats,
+    per-worker health, request counters. *)
 val stats_fields : t -> (string * Ncg_obs.Json.t) list
 
 (** The store handle (the daemon owns the only one). *)

@@ -150,35 +150,43 @@ let close_subscribers pump =
 
 let compute_task (task : Scheduler.task) =
   (* Mirror the supervised executor's fault discipline: arm with the
-     task id as scope, fire the sweep.cell site, then run. Any
-     exception — injected or real — reports as a failed attempt. *)
+     task id as scope, fire the sweep.cell site, then run — under a
+     cancellation control wired to the task's revocation flag, so a
+     client cancel trips the next cooperative checkpoint mid-cell. Any
+     exception — injected, revoked or real — reports as a failed
+     attempt. *)
   Ncg_fault.Inject.arm ~scope:task.Scheduler.task_id;
   Fun.protect ~finally:Ncg_fault.Inject.disarm (fun () ->
       try
         Ncg_fault.Inject.(hit sweep_cell);
-        Ok
-          (Ncg.Experiment.cell_result_to_json
-             (Ncg.Sweep_spec.run_cell task.Scheduler.spec task.Scheduler.cell))
+        Ncg_fault.Cancel.with_control ~cancel:task.Scheduler.revoked (fun () ->
+            Ok
+              (Ncg.Experiment.cell_result_to_json
+                 (Ncg.Sweep_spec.run_cell task.Scheduler.spec
+                    task.Scheduler.cell)))
       with e -> Error (Printexc.to_string e))
 
 let worker_loop ~name ~poll_ms scheduler =
+  Scheduler.register_worker ~local:true scheduler ~worker:name;
   let rec loop () =
     if Atomic.get stop_flag then ()
     else
       match
-        try Scheduler.lease scheduler ~worker:name
-        with Ncg_fault.Inject.Fault _ -> None
+        try Scheduler.lease ~local:true scheduler ~worker:name
+        with Ncg_fault.Inject.Fault _ -> Scheduler.Empty
       with
-      | None ->
+      | Scheduler.Empty | Scheduler.Rejected _ ->
           Unix.sleepf (float_of_int poll_ms /. 1000.);
           loop ()
-      | Some task ->
+      | Scheduler.Granted task ->
           (match compute_task task with
           | Ok result ->
               ignore
                 (Scheduler.complete scheduler ~worker:name
                    ~task:task.Scheduler.task_id result)
           | Error msg ->
+              (* A revoked lease is already resolved daemon-side; the
+                 rejected report below is expected and ignored. *)
               ignore
                 (Scheduler.fail scheduler ~worker:name
                    ~task:task.Scheduler.task_id ~error:msg));
@@ -189,7 +197,15 @@ let worker_loop ~name ~poll_ms scheduler =
 (* --- Request dispatch ---------------------------------------------------- *)
 
 let handle_request scheduler pump conn_worker oc = function
-  | Protocol.Hello { client } ->
+  | Protocol.Hello { client; worker } ->
+      (* A worker hello starts heartbeat monitoring before the first
+         lease and binds the connection: dropping it requeues the
+         worker's leases. Heartbeat side-connections say
+         [worker = false] so their loss cannot spuriously requeue. *)
+      if worker then begin
+        conn_worker := Some client;
+        Scheduler.register_worker scheduler ~worker:client
+      end;
       Protocol.Resp_ok
         [ ("server", Json.String "ncg_served"); ("client", Json.String client) ]
   | Protocol.Submit { spec; deadline_ms } -> (
@@ -241,15 +257,23 @@ let handle_request scheduler pump conn_worker oc = function
                 ("worker", Json.String worker);
                 ("error", Json.String (Printexc.to_string e));
               ];
-          None
+          Scheduler.Empty
       with
-      | None ->
+      | Scheduler.Empty ->
           Protocol.Resp_ok
             [
               ("task", Json.Null);
               ("draining", Json.Bool (Atomic.get stop_flag));
             ]
-      | Some task ->
+      | Scheduler.Rejected { state } ->
+          Protocol.Resp_ok
+            [
+              ("task", Json.Null);
+              ("rejected", Json.Bool true);
+              ("state", Json.String state);
+              ("draining", Json.Bool (Atomic.get stop_flag));
+            ]
+      | Scheduler.Granted task ->
           Protocol.Resp_ok
             [
               ( "task",
@@ -273,6 +297,30 @@ let handle_request scheduler pump conn_worker oc = function
       match Scheduler.fail scheduler ~worker ~task ~error with
       | Ok () -> Protocol.Resp_ok []
       | Error msg -> Protocol.Resp_error msg)
+  | Protocol.Ping { worker } -> (
+      match Scheduler.heartbeat scheduler ~worker with
+      | state, revoked ->
+          Protocol.Resp_ok
+            [
+              ("state", Json.String state);
+              ("revoked", Json.List (List.map (fun id -> Json.Int id) revoked));
+            ]
+      | exception (Ncg_fault.Inject.Fault _ as e) ->
+          (* an injected heartbeat fault drops the beat: the worker
+             stays silent this interval and the monitor takes over *)
+          Protocol.Resp_error (Printexc.to_string e))
+  | Protocol.Cancel { job } -> (
+      match Scheduler.cancel scheduler ~job with
+      | Ok (released, revoked) ->
+          Protocol.Resp_ok
+            [
+              ("job", Json.Int job);
+              ("released", Json.Int released);
+              ("revoked", Json.Int revoked);
+            ]
+      | Error msg -> Protocol.Resp_error msg
+      | exception (Ncg_fault.Inject.Fault _ as e) ->
+          Protocol.Resp_error (Printexc.to_string e))
   | Protocol.Subscribe ->
       (* Reply first, then hand the channel to the pump: every event
          line after this acknowledgment reaches the subscriber. *)

@@ -1,0 +1,188 @@
+module Json = Ncg_obs.Json
+
+type state = Healthy | Suspect | Quarantined | Drained
+
+let state_to_string = function
+  | Healthy -> "healthy"
+  | Suspect -> "suspect"
+  | Quarantined -> "quarantined"
+  | Drained -> "drained"
+
+type worker = {
+  name : string;
+  local : bool;
+  mutable state : state;
+  mutable last_seen_ns : int64;
+  mutable quarantined_at_ns : int64;
+  mutable consecutive_failures : int;
+  mutable leases : int;
+  mutable completions : int;
+  mutable failures : int;
+  mutable heartbeats : int;
+  mutable expiries : int;
+}
+
+type config = {
+  heartbeat_timeout_ms : int;
+  quarantine_failures : int;
+  quarantine_cooldown_ms : int;
+}
+
+type t = { config : config; workers : (string, worker) Hashtbl.t }
+
+type transition = Registered | Readmitted | Recovered | Suspected | Sick | Noted
+
+let create config = { config; workers = Hashtbl.create 8 }
+
+let find t name = Hashtbl.find_opt t.workers name
+
+let ms_to_ns ms = Int64.of_float (float_of_int ms *. 1e6)
+
+let touch t ~name ~local ~now =
+  match Hashtbl.find_opt t.workers name with
+  | None ->
+      Hashtbl.replace t.workers name
+        {
+          name;
+          local;
+          state = Healthy;
+          last_seen_ns = now;
+          quarantined_at_ns = 0L;
+          consecutive_failures = 0;
+          leases = 0;
+          completions = 0;
+          failures = 0;
+          heartbeats = 0;
+          expiries = 0;
+        };
+      Registered
+  | Some w -> (
+      w.last_seen_ns <- now;
+      if w.state = Drained then w.state <- Healthy;
+      match w.state with
+      | Quarantined
+        when t.config.quarantine_cooldown_ms > 0
+             && Int64.compare (Int64.sub now w.quarantined_at_ns)
+                  (ms_to_ns t.config.quarantine_cooldown_ms)
+                >= 0 ->
+          (* Cooldown served: readmit on probation. The worker must
+             complete a cell (or ping with a clean slate) to be healthy
+             again. *)
+          w.state <- Suspect;
+          w.consecutive_failures <- 0;
+          Readmitted
+      | _ -> Noted)
+
+let heartbeat t ~name ~local ~now =
+  let tr = touch t ~name ~local ~now in
+  match Hashtbl.find_opt t.workers name with
+  | None -> tr
+  | Some w -> (
+      w.heartbeats <- w.heartbeats + 1;
+      match tr with
+      | Noted when w.state = Suspect && w.consecutive_failures = 0 ->
+          (* Suspect only for silence, not failures: a live ping clears
+             it. Failure-tainted workers must complete a cell instead. *)
+          w.state <- Healthy;
+          Recovered
+      | tr -> tr)
+
+let can_lease t ~name =
+  match Hashtbl.find_opt t.workers name with
+  | None -> true
+  | Some w -> ( match w.state with Quarantined -> false | _ -> true)
+
+let state_of t ~name = Option.map (fun w -> w.state) (find t name)
+
+let note_lease t ~name =
+  match Hashtbl.find_opt t.workers name with
+  | None -> ()
+  | Some w -> w.leases <- w.leases + 1
+
+let note_success t ~name =
+  match Hashtbl.find_opt t.workers name with
+  | None -> Noted
+  | Some w ->
+      w.completions <- w.completions + 1;
+      w.consecutive_failures <- 0;
+      if w.state = Suspect then begin
+        w.state <- Healthy;
+        Recovered
+      end
+      else Noted
+
+let count_strike t w ~now =
+  w.consecutive_failures <- w.consecutive_failures + 1;
+  if
+    w.state <> Quarantined
+    && w.consecutive_failures >= t.config.quarantine_failures
+  then begin
+    w.state <- Quarantined;
+    w.quarantined_at_ns <- now;
+    Sick
+  end
+  else if w.state = Healthy then begin
+    w.state <- Suspect;
+    Suspected
+  end
+  else Noted
+
+let note_failure t ~name ~now =
+  match Hashtbl.find_opt t.workers name with
+  | None -> Noted
+  | Some w ->
+      w.failures <- w.failures + 1;
+      count_strike t w ~now
+
+let note_expiry t ~name ~now =
+  match Hashtbl.find_opt t.workers name with
+  | None -> Noted
+  | Some w ->
+      w.expiries <- w.expiries + 1;
+      count_strike t w ~now
+
+let suspect t ~name =
+  match Hashtbl.find_opt t.workers name with
+  | Some w when w.state = Healthy ->
+      w.state <- Suspect;
+      Suspected
+  | _ -> Noted
+
+let drain t ~name =
+  match Hashtbl.find_opt t.workers name with
+  | None -> ()
+  | Some w -> if w.state <> Quarantined then w.state <- Drained
+
+let sorted_workers t =
+  (Hashtbl.fold [@lint.allow "D3" "sorted before return"])
+    (fun _ w acc -> w :: acc)
+    t.workers []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let stale t ~now =
+  if t.config.heartbeat_timeout_ms <= 0 then []
+  else
+    let timeout = ms_to_ns t.config.heartbeat_timeout_ms in
+    List.filter
+      (fun w ->
+        (not w.local)
+        && (match w.state with Healthy | Suspect -> true | _ -> false)
+        && Int64.compare (Int64.sub now w.last_seen_ns) timeout > 0)
+      (sorted_workers t)
+    |> List.map (fun w -> w.name)
+
+let worker_to_json w =
+  Json.Obj
+    [
+      ("name", Json.String w.name);
+      ("local", Json.Bool w.local);
+      ("state", Json.String (state_to_string w.state));
+      ("leases", Json.Int w.leases);
+      ("completions", Json.Int w.completions);
+      ("failures", Json.Int w.failures);
+      ("heartbeats", Json.Int w.heartbeats);
+      ("expiries", Json.Int w.expiries);
+      ("consecutive_failures", Json.Int w.consecutive_failures);
+    ]
+
+let stats_to_json t = Json.List (List.map worker_to_json (sorted_workers t))

@@ -1,0 +1,112 @@
+(** Worker health registry for the sweep daemon.
+
+    Every worker that ever said [hello], leased, completed, failed or
+    pinged gets a record here. The lifecycle is a small state machine:
+
+    {v
+    healthy --(missed heartbeat | failed attempt)--> suspect
+    suspect --(N consecutive failed/expired attempts)--> quarantined
+    quarantined --(cooldown + ping)--> suspect (probation)
+    suspect --(completed cell | clean ping)--> healthy
+    any --(connection closed / shutdown)--> drained
+    v}
+
+    Quarantined workers are shed: the scheduler answers their lease
+    polls with [rejected] until the cooldown passes and they ping again.
+    {e Local} workers (in-process domains) share the daemon's fate, so
+    they are exempt from heartbeat staleness — only wire workers can go
+    silent while alive.
+
+    Not thread-safe: the scheduler calls every function under its own
+    mutex. *)
+
+type state = Healthy | Suspect | Quarantined | Drained
+
+val state_to_string : state -> string
+
+type worker = {
+  name : string;
+  local : bool;  (** in-process domain — exempt from heartbeat expiry *)
+  mutable state : state;
+  mutable last_seen_ns : int64;  (** monotonic, last sign of life *)
+  mutable quarantined_at_ns : int64;
+  mutable consecutive_failures : int;  (** failed + expired, reset on success *)
+  mutable leases : int;
+  mutable completions : int;
+  mutable failures : int;
+  mutable heartbeats : int;
+  mutable expiries : int;
+}
+
+type config = {
+  heartbeat_timeout_ms : int;
+      (** a non-local worker silent this long is stale; [0] disables the
+          heartbeat monitor entirely *)
+  quarantine_failures : int;
+      (** consecutive failed/expired attempts that quarantine a worker *)
+  quarantine_cooldown_ms : int;
+      (** after this long quarantined, a ping readmits (to suspect);
+          [0] means quarantine is permanent for the daemon's lifetime *)
+}
+
+type t
+
+(** What a pool operation did to the worker's state — the scheduler
+    translates these into [service.worker_*] events. *)
+type transition =
+  | Registered  (** first contact: a fresh healthy record *)
+  | Readmitted  (** quarantined → suspect, cooldown served *)
+  | Recovered  (** suspect → healthy *)
+  | Suspected  (** healthy → suspect *)
+  | Sick  (** → quarantined *)
+  | Noted  (** counters only, no state change *)
+
+val create : config -> t
+
+val find : t -> string -> worker option
+
+(** [touch t ~name ~local ~now] records a sign of life: registers
+    unknown workers, updates [last_seen_ns], revives drained records,
+    and readmits quarantined workers whose cooldown has passed. *)
+val touch : t -> name:string -> local:bool -> now:int64 -> transition
+
+(** [heartbeat t ~name ~local ~now] is {!touch} plus the heartbeat
+    counter; a clean ping (no outstanding failures) also clears
+    suspicion. *)
+val heartbeat : t -> name:string -> local:bool -> now:int64 -> transition
+
+(** False exactly when the worker is quarantined — its lease polls are
+    answered with [rejected]. Unknown workers may lease. *)
+val can_lease : t -> name:string -> bool
+
+val state_of : t -> name:string -> state option
+val note_lease : t -> name:string -> unit
+
+(** A completed cell: resets the failure streak, clears suspicion. *)
+val note_success : t -> name:string -> transition
+
+(** A failed attempt ([fail] verb or undecodable result). *)
+val note_failure : t -> name:string -> now:int64 -> transition
+
+(** A heartbeat expiry that reclaimed the worker's leases — counted as
+    a strike exactly like a failed attempt. *)
+val note_expiry : t -> name:string -> now:int64 -> transition
+
+(** Heartbeat-silent but holding no leases: healthy → suspect, no
+    strike counted. *)
+val suspect : t -> name:string -> transition
+
+(** Connection closed or daemon shutting down. Quarantined records keep
+    their state (the quarantine outlives the connection). *)
+val drain : t -> name:string -> unit
+
+(** Non-local, non-quarantined workers silent for longer than the
+    heartbeat timeout, sorted by name. Empty when the monitor is
+    disabled ([heartbeat_timeout_ms = 0]). *)
+val stale : t -> now:int64 -> string list
+
+val worker_to_json : worker -> Ncg_obs.Json.t
+
+(** All workers as a JSON list, sorted by name — the [workers] field of
+    the [stats] verb. *)
+val stats_to_json : t -> Ncg_obs.Json.t

@@ -88,6 +88,19 @@ let recount t =
       | Cancelled -> t.n_cancelled <- t.n_cancelled + 1)
     t.state
 
+(* Durable batch requeue shared by [openfile]'s orphan pass and the
+   runtime [reclaim]: one requeue record per id, appended in id order so
+   a replay of the log reproduces exactly the live transitions. Callers
+   recount afterwards. *)
+let reclaim_ids t ids =
+  let ids = List.sort compare ids in
+  List.iter
+    (fun id ->
+      Record_log.append t.log (rec_op "requeue" id []);
+      apply t "requeue" id "" "")
+    ids;
+  ids
+
 let openfile ?(sync = true) path =
   (* Buffer the raw records during the log scan, then fold them into the
      fresh handle: the replay callback runs before [t] can exist. *)
@@ -115,12 +128,7 @@ let openfile ?(sync = true) path =
   (Hashtbl.iter [@lint.allow "D3" "sorted before use"])
     (fun id s -> match s with Leased _ -> orphans := id :: !orphans | _ -> ())
     t.state;
-  let orphans = List.sort compare !orphans in
-  List.iter
-    (fun id ->
-      Record_log.append t.log (rec_op "requeue" id []);
-      apply t "requeue" id "" "")
-    orphans;
+  let orphans = reclaim_ids t !orphans in
   recount t;
   (t, { replayed; dropped_bytes; reclaimed = List.length orphans })
 
@@ -143,22 +151,26 @@ let oldest_pending t =
       | _ -> best)
     t.state None
 
-let lease t ~worker =
-  Ncg_fault.Inject.(hit queue_lease);
-  match oldest_pending t with
-  | None -> None
-  | Some id ->
-      let attempts =
-        match Hashtbl.find_opt t.state id with
-        | Some (Pending { attempts }) -> attempts
-        | _ -> assert false
-      in
+let grant t ~worker ~id =
+  match Hashtbl.find_opt t.state id with
+  | Some (Pending { attempts }) ->
       Record_log.append t.log (rec_op "lease" id [ ("worker", Json.String worker) ]);
       apply t "lease" id "" worker;
       t.n_pending <- t.n_pending - 1;
       t.n_leased <- t.n_leased + 1;
       Ncg_obs.Metrics.(incr queue_leases);
       Some { id; payload = Hashtbl.find t.payloads id; attempts }
+  | _ -> None
+
+let lease t ~worker =
+  Ncg_fault.Inject.(hit queue_lease);
+  match oldest_pending t with
+  | None -> None
+  | Some id -> grant t ~worker ~id
+
+let lease_id t ~worker ~id =
+  Ncg_fault.Inject.(hit queue_lease);
+  grant t ~worker ~id
 
 let complete t ~id =
   match Hashtbl.find_opt t.state id with
@@ -204,6 +216,11 @@ let leases_of t ~worker =
       | _ -> acc)
     t.state []
   |> List.sort compare
+
+let reclaim t ~worker =
+  let ids = reclaim_ids t (leases_of t ~worker) in
+  recount t;
+  ids
 
 let pending t = t.n_pending
 let leased t = t.n_leased

@@ -53,6 +53,12 @@ val enqueue : t -> payload:string -> int
     [None] when nothing is pending. Fires ["queue.lease"] first. *)
 val lease : t -> worker:string -> entry option
 
+(** [lease_id t ~worker ~id] leases the {e specific} pending entry [id]
+    to [worker] — how the daemon's fairness policy picks a particular
+    client's oldest cell instead of the global FIFO head. [None] when
+    [id] is not pending. Fires ["queue.lease"] first. *)
+val lease_id : t -> worker:string -> id:int -> entry option
+
 (** [complete t ~id] marks a leased entry done. Raises [Invalid_argument]
     if [id] is not currently leased. *)
 val complete : t -> id:int -> unit
@@ -70,6 +76,13 @@ val cancel : t -> id:int -> unit
     first — the set a daemon requeues when the worker's connection
     drops. *)
 val leases_of : t -> worker:string -> int list
+
+(** [reclaim t ~worker] durably requeues everything leased to [worker]
+    and returns the reclaimed ids, oldest first. The same append path
+    {!openfile} uses for orphaned leases, so runtime heartbeat expiry
+    and restart recovery cannot diverge: each reclaimed entry gets one
+    requeue record and its attempts grow by 1 on the next lease. *)
+val reclaim : t -> worker:string -> int list
 
 (** Every pending entry, oldest first — how a restarted daemon re-adopts
     work recovered from the log (including just-reclaimed leases). *)
