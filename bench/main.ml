@@ -689,7 +689,12 @@ let experiment () =
         Ncg_util.Parallel.init ~domains:fan_domains (Array.length cell_arr)
           (fun i ->
             Experiment.run_cell ~make_initial ~make_config ~trials
-              ~cell_seed:cell_seeds.(i) cell_arr.(i)))
+              ~cell_seed:cell_seeds.(i) cell_arr.(i))
+        [@lint.allow
+          "P2"
+            "cell_arr and cell_seeds are fully built before the fan-out and \
+             only read by the workers, each at its own index; no domain \
+             writes them"])
   in
   let supervised, supervised_wall = timed fan_domains in
   (* GC words are excluded here: under the executor a cancellation
@@ -734,7 +739,7 @@ let experiment () =
   Json.to_file out
     (Json.Obj
        [
-         ("schema", Json.String "ncg.bench.experiment/4");
+         ("schema", Json.String Ncg_obs.Schema.bench_experiment);
          ("smoke", Json.Bool smoke);
          ("seed", Json.Int base_seed);
          ("class", Json.String "tree");
@@ -855,7 +860,7 @@ let fullgrid () =
   Json.to_file out
     (Json.Obj
        [
-         ("schema", Json.String "ncg.bench.fullgrid/1");
+         ("schema", Json.String Ncg_obs.Schema.bench_fullgrid);
          ("seed", Json.Int base_seed);
          ("class", Json.String "tree");
          ("n", Json.Int n);
@@ -954,7 +959,7 @@ let kernels () =
    tree on the same machine produce comparable (not machine-unique)
    lines. *)
 
-let history_schema = "ncg.bench.history/1"
+let history_schema = Ncg_obs.Schema.bench_history
 
 let append_history entries =
   let path =

@@ -24,7 +24,7 @@
 
 module Json = Ncg_obs.Json
 
-let baseline_schema = "ncg.bench.baseline/1"
+let baseline_schema = Ncg_obs.Schema.bench_baseline
 
 exception Bad_input of string
 
@@ -169,7 +169,7 @@ let baseline_cells file section j =
 
 (* --- Run-history trend (bench/main.exe appends BENCH_history.jsonl) ------- *)
 
-let history_schema = "ncg.bench.history/1"
+let history_schema = Ncg_obs.Schema.bench_history
 
 let read_lines path =
   let ic = try open_in path with Sys_error e -> failf "%s" e in

@@ -438,7 +438,7 @@ let run graph_class n p alphas ks trials seed budget domains store_dir resume
              (* /4: cells gained a "probes" section (round-level series of
                 the exemplar trial) and the top level records the probes
                 switch. *)
-             ("schema", Json.String "ncg.experiment.telemetry/4");
+             ("schema", Json.String Ncg_obs.Schema.experiment_telemetry);
              ("seed", Json.Int seed);
              ("domains", Json.Int domains);
              ("probes", Json.Bool probes);

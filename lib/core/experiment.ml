@@ -123,8 +123,12 @@ let derive_seeds ~seed ~count =
 
 let trials_parallel ~domains ~make_initial ~config ~trials:count ~seed =
   let seeds = derive_seeds ~seed ~count in
-  Ncg_util.Parallel.init ~domains count (fun i ->
-      run_one config (make_initial ~seed:seeds.(i)))
+  (Ncg_util.Parallel.init ~domains count (fun i ->
+       run_one config (make_initial ~seed:seeds.(i)))
+   [@lint.allow
+     "P2"
+       "seeds is fully derived before the fan-out and only read by the \
+        workers, each at its own index; no domain writes it"])
 
 let trials ~make_initial ~config ~trials:count ~seed =
   trials_parallel ~domains:1 ~make_initial ~config ~trials:count ~seed
@@ -273,7 +277,7 @@ module Json = Ncg_obs.Json
    registered (shape change), and probing's per-round social-cost BFS
    shifts bfs.calls — /4 records would disagree with a recompute on all
    three. *)
-let cell_payload_schema = "ncg.store.cell/5"
+let cell_payload_schema = Ncg_obs.Schema.store_cell
 
 let bool_of_json name = function
   | Json.Bool b -> b

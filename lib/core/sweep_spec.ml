@@ -119,7 +119,7 @@ let csv_row spec r =
   Experiment.csv_row ~graph_class:spec.graph_class ~n:spec.n ~p:spec.p
     ~trials:spec.trials r
 
-let schema = "ncg.service.spec/1"
+let schema = Ncg_obs.Schema.service_spec
 
 let to_json spec =
   Json.Obj

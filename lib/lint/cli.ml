@@ -5,7 +5,7 @@
 
 open Cmdliner
 
-let run root json_out =
+let run root typed cmt_root json_out =
   let files =
     Ncg_lint.Lint.ml_files_under ~root
       ~dirs:[ "lib"; "bin"; "bench"; "test"; "examples" ]
@@ -21,33 +21,68 @@ let run root json_out =
   let known_sites = Ncg_fault.Inject.sites () in
   (* Same trick for O1: linking ncg_obs registered the built-in probes. *)
   let known_probes = Ncg_obs.Probe.names () in
-  let reports =
+  (* And for R1: the schema registry is a plain module, linked here. *)
+  let known_schemas = Ncg_obs.Schema.all in
+  let ctx_of rel =
+    Ncg_lint.Lint.ctx_for_path ~known_sites ~known_probes ~known_schemas rel
+  in
+  let syntactic =
     List.map
       (fun rel ->
-        let ctx = Ncg_lint.Lint.ctx_for_path ~known_sites ~known_probes rel in
-        Ncg_lint.Lint.check_file ~ctx ~display:rel (Filename.concat root rel))
+        Ncg_lint.Lint.check_file ~ctx:(ctx_of rel) ~display:rel
+          (Filename.concat root rel))
       files
   in
-  print_string (Ncg_lint.Report.to_human reports);
+  let typed_reports =
+    if typed then
+      Some
+        (Ncg_lint.Typed_lint.check_tree ~ctx_of ~root
+           ~cmt_root:(Filename.concat root cmt_root)
+           files)
+    else None
+  in
+  let merged =
+    Ncg_lint.Report.merge ~root ~syntactic ?typed:typed_reports ()
+  in
+  print_string (Ncg_lint.Report.to_human merged);
   (match json_out with
-  | Some path -> Ncg_obs.Json.to_file path (Ncg_lint.Report.to_json ~root reports)
+  | Some path -> Ncg_obs.Json.to_file path (Ncg_lint.Report.to_json merged)
   | None -> ());
-  if not (Ncg_lint.Report.clean reports) then exit 1
+  if not (Ncg_lint.Report.clean merged) then exit 1
 
 let root =
   Arg.(
     value & opt string "."
     & info [ "root" ] ~docv:"DIR" ~doc:"Repository root to scan.")
 
+let typed =
+  Arg.(
+    value & flag
+    & info [ "typed" ]
+        ~doc:
+          "Also run the typed (alias-aware) pass over the .cmt files and \
+           merge both passes' findings. Requires a prior $(b,dune build \
+           \\@check); a file with no up-to-date .cmt is reported as a parse \
+           error. Enables S1/P2/R1 and stale-suppression (L2) detection.")
+
+let cmt_root =
+  Arg.(
+    value
+    & opt string "_build/default"
+    & info [ "cmt-root" ] ~docv:"DIR"
+        ~doc:
+          "Directory (relative to $(b,--root)) searched recursively for .cmt \
+           files when $(b,--typed) is given.")
+
 let json_out =
   Arg.(
     value
     & opt (some string) None
     & info [ "json" ] ~docv:"FILE"
-        ~doc:"Also write the ncg.lint.report/1 JSON document here.")
+        ~doc:"Also write the ncg.lint.report/2 JSON document here.")
 
 let cmd =
   let doc = "check the determinism/domain-safety/atomicity lint rules" in
-  Cmd.v (Cmd.info "ncg_lint" ~doc) Term.(const run $ root $ json_out)
+  Cmd.v (Cmd.info "ncg_lint" ~doc) Term.(const run $ root $ typed $ cmt_root $ json_out)
 
 let main () = exit (Cmd.eval cmd)

@@ -11,8 +11,12 @@ type ctx = {
   clock_exempt : bool;  (* D2 off: the blessed clock *)
   fault_registry : bool;  (* F1 also watches bare [site] calls here *)
   global_state : bool;  (* P1 on: library code reachable from the executor *)
+  parallel_impl : bool;  (* P2 off: the fan-out machinery itself *)
+  scratch_lender : bool;  (* S1 off: the module that owns the scratch *)
+  schema_registry : bool;  (* R1 off: the one blessed literal site *)
   known_sites : string list;  (* F1: the registered fault-site names *)
   known_probes : string list;  (* O1: the registered probe names *)
+  known_schemas : string list;  (* R1: the registered schema tags *)
 }
 
 let contains_sub s sub =
@@ -20,17 +24,22 @@ let contains_sub s sub =
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
   m = 0 || go 0
 
-let ctx_for_path ~known_sites ~known_probes path =
+let ctx_for_path ~known_sites ~known_probes ~known_schemas path =
   let path = String.map (fun c -> if c = '\\' then '/' else c) path in
   let p = "/" ^ path in
   let in_dir d = contains_sub p ("/" ^ d ^ "/") in
+  let is_file f = String.ends_with ~suffix:("/" ^ f) p in
   {
     prng_exempt = in_dir "lib/prng";
     clock_exempt = in_dir "lib/obs";
     fault_registry = in_dir "lib/fault";
     global_state = in_dir "lib";
+    parallel_impl = is_file "lib/util/parallel.ml" || is_file "lib/fault/executor.ml";
+    scratch_lender = is_file "lib/graph/bfs.ml" || is_file "lib/core/workspace.ml";
+    schema_registry = is_file "lib/obs/schema.ml";
     known_sites;
     known_probes;
+    known_schemas;
   }
 
 type violation = {
@@ -46,6 +55,7 @@ type suppression = {
   sup_line : int;
   sup_rule : Rules.id;
   sup_justification : string;
+  sup_matched : int;  (* raw violations this suppression absorbed *)
 }
 
 type file_report = {
@@ -116,9 +126,24 @@ let printf_family parts =
 (* The P1 shapes: a top-level binding whose right-hand side builds plain
    mutable state. Safe constructors (Atomic.make, Mutex.create,
    Domain.DLS.new_key) simply do not match. *)
-let rec mutable_shape e =
+let rec mutable_shape ?(env = []) e =
   match e.pexp_desc with
-  | Pexp_constraint (e, _) -> mutable_shape e
+  | Pexp_constraint (e, _) -> mutable_shape ~env e
+  (* An initializer block ([let t = Bytes.create n in ...fill...; t]) is
+     judged by what it ultimately evaluates to, threading the shapes of
+     its local bindings. *)
+  | Pexp_let (_, vbs, body) ->
+      let env =
+        List.fold_left
+          (fun env vb ->
+            match (vb.pvb_pat.ppat_desc, mutable_shape ~env vb.pvb_expr) with
+            | Ppat_var { txt; _ }, Some what -> (txt, what) :: env
+            | _ -> env)
+          env vbs
+      in
+      mutable_shape ~env body
+  | Pexp_sequence (_, e) -> mutable_shape ~env e
+  | Pexp_ident { txt = Longident.Lident x; _ } -> List.assoc_opt x env
   | Pexp_apply (f, _) -> (
       match expr_ident f with
       | [ "ref" ] -> Some "ref cell"
@@ -132,7 +157,7 @@ let rec mutable_shape e =
       | _ -> None)
   | _ -> None
 
-(* --- The walker ------------------------------------------------------------ *)
+(* --- Suppression plumbing (shared with Typed_lint) ------------------------- *)
 
 type raw_suppression = {
   rs_rule : Rules.id;
@@ -141,6 +166,76 @@ type raw_suppression = {
   rs_line : int;
   rs_justification : string;
 }
+
+(* [@lint.allow "RULE"... "why"] / [@lint.domain_local "why"], scoped to
+   the host node's character range. Attribute payloads are Parsetree in
+   both the Parsetree and the Typedtree, so both passes parse them here. *)
+let scan_attr ~add_viol ~add_supp ~from_cnum ~to_cnum (attr : attribute) =
+  let line = attr.attr_loc.Location.loc_start.Lexing.pos_lnum in
+  let supp rule justification =
+    add_supp
+      {
+        rs_rule = rule;
+        rs_from = from_cnum;
+        rs_to = to_cnum;
+        rs_line = line;
+        rs_justification = justification;
+      }
+  in
+  match attr.attr_name.Location.txt with
+  | "lint.allow" ->
+      let strings = attr_strings attr in
+      let rec split acc = function
+        | s :: rest when Rules.of_string s <> None ->
+            split (Option.get (Rules.of_string s) :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let rules, rest = split [] strings in
+      let justification = String.trim (String.concat " " rest) in
+      if rules = [] then
+        add_viol attr.attr_loc Rules.L1
+          "lint.allow names no known rule id (expected e.g. \"D3\")"
+      else if justification = "" then
+        add_viol attr.attr_loc Rules.L1
+          "lint.allow carries no justification string"
+      else List.iter (fun r -> supp r justification) rules
+  | "lint.domain_local" ->
+      let justification = String.trim (String.concat " " (attr_strings attr)) in
+      if justification = "" then
+        add_viol attr.attr_loc Rules.L1
+          "lint.domain_local carries no justification string"
+      else supp Rules.P1 justification
+  | _ -> ()
+
+(* Apply collected suppressions to collected raw violations: a violation
+   is dropped when any suppression of its rule spans its cnum; each
+   suppression records how many raw violations it absorbed (the L2
+   staleness signal, judged at report-merge time). *)
+let finish ~filename raw_supps raw_viols =
+  let covers s ((v : violation), cnum) =
+    s.rs_rule = v.rule && cnum >= s.rs_from && cnum <= s.rs_to
+  in
+  let violations =
+    raw_viols
+    |> List.filter (fun rv -> not (List.exists (fun s -> covers s rv) raw_supps))
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+    |> List.map fst
+  in
+  let suppressions =
+    raw_supps
+    |> List.sort (fun a b -> compare a.rs_line b.rs_line)
+    |> List.map (fun s ->
+           {
+             sup_file = filename;
+             sup_line = s.rs_line;
+             sup_rule = s.rs_rule;
+             sup_justification = s.rs_justification;
+             sup_matched = List.length (List.filter (covers s) raw_viols);
+           })
+  in
+  { path = filename; violations; suppressions; parse_error = None }
+
+(* --- The walker ------------------------------------------------------------ *)
 
 let run_checks ~ctx ~filename str =
   let viols = ref [] in
@@ -158,46 +253,9 @@ let run_checks ~ctx ~filename str =
         p.Lexing.pos_cnum )
       :: !viols
   in
-  let add_supp ~from_cnum ~to_cnum ~line rule justification =
-    supps :=
-      {
-        rs_rule = rule;
-        rs_from = from_cnum;
-        rs_to = to_cnum;
-        rs_line = line;
-        rs_justification = justification;
-      }
-      :: !supps
-  in
-  (* [@lint.allow "RULE"... "why"] / [@lint.domain_local "why"], scoped
-     to the host node's character range. *)
-  let handle_attr ~from_cnum ~to_cnum (attr : attribute) =
-    let line = attr.attr_loc.Location.loc_start.Lexing.pos_lnum in
-    match attr.attr_name.Location.txt with
-    | "lint.allow" ->
-        let strings = attr_strings attr in
-        let rec split acc = function
-          | s :: rest when Rules.of_string s <> None ->
-              split (Option.get (Rules.of_string s) :: acc) rest
-          | rest -> (List.rev acc, rest)
-        in
-        let rules, rest = split [] strings in
-        let justification = String.trim (String.concat " " rest) in
-        if rules = [] then
-          add_viol attr.attr_loc Rules.L1
-            "lint.allow names no known rule id (expected e.g. \"D3\")"
-        else if justification = "" then
-          add_viol attr.attr_loc Rules.L1
-            "lint.allow carries no justification string"
-        else
-          List.iter (fun r -> add_supp ~from_cnum ~to_cnum ~line r justification) rules
-    | "lint.domain_local" ->
-        let justification = String.trim (String.concat " " (attr_strings attr)) in
-        if justification = "" then
-          add_viol attr.attr_loc Rules.L1
-            "lint.domain_local carries no justification string"
-        else add_supp ~from_cnum ~to_cnum ~line Rules.P1 justification
-    | _ -> ()
+  let add_supp s = supps := s :: !supps in
+  let handle_attr ~from_cnum ~to_cnum attr =
+    scan_attr ~add_viol ~add_supp ~from_cnum ~to_cnum attr
   in
   let handle_attrs loc attrs =
     let from_cnum = loc.Location.loc_start.Lexing.pos_cnum in
@@ -348,30 +406,7 @@ let run_checks ~ctx ~filename str =
     in
     scan_items str
   end;
-  let supps = List.rev !supps in
-  let suppressed (v, cnum) =
-    List.exists
-      (fun s -> s.rs_rule = v.rule && cnum >= s.rs_from && cnum <= s.rs_to)
-      supps
-  in
-  let violations =
-    !viols
-    |> List.filter (fun rv -> not (suppressed rv))
-    |> List.sort (fun (_, a) (_, b) -> compare a b)
-    |> List.map fst
-  in
-  let suppressions =
-    List.map
-      (fun s ->
-        {
-          sup_file = filename;
-          sup_line = s.rs_line;
-          sup_rule = s.rs_rule;
-          sup_justification = s.rs_justification;
-        })
-      (List.sort (fun a b -> compare a.rs_line b.rs_line) supps)
-  in
-  { path = filename; violations; suppressions; parse_error = None }
+  finish ~filename (List.rev !supps) !viols
 
 let check_source ~ctx ~filename source =
   let lexbuf = Lexing.from_string source in

@@ -1,26 +1,44 @@
-(** Parsetree walker behind [ncg_lint].
+(** Parsetree walker behind [ncg_lint] — the {e syntactic} pass.
 
     Purely syntactic: each source file is parsed with the host compiler's
     parser (compiler-libs) and checked against the {!Rules} catalogue, so
     the checker works on any tree state — even one that does not build —
     and needs no ppx or type information. Which rules apply where is
     decided by a path-based {!ctx} (lib/prng may use randomness, lib/obs
-    may read clocks, ...). *)
+    may read clocks, ...).
+
+    The price of staying syntactic is that aliases are invisible:
+    [module H = Hashtbl], [include Hashtbl], [let f = Hashtbl.iter] and
+    functor plumbing all smuggle a forbidden identifier past this pass.
+    {!Typed_lint} closes that hole by resolving identifiers on the
+    Typedtree; this module additionally hosts the suppression plumbing
+    ({!scan_attr}, {!finish}) both passes share. *)
 
 type ctx = {
   prng_exempt : bool;  (** D1 off: the blessed randomness source *)
   clock_exempt : bool;  (** D2 off: the blessed clock *)
   fault_registry : bool;  (** F1 also watches bare [site] calls here *)
   global_state : bool;  (** P1 on: library code reachable from the executor *)
+  parallel_impl : bool;  (** P2 off: the fan-out machinery itself *)
+  scratch_lender : bool;  (** S1 off: the module that owns the scratch *)
+  schema_registry : bool;  (** R1 off: the one blessed literal site *)
   known_sites : string list;  (** F1: the registered fault-site names *)
   known_probes : string list;  (** O1: the registered probe names *)
+  known_schemas : string list;  (** R1: the registered schema tags *)
 }
 
 (** Zone assignment for a root-relative path: [lib/prng/*] is
     [prng_exempt], [lib/obs/*] is [clock_exempt], [lib/fault/*] is
-    [fault_registry], anything under [lib/] has [global_state]. *)
+    [fault_registry], anything under [lib/] has [global_state];
+    [lib/util/parallel.ml] and [lib/fault/executor.ml] are
+    [parallel_impl], [lib/graph/bfs.ml] and [lib/core/workspace.ml] are
+    [scratch_lender], [lib/obs/schema.ml] is [schema_registry]. *)
 val ctx_for_path :
-  known_sites:string list -> known_probes:string list -> string -> ctx
+  known_sites:string list ->
+  known_probes:string list ->
+  known_schemas:string list ->
+  string ->
+  ctx
 
 type violation = {
   file : string;
@@ -35,6 +53,9 @@ type suppression = {
   sup_line : int;
   sup_rule : Rules.id;
   sup_justification : string;
+  sup_matched : int;
+      (** raw violations this suppression absorbed in the pass that
+          produced this report — the L2 staleness signal *)
 }
 
 type file_report = {
@@ -43,6 +64,45 @@ type file_report = {
   suppressions : suppression list;  (** every well-formed allow in the file *)
   parse_error : string option;  (** set iff the file failed to parse *)
 }
+
+(** {2 Suppression plumbing shared by both passes} *)
+
+type raw_suppression = {
+  rs_rule : Rules.id;
+  rs_from : int;  (** cnum range the suppression covers *)
+  rs_to : int;
+  rs_line : int;
+  rs_justification : string;
+}
+
+(** Parse one attribute: [[\@lint.allow "RULE"... "why"]] registers a
+    {!raw_suppression} per named rule over [[from_cnum, to_cnum]];
+    [[\@lint.domain_local "why"]] registers a P1 suppression; malformed
+    annotations are reported as L1 through [add_viol]. Attribute
+    payloads are Parsetree in both trees, so {!Typed_lint} reuses this
+    verbatim. *)
+val scan_attr :
+  add_viol:(Location.t -> Rules.id -> string -> unit) ->
+  add_supp:(raw_suppression -> unit) ->
+  from_cnum:int ->
+  to_cnum:int ->
+  Parsetree.attribute ->
+  unit
+
+(** Apply suppressions to raw [(violation, cnum)] pairs: suppressed
+    violations are dropped, survivors sorted by position, and every
+    suppression's [sup_matched] counts the raw violations it absorbed. *)
+val finish :
+  filename:string ->
+  raw_suppression list ->
+  (violation * int) list ->
+  file_report
+
+(** True when a format string contains a bare [%f] conversion (not
+    [%%f]) — the D4 trigger, shared with the typed pass. *)
+val has_bare_percent_f : string -> bool
+
+(** {2 Checking} *)
 
 (** Check in-memory source (fixture tests use this directly).
     [filename] is used for locations and the report only. *)

@@ -1,62 +1,256 @@
-let schema = "ncg.lint.report/1"
+(* Rendering and merging of lint results.
+
+   Since report/2 a run may combine two passes (syntactic + typed) over
+   the same file list. [merge] is the single entry point: it dedupes
+   violations on (file, line, col, rule) keeping per-pass provenance,
+   folds the two passes' views of each suppression together, and — when
+   the typed pass ran — judges L2 staleness: a suppression that absorbed
+   zero raw violations under every pass that checked its rule is dead
+   weight, reported both in [stale_suppressions] and as a synthesized L2
+   violation (pass "merge"). Single-pass runs are the degenerate merge:
+   L2 is never judged without the typed pass, because only it checks the
+   full rule catalogue. *)
+
+let schema = Ncg_obs.Schema.lint_report
 
 module J = Ncg_obs.Json
 
-let violation_count reports =
-  List.fold_left (fun n (r : Lint.file_report) -> n + List.length r.violations) 0 reports
+let syntactic_pass = "syntactic"
+let merge_pass = "merge"
 
-let suppression_count reports =
-  List.fold_left
-    (fun n (r : Lint.file_report) -> n + List.length r.suppressions)
-    0 reports
+type merged_violation = {
+  mv_file : string;
+  mv_line : int;
+  mv_col : int;
+  mv_rule : Rules.id;
+  mv_message : string;
+  mv_passes : string list;
+}
 
-let parse_errors reports =
-  List.filter_map
-    (fun (r : Lint.file_report) ->
-      Option.map (fun msg -> (r.path, msg)) r.parse_error)
-    reports
+type merged_suppression = {
+  ms_file : string;
+  ms_line : int;
+  ms_rule : Rules.id;
+  ms_justification : string;
+  ms_matched : (string * int) list;  (* pass name -> absorbed violations *)
+  ms_stale : bool;
+}
 
-let clean reports = violation_count reports = 0 && parse_errors reports = []
+type merged = {
+  m_root : string;
+  m_passes : string list;
+  m_files_checked : int;
+  m_violations : merged_violation list;
+  m_suppressions : merged_suppression list;
+  m_parse_errors : (string * string * string) list;  (* pass, file, message *)
+}
 
-let to_json ~root reports =
-  let violations =
+let merge ~root ~syntactic ?typed () =
+  let passes =
+    (syntactic_pass, syntactic)
+    :: (match typed with Some t -> [ (Typed_lint.pass_name, t) ] | None -> [])
+  in
+  let files_checked =
+    List.length
+      (List.sort_uniq compare
+         (List.concat_map
+            (fun (_, rs) -> List.map (fun (r : Lint.file_report) -> r.path) rs)
+            passes))
+  in
+  let parse_errors =
     List.concat_map
-      (fun (r : Lint.file_report) ->
-        List.map
-          (fun (v : Lint.violation) ->
-            J.Obj
-              [
-                ("file", J.String v.file);
-                ("line", J.Int v.line);
-                ("col", J.Int v.col);
-                ("rule", J.String (Rules.to_string v.rule));
-                ("title", J.String (Rules.title v.rule));
-                ("message", J.String v.message);
-                ("hint", J.String (Rules.hint v.rule));
-              ])
-          r.violations)
-      reports
+      (fun (name, rs) ->
+        List.filter_map
+          (fun (r : Lint.file_report) ->
+            Option.map (fun msg -> (name, r.path, msg)) r.parse_error)
+          rs)
+      passes
+  in
+  let erroring_files =
+    List.map (fun (_, file, _) -> file) parse_errors |> List.sort_uniq compare
+  in
+  (* Violations: dedupe on (file, line, col, rule); a direct Hashtbl.iter
+     fires in both passes and becomes one entry with two provenances. *)
+  let vtbl = Hashtbl.create 64 in
+  let vorder = ref [] in
+  List.iter
+    (fun (name, rs) ->
+      List.iter
+        (fun (r : Lint.file_report) ->
+          List.iter
+            (fun (v : Lint.violation) ->
+              let key = (v.file, v.line, v.col, Rules.to_string v.rule) in
+              match Hashtbl.find_opt vtbl key with
+              | Some mv ->
+                  (* Same key twice within one pass (two captures at one
+                     lambda, say) stays one entry with one provenance. *)
+                  if not (List.mem name mv.mv_passes) then
+                    Hashtbl.replace vtbl key
+                      { mv with mv_passes = mv.mv_passes @ [ name ] }
+              | None ->
+                  vorder := key :: !vorder;
+                  Hashtbl.replace vtbl key
+                    {
+                      mv_file = v.file;
+                      mv_line = v.line;
+                      mv_col = v.col;
+                      mv_rule = v.rule;
+                      mv_message = v.message;
+                      mv_passes = [ name ];
+                    })
+            r.violations)
+        rs)
+    passes;
+  (* Suppressions: fold the passes' views of each annotation together. *)
+  let stbl = Hashtbl.create 64 in
+  let sorder = ref [] in
+  List.iter
+    (fun (name, rs) ->
+      List.iter
+        (fun (r : Lint.file_report) ->
+          List.iter
+            (fun (s : Lint.suppression) ->
+              let key = (s.sup_file, s.sup_line, Rules.to_string s.sup_rule) in
+              match Hashtbl.find_opt stbl key with
+              | Some ms ->
+                  let ms_matched =
+                    if List.mem_assoc name ms.ms_matched then
+                      List.map
+                        (fun (p, n) ->
+                          if p = name then (p, n + s.sup_matched) else (p, n))
+                        ms.ms_matched
+                    else ms.ms_matched @ [ (name, s.sup_matched) ]
+                  in
+                  Hashtbl.replace stbl key { ms with ms_matched }
+              | None ->
+                  sorder := key :: !sorder;
+                  Hashtbl.replace stbl key
+                    {
+                      ms_file = s.sup_file;
+                      ms_line = s.sup_line;
+                      ms_rule = s.sup_rule;
+                      ms_justification = s.sup_justification;
+                      ms_matched = [ (name, s.sup_matched) ];
+                      ms_stale = false;
+                    })
+            r.suppressions)
+        rs)
+    passes;
+  (* L2: judged only when the typed pass ran (it checks every rule, so
+     "no pass matched" really means the excused code is gone), and never
+     for files where a pass failed (absence of evidence there is just a
+     broken build). *)
+  let judge_stale = typed <> None in
+  let suppressions =
+    List.rev_map
+      (fun key ->
+        let ms = Hashtbl.find stbl key in
+        let total = List.fold_left (fun n (_, m) -> n + m) 0 ms.ms_matched in
+        let stale =
+          judge_stale && total = 0 && not (List.mem ms.ms_file erroring_files)
+        in
+        { ms with ms_stale = stale })
+      !sorder
+  in
+  let stale_violations =
+    List.filter_map
+      (fun ms ->
+        if ms.ms_stale then
+          Some
+            {
+              mv_file = ms.ms_file;
+              mv_line = ms.ms_line;
+              mv_col = 0;
+              mv_rule = Rules.L2;
+              mv_message =
+                Printf.sprintf
+                  "stale suppression: rule %s no longer fires under any pass \
+                   at this site (justification: %s)"
+                  (Rules.to_string ms.ms_rule) ms.ms_justification;
+              mv_passes = [ merge_pass ];
+            }
+        else None)
+      suppressions
+  in
+  let violations =
+    List.rev_map (Hashtbl.find vtbl) !vorder @ stale_violations
+    |> List.sort (fun a b ->
+           compare
+             (a.mv_file, a.mv_line, a.mv_col, Rules.to_string a.mv_rule)
+             (b.mv_file, b.mv_line, b.mv_col, Rules.to_string b.mv_rule))
+  in
+  {
+    m_root = root;
+    m_passes = List.map fst passes;
+    m_files_checked = files_checked;
+    m_violations = violations;
+    m_suppressions =
+      List.sort
+        (fun a b ->
+          compare
+            (a.ms_file, a.ms_line, Rules.to_string a.ms_rule)
+            (b.ms_file, b.ms_line, Rules.to_string b.ms_rule))
+        suppressions;
+    m_parse_errors = parse_errors;
+  }
+
+let stale_suppressions m = List.filter (fun ms -> ms.ms_stale) m.m_suppressions
+let clean m = m.m_violations = [] && m.m_parse_errors = []
+
+let to_json (m : merged) =
+  let violations =
+    List.map
+      (fun v ->
+        J.Obj
+          [
+            ("file", J.String v.mv_file);
+            ("line", J.Int v.mv_line);
+            ("col", J.Int v.mv_col);
+            ("rule", J.String (Rules.to_string v.mv_rule));
+            ("title", J.String (Rules.title v.mv_rule));
+            ("message", J.String v.mv_message);
+            ("hint", J.String (Rules.hint v.mv_rule));
+            ("passes", J.List (List.map (fun p -> J.String p) v.mv_passes));
+          ])
+      m.m_violations
   in
   let suppressions =
-    List.concat_map
-      (fun (r : Lint.file_report) ->
-        List.map
-          (fun (s : Lint.suppression) ->
-            J.Obj
-              [
-                ("file", J.String s.sup_file);
-                ("line", J.Int s.sup_line);
-                ("rule", J.String (Rules.to_string s.sup_rule));
-                ("justification", J.String s.sup_justification);
-              ])
-          r.suppressions)
-      reports
+    List.map
+      (fun s ->
+        J.Obj
+          [
+            ("file", J.String s.ms_file);
+            ("line", J.Int s.ms_line);
+            ("rule", J.String (Rules.to_string s.ms_rule));
+            ("justification", J.String s.ms_justification);
+            ( "matched",
+              J.Obj (List.map (fun (p, n) -> (p, J.Int n)) s.ms_matched) );
+            ("stale", J.Bool s.ms_stale);
+          ])
+      m.m_suppressions
+  in
+  let stale =
+    List.map
+      (fun s ->
+        J.Obj
+          [
+            ("file", J.String s.ms_file);
+            ("line", J.Int s.ms_line);
+            ("rule", J.String (Rules.to_string s.ms_rule));
+            ("justification", J.String s.ms_justification);
+          ])
+      (stale_suppressions m)
   in
   let parse_errors =
     List.map
-      (fun (path, msg) ->
-        J.Obj [ ("file", J.String path); ("message", J.String msg) ])
-      (parse_errors reports)
+      (fun (pass, path, msg) ->
+        J.Obj
+          [
+            ("pass", J.String pass);
+            ("file", J.String path);
+            ("message", J.String msg);
+          ])
+      m.m_parse_errors
   in
   let rules =
     List.map
@@ -72,43 +266,52 @@ let to_json ~root reports =
   J.Obj
     [
       ("schema", J.String schema);
-      ("root", J.String root);
-      ("files_checked", J.Int (List.length reports));
-      ("violation_count", J.Int (violation_count reports));
-      ("suppression_count", J.Int (suppression_count reports));
-      ("parse_error_count", J.Int (List.length parse_errors));
+      ("root", J.String m.m_root);
+      ("passes", J.List (List.map (fun p -> J.String p) m.m_passes));
+      ("files_checked", J.Int m.m_files_checked);
+      ("violation_count", J.Int (List.length m.m_violations));
+      ("suppression_count", J.Int (List.length m.m_suppressions));
+      ("stale_count", J.Int (List.length (stale_suppressions m)));
+      ("parse_error_count", J.Int (List.length m.m_parse_errors));
       ("rules", J.List rules);
       ("violations", J.List violations);
       ("suppressions", J.List suppressions);
+      ("stale_suppressions", J.List stale);
       ("parse_errors", J.List parse_errors);
     ]
 
-let to_human reports =
+let to_human (m : merged) =
   let buf = Buffer.create 1024 in
   List.iter
-    (fun (r : Lint.file_report) ->
-      (match r.parse_error with
-      | Some msg -> Buffer.add_string buf (Printf.sprintf "%s: PARSE ERROR: %s\n" r.path msg)
-      | None -> ());
-      List.iter
-        (fun (v : Lint.violation) ->
-          Buffer.add_string buf
-            (Printf.sprintf "%s:%d:%d: [%s] %s\n    hint: %s\n" v.file v.line v.col
-               (Rules.to_string v.rule) v.message
-               (Rules.hint v.rule)))
-        r.violations)
-    reports;
-  let nv = violation_count reports in
-  let ns = suppression_count reports in
-  let np = List.length (parse_errors reports) in
+    (fun (pass, path, msg) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s: PARSE ERROR (%s pass): %s\n" path pass msg))
+    m.m_parse_errors;
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s:%d:%d: [%s] %s (%s)\n    hint: %s\n" v.mv_file
+           v.mv_line v.mv_col
+           (Rules.to_string v.mv_rule)
+           v.mv_message
+           (String.concat "+" v.mv_passes)
+           (Rules.hint v.mv_rule)))
+    m.m_violations;
+  let nv = List.length m.m_violations in
+  let ns = List.length m.m_suppressions in
+  let nstale = List.length (stale_suppressions m) in
+  let np = List.length m.m_parse_errors in
   Buffer.add_string buf
-    (Printf.sprintf "%d file%s checked: %d violation%s, %d suppression%s, %d parse error%s\n"
-       (List.length reports)
-       (if List.length reports = 1 then "" else "s")
+    (Printf.sprintf
+       "%d file%s checked (%s): %d violation%s, %d suppression%s (%d stale), \
+        %d parse error%s\n"
+       m.m_files_checked
+       (if m.m_files_checked = 1 then "" else "s")
+       (String.concat "+" m.m_passes)
        nv
        (if nv = 1 then "" else "s")
        ns
        (if ns = 1 then "" else "s")
-       np
+       nstale np
        (if np = 1 then "" else "s"));
   Buffer.contents buf

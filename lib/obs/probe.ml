@@ -102,7 +102,7 @@ let equal_snapshot a b =
        (fun (na, sa) (nb, sb) -> na = nb && Timeseries.equal sa sb)
        a b
 
-let schema = "ncg.obs.probes/1"
+let schema = Schema.obs_probes
 
 let to_json snap =
   let capacity =

@@ -75,7 +75,7 @@ let equal a b =
   done;
   !ok
 
-let schema = "ncg.obs.timeseries/1"
+let schema = Schema.obs_timeseries
 
 (* Json.float_repr flattens non-finite floats to null; a series must
    round-trip them exactly (NaN marks e.g. a disconnected network's

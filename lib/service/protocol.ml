@@ -43,9 +43,9 @@ type request =
   | Subscribe
   | Stats
 
-let request_schema = "ncg.service.request/2"
-let request_schema_v1 = "ncg.service.request/1"
-let response_schema = "ncg.service.response/1"
+let request_schema = Ncg_obs.Schema.service_request
+let request_schema_v1 = Ncg_obs.Schema.service_request_v1
+let response_schema = Ncg_obs.Schema.service_response
 
 let request_to_json r =
   let fields =

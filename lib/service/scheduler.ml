@@ -92,7 +92,7 @@ let locked t f =
 
 (* --- Task payloads ------------------------------------------------------- *)
 
-let task_schema = "ncg.service.task/1"
+let task_schema = Ncg_obs.Schema.service_task
 
 let task_payload spec (cell : Experiment.cell) =
   Json.to_string

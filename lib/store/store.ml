@@ -166,7 +166,7 @@ let rec mkdir_p dir =
 let manifest_json t =
   Json.Obj
     [
-      ("schema", Json.String "ncg.store/1");
+      ("schema", Json.String Ncg_obs.Schema.store_manifest);
       ("key_schema", Json.Int Cache_key.schema_version);
       ("records_file", Json.String records_name);
       ("live", Json.Int (Hashtbl.length t.index));

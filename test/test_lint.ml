@@ -1,8 +1,12 @@
 (* Tests for ncg_lint: per-rule accepting and rejecting fixture
-   snippets, suppression semantics, a golden JSON report snapshot, and
-   the assertion that the live codebase lints clean. *)
+   snippets for the syntactic pass, a smuggling-vector matrix proving
+   the typed pass catches what the syntactic pass provably misses,
+   fixtures for the semantic-only rules (S1, P2, R1), merge/staleness
+   (L2) semantics, a golden JSON snapshot of ncg.lint.report/2, and the
+   assertion that the live codebase lints clean under both passes. *)
 
 module Lint = Ncg_lint.Lint
+module Typed = Ncg_lint.Typed_lint
 module Rules = Ncg_lint.Rules
 module Report = Ncg_lint.Report
 module Json = Ncg_obs.Json
@@ -12,13 +16,19 @@ let check_bool = Alcotest.(check bool)
 let check_string = Alcotest.(check string)
 let known_sites = [ "sweep.cell"; "bfs.traverse" ]
 let known_probes = [ "dynamics.social_cost"; "solver.bb_cutoffs" ]
+let known_schemas =
+  ([ "ncg.test.alpha/1"; "ncg.test.beta/2" ]
+  [@lint.allow
+    "R1" "fixture registry for the R1 tests, distinct from the real one"])
 
 (* Zone contexts, derived exactly as the driver derives them. *)
-let lib_ctx = Lint.ctx_for_path ~known_sites ~known_probes "lib/core/fixture.ml"
-let bin_ctx = Lint.ctx_for_path ~known_sites ~known_probes "bin/fixture.ml"
-let prng_ctx = Lint.ctx_for_path ~known_sites ~known_probes "lib/prng/fixture.ml"
-let obs_ctx = Lint.ctx_for_path ~known_sites ~known_probes "lib/obs/fixture.ml"
-let fault_ctx = Lint.ctx_for_path ~known_sites ~known_probes "lib/fault/fixture.ml"
+let ctx_for = Lint.ctx_for_path ~known_sites ~known_probes ~known_schemas
+let lib_ctx = ctx_for "lib/core/fixture.ml"
+let bin_ctx = ctx_for "bin/fixture.ml"
+let prng_ctx = ctx_for "lib/prng/fixture.ml"
+let obs_ctx = ctx_for "lib/obs/fixture.ml"
+let fault_ctx = ctx_for "lib/fault/fixture.ml"
+let schema_ctx = ctx_for "lib/obs/schema.ml"
 
 let rules_of ?(ctx = lib_ctx) source =
   let r = Lint.check_source ~ctx ~filename:"fixture.ml" source in
@@ -32,13 +42,102 @@ let accepts ?ctx source = check_bool source true (rules_of ?ctx source = [])
 let rejects ?ctx rule source =
   check_bool source true (List.mem rule (rules_of ?ctx source))
 
+(* --- Typed-pass fixture plumbing ------------------------------------------- *)
+
+(* Under [dune runtest] the cwd is _build/default/test and the sources
+   live in its parent (dune copies them into the build tree); under
+   [dune exec] the cwd is the workspace root itself. Walk upward to the
+   nearest directory holding a dune-project. *)
+let rec project_root dir =
+  if Sys.file_exists (Filename.concat dir "dune-project") then dir
+  else
+    let parent = Filename.dirname dir in
+    if parent = dir then failwith "no dune-project above the test cwd"
+    else project_root parent
+
+let root = lazy (project_root (Sys.getcwd ()))
+
+(* .cmi directory of a dune library: directly under the project root
+   when that root is the build tree (dune runtest), otherwise under
+   _build/default (dune exec from the workspace root). *)
+let objs_dir sub lib =
+  let rel = Printf.sprintf "%s/.%s.objs/byte" sub lib in
+  let direct = Filename.concat (Lazy.force root) rel in
+  if Sys.file_exists direct then direct
+  else Filename.concat (Lazy.force root) (Filename.concat "_build/default" rel)
+
+(* Enough of the project's cmis to type fixtures that borrow scratch
+   buffers (Ncg_graph.Bfs, Ncg.Workspace) and fan out (Ncg_util.Parallel);
+   the rest are transitive signature dependencies of lib/core. *)
+let ncg_dirs =
+  lazy
+    (List.map
+       (fun (sub, lib) -> objs_dir sub lib)
+       [
+         ("lib/util", "ncg_util");
+         ("lib/prng", "ncg_prng");
+         ("lib/graph", "ncg_graph");
+         ("lib/stats", "ncg_stats");
+         ("lib/solver", "ncg_solver");
+         ("lib/obs", "ncg_obs");
+         ("lib/fault", "ncg_fault");
+         ("lib/core", "ncg");
+       ])
+
+let unix_dir = lazy (Filename.concat Config.standard_library "unix")
+
+let typed_report ?(ctx = lib_ctx) ?(filename = "fixture.ml") ?(with_ncg = false)
+    ?(with_unix = false) source =
+  let include_dirs =
+    (if with_ncg then Lazy.force ncg_dirs else [])
+    @ if with_unix then [ Lazy.force unix_dir ] else []
+  in
+  Typed.check_source_typed ~ctx ~filename ~include_dirs source
+
+let typed_rules_of ?ctx ?with_ncg ?with_unix source =
+  let r = typed_report ?ctx ?with_ncg ?with_unix source in
+  (match r.Lint.parse_error with
+  | Some msg -> Alcotest.failf "fixture failed to type:\n%s\n---\n%s" source msg
+  | None -> ());
+  List.map (fun (v : Lint.violation) -> v.Lint.rule) r.Lint.violations
+
+let typed_accepts ?ctx ?with_ncg ?with_unix source =
+  check_bool source true (typed_rules_of ?ctx ?with_ncg ?with_unix source = [])
+
+let typed_rejects ?ctx ?with_ncg ?with_unix rule source =
+  check_bool source true
+    (List.mem rule (typed_rules_of ?ctx ?with_ncg ?with_unix source))
+
+(* --- Zones ----------------------------------------------------------------- *)
+
 let test_zones () =
-  check_bool "lib/prng exempt from D1" true lib_ctx.Lint.global_state;
+  check_bool "lib has the global-state rule" true lib_ctx.Lint.global_state;
   check_bool "prng" true prng_ctx.Lint.prng_exempt;
   check_bool "obs" true obs_ctx.Lint.clock_exempt;
   check_bool "fault" true fault_ctx.Lint.fault_registry;
   check_bool "bin has no global-state rule" false bin_ctx.Lint.global_state;
-  check_bool "bin not exempt" false bin_ctx.Lint.prng_exempt
+  check_bool "bin not exempt" false bin_ctx.Lint.prng_exempt;
+  check_bool "parallel impl zone" true
+    (ctx_for "lib/util/parallel.ml").Lint.parallel_impl;
+  check_bool "executor is parallel impl too" true
+    (ctx_for "lib/fault/executor.ml").Lint.parallel_impl;
+  check_bool "bfs lends scratch" true
+    (ctx_for "lib/graph/bfs.ml").Lint.scratch_lender;
+  check_bool "workspace lends scratch" true
+    (ctx_for "lib/core/workspace.ml").Lint.scratch_lender;
+  check_bool "schema.ml is the registry" true schema_ctx.Lint.schema_registry;
+  check_bool "plain obs files are not" false obs_ctx.Lint.schema_registry
+
+let test_rule_catalogue () =
+  check_int "thirteen rules" 13 (List.length Rules.all);
+  List.iter
+    (fun id ->
+      match Rules.of_string (Rules.to_string id) with
+      | Some id' -> check_bool (Rules.to_string id) true (id = id')
+      | None -> Alcotest.failf "%s does not round-trip" (Rules.to_string id))
+    Rules.all
+
+(* --- Syntactic rules ------------------------------------------------------- *)
 
 let test_d1 () =
   rejects Rules.D1 "let x = Random.int 5";
@@ -89,6 +188,10 @@ let test_p1 () =
   rejects Rules.P1 "let b = Buffer.create 64";
   rejects Rules.P1 "let q : int Queue.t = Queue.create ()";
   rejects Rules.P1 "module M = struct let inner = ref 0 end";
+  (* The shape check sees through an initializer block (bitset.ml's
+     pop16 table is exactly this shape). *)
+  rejects Rules.P1
+    "let table = let t = Bytes.create 16 in Bytes.fill t 0 16 'x'; t";
   accepts "let x = Atomic.make 0";
   accepts "let k = Domain.DLS.new_key (fun () -> ref 0)";
   accepts "let m = Mutex.create ()";
@@ -137,6 +240,161 @@ let test_l1 () =
     {|let x = (Hashtbl.fold [@lint.allow "D3" "sorted before escaping"]) f t []|};
   accepts {|let cache = Hashtbl.create 16 [@@lint.domain_local "init only"]|}
 
+(* --- The typed pass: parity on the idiomatic spelling ---------------------- *)
+
+let test_typed_parity () =
+  typed_rejects Rules.D3 "let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl";
+  typed_rejects Rules.D1 "let roll () = Random.int 6";
+  typed_rejects ~with_unix:true Rules.D2 "let now () = Unix.gettimeofday ()";
+  typed_rejects Rules.D4 "let show (x : float) = Float.to_string x";
+  typed_rejects Rules.D4 {|let p (x : float) = Printf.printf "%f" x|};
+  typed_rejects Rules.A1 {|let f p = Out_channel.open_text p|};
+  typed_rejects Rules.P1 "let count = ref 0";
+  typed_rejects Rules.P1
+    "let table = let t = Bytes.create 16 in Bytes.fill t 0 16 'x'; t";
+  typed_accepts "let f tbl = Hashtbl.find_opt tbl 0";
+  typed_accepts ~ctx:prng_ctx "let roll () = Random.int 6";
+  typed_accepts {|let s = Printf.sprintf "%.17g" 1.0|};
+  (* Suppressions work identically on the typedtree. *)
+  typed_accepts
+    {|let f tbl = (Hashtbl.iter [@lint.allow "D3" "fixture"]) (fun _ _ -> ()) tbl|}
+
+(* --- The smuggling matrix: syntactic provably misses, typed catches -------- *)
+
+let smuggling_vectors =
+  [
+    ( "module alias",
+      Rules.D3,
+      "module H = Hashtbl\nlet f tbl = H.iter (fun _ _ -> ()) tbl",
+      false );
+    ( "include",
+      Rules.D3,
+      "module M = struct include Hashtbl end\n\
+       let f tbl = M.iter (fun _ _ -> ()) tbl",
+      false );
+    ( "first-class value",
+      Rules.D3,
+      "module H = Hashtbl\nlet it = H.iter\nlet g tbl = it (fun _ _ -> ()) tbl",
+      false );
+    ( "functor argument",
+      Rules.D3,
+      "module F (T : module type of Hashtbl) = struct\n\
+      \  let go tbl = T.iter (fun _ _ -> ()) tbl\n\
+       end\n\
+       module Use = F (Hashtbl)",
+      false );
+    ( "re-export (alias of alias)",
+      Rules.D3,
+      "module A = Hashtbl\n\
+       module B = A\n\
+       let f tbl = B.fold (fun _ _ n -> n) tbl 0",
+      false );
+    ("random alias", Rules.D1, "module R = Random\nlet roll () = R.int 6", false);
+    ( "clock alias",
+      Rules.D2,
+      "module U = Unix\nlet now () = U.gettimeofday ()",
+      true );
+    ( "float-format alias",
+      Rules.D4,
+      "module Fl = Float\nlet show (x : float) = Fl.to_string x",
+      false );
+    ( "channel alias",
+      Rules.A1,
+      "module O = Out_channel\nlet f p = O.open_text p",
+      false );
+  ]
+
+let test_smuggling_matrix () =
+  List.iter
+    (fun (label, rule, src, with_unix) ->
+      check_bool (label ^ ": syntactic pass misses it") true
+        (not (List.mem rule (rules_of src)));
+      check_bool (label ^ ": typed pass catches it") true
+        (List.mem rule (typed_rules_of ~with_unix src)))
+    smuggling_vectors
+
+(* --- S1: borrowed scratch views must not escape ---------------------------- *)
+
+let test_s1 () =
+  (* Returning the lender's buffer hands the caller a view that the next
+     run will silently invalidate. *)
+  typed_rejects ~with_ncg:true Rules.S1
+    "let leak s = Ncg_graph.Bfs.dist_array s";
+  (* Storing it in a ref. *)
+  typed_rejects ~with_ncg:true Rules.S1
+    "let stash s (r : int array ref) = r := Ncg_graph.Bfs.dist_array s";
+  (* Packing it into a tuple. *)
+  typed_rejects ~with_ncg:true Rules.S1
+    "let pack s = (Ncg_graph.Bfs.visit_order s, 0)";
+  (* Via a let-bound name (taint tracking). *)
+  typed_rejects ~with_ncg:true Rules.S1
+    "let bad s = let d = Ncg_graph.Bfs.dist_array s in Some d";
+  (* A workspace pool field packed into a container escapes the run. *)
+  typed_rejects ~with_ncg:true Rules.S1
+    "let grab (w : Ncg.Workspace.t) = (w.Ncg.Workspace.bfs, 0)";
+  (* Copying first is the documented idiom. *)
+  typed_accepts ~with_ncg:true
+    "let ok s = Array.copy (Ncg_graph.Bfs.dist_array s)";
+  (* Reading an element in place is fine. *)
+  typed_accepts ~with_ncg:true
+    "let ok2 s v = (Ncg_graph.Bfs.dist_array s).(v)";
+  (* Threading a pool through a call is in-run plumbing, not an escape. *)
+  typed_accepts ~with_ncg:true
+    "let ok3 (w : Ncg.Workspace.t) f = f w.Ncg.Workspace.bfs";
+  (* The syntactic pass cannot see any of this. *)
+  check_bool "S1 is typed-only" true
+    (not
+       (List.mem Rules.S1 (rules_of "let leak s = Ncg_graph.Bfs.dist_array s")))
+
+(* --- P2: no cross-domain capture of unsynchronized mutable state ----------- *)
+
+let test_p2 () =
+  typed_rejects ~with_ncg:true Rules.P2
+    "let bad xs =\n\
+    \  let acc = ref 0 in\n\
+    \  Ncg_util.Parallel.map (fun x -> acc := !acc + x; x) xs";
+  typed_rejects ~with_ncg:true Rules.P2
+    "let bad2 (a : int array) xs = Ncg_util.Parallel.map (fun i -> a.(i)) xs";
+  typed_rejects Rules.P2 "let bad3 (r : int ref) = Domain.spawn (fun () -> r := 1)";
+  (* Atomics are the sanctioned cross-domain channel. *)
+  typed_accepts ~with_ncg:true
+    "let ok xs =\n\
+    \  let c = Atomic.make 0 in\n\
+    \  Ncg_util.Parallel.map (fun x -> Atomic.incr c; x) xs";
+  (* Capturing immutable data is what the fan-out is for. *)
+  typed_accepts ~with_ncg:true
+    "let ok2 k xs = Ncg_util.Parallel.map (fun x -> x + k) xs";
+  (* A justified allow works at the fan-out site. *)
+  typed_accepts ~with_ncg:true
+    "let ok3 (a : int array) xs =\n\
+    \  (Ncg_util.Parallel.map (fun i -> a.(i)) xs\n\
+    \  [@lint.allow \"P2\" \"read-only in this fixture\"])";
+  check_bool "P2 is typed-only" true
+    (not
+       (List.mem Rules.P2
+          (rules_of
+             "let bad3 (r : int ref) = Domain.spawn (fun () -> r := 1)")))
+
+(* --- R1: schema literals live in the registry ------------------------------ *)
+
+let test_r1 () =
+  (* A schema-shaped literal that is not registered at all. *)
+  typed_rejects Rules.R1 {|let tag = "ncg.rogue.thing/9"|};
+  (* Registered, but spelled out instead of referencing the registry. *)
+  typed_rejects Rules.R1 {|let tag = "ncg.test.alpha/1"|};
+  (* Non-schema strings are untouched. *)
+  typed_accepts {|let s = "not a schema at all"|};
+  typed_accepts {|let s = "ncg"|};
+  (* Inside the registry module itself the literals are the point. *)
+  typed_accepts ~ctx:schema_ctx {|let tag = "ncg.test.alpha/1"|};
+  (* An explicit allow (e.g. a deliberately-unknown tag in a test). *)
+  typed_accepts
+    {|let tag = ("ncg.rogue.thing/9" [@lint.allow "R1" "fixture: unknown tag"])|};
+  check_bool "R1 is typed-only" true
+    (not (List.mem Rules.R1 (rules_of {|let tag = "ncg.rogue.thing/9"|})))
+
+(* --- Suppressions, positions, parse errors --------------------------------- *)
+
 let test_suppressions () =
   (* An allow on the enclosing binding covers violations inside it. *)
   let src =
@@ -149,6 +407,7 @@ let test_suppressions () =
   check_string "rule" "D4" (Rules.to_string s.Lint.sup_rule);
   check_string "justification" "legacy format kept for diffability"
     s.Lint.sup_justification;
+  check_int "absorbed one violation" 1 s.Lint.sup_matched;
   (* The suppression is scoped: a second violation outside it still fires. *)
   let src2 =
     src ^ "\n\nlet t = Unix.gettimeofday ()\nlet u = string_of_float 1.0"
@@ -161,6 +420,11 @@ let t = Unix.gettimeofday ()
 let u = Sys.time ()|}
   in
   check_bool "file-wide" true (rules_of src3 = []);
+  let r3 = Lint.check_source ~ctx:lib_ctx ~filename:"f.ml" src3 in
+  check_int "file-wide absorbed both" 2
+    (List.fold_left
+       (fun n (s : Lint.suppression) -> n + s.Lint.sup_matched)
+       0 r3.Lint.suppressions);
   (* One allow can name several rules before the justification. *)
   let src4 =
     {|let f () =
@@ -175,7 +439,13 @@ let test_parse_error () =
   let r = Lint.check_source ~ctx:lib_ctx ~filename:"broken.ml" "let let = in" in
   check_bool "parse error recorded" true (r.Lint.parse_error <> None);
   check_int "no violations" 0 (List.length r.Lint.violations);
-  check_bool "not clean" false (Report.clean [ r ])
+  check_bool "not clean" false
+    (Report.clean (Report.merge ~root:"." ~syntactic:[ r ] ()));
+  (* A file that parses but does not type is a typed-pass error. *)
+  let t =
+    typed_report ~filename:"broken2.ml" "let x = no_such_identifier 42"
+  in
+  check_bool "typing error recorded" true (t.Lint.parse_error <> None)
 
 let test_positions () =
   let r =
@@ -189,42 +459,107 @@ let test_positions () =
       check_int "col" 8 v.Lint.col
   | vs -> Alcotest.failf "expected 1 violation, got %d" (List.length vs)
 
+(* --- Merge semantics: provenance and L2 staleness -------------------------- *)
+
+let test_merge_provenance () =
+  let file = "lib/core/fix.ml" in
+  let src = "let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl" in
+  let s = Lint.check_source ~ctx:lib_ctx ~filename:file src in
+  let t = typed_report ~filename:file src in
+  let m = Report.merge ~root:"." ~syntactic:[ s ] ~typed:[ t ] () in
+  check_bool "passes" true (m.Report.m_passes = [ "syntactic"; "typed" ]);
+  match m.Report.m_violations with
+  | [ v ] ->
+      check_string "rule" "D3" (Rules.to_string v.Report.mv_rule);
+      check_bool "found by both passes" true
+        (v.Report.mv_passes = [ "syntactic"; "typed" ])
+  | vs -> Alcotest.failf "expected 1 merged violation, got %d" (List.length vs)
+
+let test_stale_suppression () =
+  let file = "lib/core/fix.ml" in
+  (* The excused code is gone: nothing left for the allow to absorb. *)
+  let src = {|let x = 1 [@@lint.allow "D3" "nothing to excuse anymore"]|} in
+  let s = Lint.check_source ~ctx:lib_ctx ~filename:file src in
+  let t = typed_report ~filename:file src in
+  let m = Report.merge ~root:"." ~syntactic:[ s ] ~typed:[ t ] () in
+  check_int "judged stale" 1 (List.length (Report.stale_suppressions m));
+  check_bool "synthesized as L2" true
+    (List.exists
+       (fun v -> v.Report.mv_rule = Rules.L2 && v.Report.mv_passes = [ "merge" ])
+       m.Report.m_violations);
+  check_bool "stale report is not clean" false (Report.clean m);
+  (* Without the typed pass L2 is never judged: the syntactic pass does
+     not check the full catalogue, so absence proves nothing. *)
+  let m1 = Report.merge ~root:"." ~syntactic:[ s ] () in
+  check_int "single-pass: not judged" 0
+    (List.length (Report.stale_suppressions m1));
+  check_bool "single-pass report is clean" true (Report.clean m1);
+  (* A live suppression is not stale, and its per-pass absorption counts
+     are folded together. *)
+  let live =
+    {|let f tbl = Hashtbl.iter (fun _ _ -> ()) tbl [@@lint.allow "D3" "fixture"]|}
+  in
+  let s2 = Lint.check_source ~ctx:lib_ctx ~filename:file live in
+  let t2 = typed_report ~filename:file live in
+  let m2 = Report.merge ~root:"." ~syntactic:[ s2 ] ~typed:[ t2 ] () in
+  check_int "live: no stale" 0 (List.length (Report.stale_suppressions m2));
+  check_bool "live report clean" true (Report.clean m2);
+  (match m2.Report.m_suppressions with
+  | [ sup ] ->
+      check_bool "matched in both passes" true
+        (sup.Report.ms_matched = [ ("syntactic", 1); ("typed", 1) ])
+  | sups -> Alcotest.failf "expected 1 suppression, got %d" (List.length sups));
+  (* A file the typed pass could not check is never judged: absence of
+     evidence from a broken build is not staleness. *)
+  let half = {|let x = no_such_identifier 42 [@@lint.allow "D3" "pending"]|} in
+  let s3 = Lint.check_source ~ctx:lib_ctx ~filename:file half in
+  let t3 = typed_report ~filename:file half in
+  check_bool "typed pass errored" true (t3.Lint.parse_error <> None);
+  let m3 = Report.merge ~root:"." ~syntactic:[ s3 ] ~typed:[ t3 ] () in
+  check_int "erroring file: not judged" 0
+    (List.length (Report.stale_suppressions m3))
+
 (* --- JSON report ----------------------------------------------------------- *)
 
-let fixture_reports () =
-  [
-    Lint.check_source ~ctx:lib_ctx ~filename:"lib/core/a.ml"
-      "let t = Unix.gettimeofday ()\n";
-    Lint.check_source ~ctx:lib_ctx ~filename:"lib/core/b.ml"
-      {|let cache = Hashtbl.create 16 [@@lint.domain_local "init-time only"]|};
-    Lint.check_source ~ctx:lib_ctx ~filename:"lib/core/broken.ml" "let let";
-  ]
+let fixture_merged () =
+  let syntactic =
+    [
+      Lint.check_source ~ctx:lib_ctx ~filename:"lib/core/a.ml"
+        "let t = Unix.gettimeofday ()\n";
+      Lint.check_source ~ctx:lib_ctx ~filename:"lib/core/b.ml"
+        {|let cache = Hashtbl.create 16 [@@lint.domain_local "init-time only"]|};
+      Lint.check_source ~ctx:lib_ctx ~filename:"lib/core/broken.ml" "let let";
+    ]
+  in
+  Report.merge ~root:"." ~syntactic ()
 
 let test_report_counts () =
-  let reports = fixture_reports () in
-  check_int "violations" 1 (Report.violation_count reports);
-  check_int "suppressions" 1 (Report.suppression_count reports);
-  check_int "parse errors" 1 (List.length (Report.parse_errors reports));
-  check_bool "not clean" false (Report.clean reports);
+  let m = fixture_merged () in
+  check_int "files" 3 m.Report.m_files_checked;
+  check_int "violations" 1 (List.length m.Report.m_violations);
+  check_int "suppressions" 1 (List.length m.Report.m_suppressions);
+  check_int "parse errors" 1 (List.length m.Report.m_parse_errors);
+  check_bool "not clean" false (Report.clean m);
   check_bool "human output mentions rule" true
-    (let human = Report.to_human reports in
+    (let human = Report.to_human m in
      let contains s sub =
        let n = String.length s and m = String.length sub in
        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
        go 0
      in
-     contains human "[D2]" && contains human "PARSE ERROR")
+     contains human "[D2]" && contains human "PARSE ERROR"
+     && contains human "(syntactic)")
 
 (* Golden snapshot of the machine-readable document: the schema is a
    published artifact (CI uploads it), so its exact shape is pinned. *)
 let test_report_golden () =
-  let reports =
+  let syntactic =
     [
       Lint.check_source ~ctx:lib_ctx ~filename:"lib/core/a.ml"
         "let t = Unix.gettimeofday ()\n";
     ]
   in
-  let doc = Report.to_json ~root:"." reports in
+  let doc = Report.to_json (Report.merge ~root:"." ~syntactic ()) in
   (* Structure: every top-level field present, in order. *)
   (match doc with
   | Json.Obj fields ->
@@ -233,15 +568,23 @@ let test_report_golden () =
         = [
             "schema";
             "root";
+            "passes";
             "files_checked";
             "violation_count";
             "suppression_count";
+            "stale_count";
             "parse_error_count";
             "rules";
             "violations";
             "suppressions";
+            "stale_suppressions";
             "parse_errors";
-          ])
+          ]);
+      check_bool "schema tag" true
+        (List.assoc "schema" fields
+        = Json.String
+            ("ncg.lint.report/2"
+            [@lint.allow "R1" "the golden test pins the published spelling"]))
   | _ -> Alcotest.fail "report is not an object");
   (* Byte-exact golden for the violation entry. *)
   let violations =
@@ -254,28 +597,22 @@ let test_report_golden () =
    ^ "\"title\":\"wall-clock read outside lib/obs\","
    ^ "\"message\":\"Unix.gettimeofday: wall-clock read outside the Clock \
       module\","
-   ^ "\"hint\":\"use Ncg_obs.Clock.now_ns / Clock.elapsed_ns\"}]")
+   ^ "\"hint\":\"use Ncg_obs.Clock.now_ns / Clock.elapsed_ns\","
+   ^ "\"passes\":[\"syntactic\"]}]")
     (Json.to_string violations);
   (* The whole document round-trips through the in-house parser. *)
   match Json.of_string (Json.to_string doc) with
   | Ok v -> check_bool "round-trip" true (v = doc)
   | Error e -> Alcotest.failf "report does not reparse: %s" e
 
-(* --- The live codebase lints clean ----------------------------------------- *)
+(* --- The live codebase lints clean under both passes ------------------------ *)
 
-(* Under [dune runtest] the cwd is _build/default/test and the sources
-   live in its parent (dune copies them into the build tree); under
-   [dune exec] the cwd is the workspace root itself. Walk upward to the
-   nearest directory holding a dune-project. *)
-let rec project_root dir =
-  if Sys.file_exists (Filename.concat dir "dune-project") then dir
-  else
-    let parent = Filename.dirname dir in
-    if parent = dir then failwith "no dune-project above the test cwd"
-    else project_root parent
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
 
 let test_live_tree_clean () =
-  let root = project_root (Sys.getcwd ()) in
+  let root = Lazy.force root in
   let files =
     Lint.ml_files_under ~root ~dirs:[ "lib"; "bin"; "bench"; "test"; "examples" ]
   in
@@ -283,24 +620,52 @@ let test_live_tree_clean () =
      the extra trees up, not silently fall back to the library dirs. *)
   check_bool "found the tree" true (List.length files > 80);
   check_bool "scan includes test/" true
-    (List.exists (fun f -> String.length f > 5 && String.sub f 0 5 = "test/") files);
+    (List.exists (starts_with "test/") files);
   check_bool "scan includes examples/" true
-    (List.exists
-       (fun f -> String.length f > 9 && String.sub f 0 9 = "examples/")
-       files);
+    (List.exists (starts_with "examples/") files);
   let known_sites = Ncg_fault.Inject.sites () in
   let known_probes = Ncg_obs.Probe.names () in
-  let dirty =
-    List.filter_map
+  let known_schemas = Ncg_obs.Schema.all in
+  let ctx_of rel =
+    Lint.ctx_for_path ~known_sites ~known_probes ~known_schemas rel
+  in
+  let syntactic =
+    List.map
       (fun rel ->
-        let ctx = Lint.ctx_for_path ~known_sites ~known_probes rel in
-        let r = Lint.check_file ~ctx ~display:rel (Filename.concat root rel) in
-        if r.Lint.violations = [] && r.Lint.parse_error = None then None
-        else Some (Report.to_human [ r ]))
+        Lint.check_file ~ctx:(ctx_of rel) ~display:rel
+          (Filename.concat root rel))
       files
   in
-  if dirty <> [] then
-    Alcotest.failf "the tree does not lint clean:\n%s" (String.concat "" dirty)
+  let cmt_root =
+    let cand = Filename.concat root "_build/default" in
+    if Sys.file_exists cand then cand else root
+  in
+  let typed = Typed.check_tree ~ctx_of ~root ~cmt_root files in
+  (* Dune refreshes a .cmt only when the bytecode compilation rule runs,
+     so after an incremental native build some cmts may be missing or
+     digest-stale; those files are skipped here and only the CI gate —
+     which runs ncg_lint --typed after a full `dune build @check` — is
+     strict about them. Violations, stale suppressions and unreadable
+     cmts fail either way. *)
+  let covered =
+    List.filter (fun (r : Lint.file_report) -> r.Lint.parse_error = None) typed
+  in
+  check_bool "typed pass covered the bulk of the tree" true
+    (List.length covered >= 40);
+  let m = Report.merge ~root ~syntactic ~typed () in
+  let tolerable = function
+    | _, _, msg ->
+        starts_with "no .cmt found" msg || starts_with "stale .cmt" msg
+  in
+  let hard_errors =
+    List.filter (fun e -> not (tolerable e)) m.Report.m_parse_errors
+  in
+  if m.Report.m_violations <> [] || hard_errors <> [] then
+    Alcotest.failf "the tree does not lint clean under both passes:\n%s"
+      (Report.to_human
+         { m with Report.m_parse_errors = hard_errors });
+  check_int "no stale suppressions" 0
+    (List.length (Report.stale_suppressions m))
 
 let () =
   Alcotest.run "ncg_lint"
@@ -308,6 +673,7 @@ let () =
       ( "rules",
         [
           Alcotest.test_case "zones" `Quick test_zones;
+          Alcotest.test_case "catalogue round-trip" `Quick test_rule_catalogue;
           Alcotest.test_case "D1 randomness" `Quick test_d1;
           Alcotest.test_case "D2 wall clock" `Quick test_d2;
           Alcotest.test_case "D3 hash iteration" `Quick test_d3;
@@ -317,6 +683,15 @@ let () =
           Alcotest.test_case "F1 fault sites" `Quick test_f1;
           Alcotest.test_case "O1 probe names" `Quick test_o1;
           Alcotest.test_case "L1 malformed annotations" `Quick test_l1;
+        ] );
+      ( "typed",
+        [
+          Alcotest.test_case "parity on idiomatic spellings" `Quick
+            test_typed_parity;
+          Alcotest.test_case "smuggling matrix" `Quick test_smuggling_matrix;
+          Alcotest.test_case "S1 scratch escape" `Quick test_s1;
+          Alcotest.test_case "P2 cross-domain capture" `Quick test_p2;
+          Alcotest.test_case "R1 schema literals" `Quick test_r1;
         ] );
       ( "suppressions",
         [
@@ -328,6 +703,11 @@ let () =
         [
           Alcotest.test_case "counts + human" `Quick test_report_counts;
           Alcotest.test_case "golden json" `Quick test_report_golden;
+          Alcotest.test_case "merge provenance" `Quick test_merge_provenance;
+          Alcotest.test_case "L2 staleness" `Quick test_stale_suppression;
         ] );
-      ( "live", [ Alcotest.test_case "codebase lints clean" `Quick test_live_tree_clean ] );
+      ( "live",
+        [
+          Alcotest.test_case "codebase lints clean" `Quick test_live_tree_clean;
+        ] );
     ]

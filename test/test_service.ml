@@ -130,7 +130,7 @@ let test_request_v1_schema_accepted () =
   let v1 =
     Json.Obj
       [
-        ("schema", Json.String "ncg.service.request/1");
+        ("schema", Json.String Ncg_obs.Schema.service_request_v1);
         ("verb", Json.String "hello");
         ("client", Json.String "old");
       ]
@@ -145,7 +145,14 @@ let test_request_v1_schema_accepted () =
        (Protocol.request_of_json
           (Json.Obj
              [
-               ("schema", Json.String "ncg.service.request/3");
+               ( "schema",
+                 Json.String
+                   ("ncg.service.request/3"
+                   [@lint.allow
+                     "R1"
+                       "a deliberately unknown future version: the test \
+                        proves the daemon rejects it, so it must never be \
+                        registered"]) );
                ("verb", Json.String "stats");
              ])))
 
